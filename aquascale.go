@@ -1,0 +1,405 @@
+// Package aquascale is the public API of the AquaSCALE reproduction: a
+// cyber-physical-human framework for localizing pipe failures in community
+// water networks (Han et al., ICDCS 2017).
+//
+// The package re-exports the supported surface of the internal modules:
+//
+//   - Water-network modeling and the two evaluation networks (EPA-NET,
+//     WSSC-SUBNET), plus an EPANET INP subset reader/writer.
+//   - The EPANET++-equivalent hydraulic engine: steady-state Global
+//     Gradient solves with pressure-dependent leak emitters, and
+//     extended-period simulation with tank dynamics.
+//   - IoT sensor modeling with k-medoids placement.
+//   - Leak scenario generation, the Phase-I data factory and profile
+//     training with plug-and-play classifiers, and Phase-II multi-source
+//     fusion (weather evidence, tweet-derived cliques).
+//   - The flood (cascading-impact) simulator.
+//   - The experiment harness that regenerates every figure of the paper.
+//
+// Quickstart:
+//
+//	net := aquascale.BuildEPANet()
+//	baseline, _ := aquascale.RunEPS(net, aquascale.EPSOptions{}, nil)
+//	placer, _ := aquascale.NewPlacer(net, baseline)
+//	sensors, _ := placer.KMedoids(60, rng)
+//	factory, _ := aquascale.NewFactory(net, sensors, aquascale.DatasetConfig{})
+//	sys := aquascale.NewSystem(factory, net, aquascale.SystemConfig{})
+//	_ = sys.Train(2000, aquascale.ProfileConfig{Technique: "hybrid-rsl"}, rng)
+package aquascale
+
+import (
+	"io"
+	"math/rand"
+
+	"github.com/aquascale/aquascale/internal/bench"
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/detect"
+	"github.com/aquascale/aquascale/internal/flood"
+	"github.com/aquascale/aquascale/internal/fusion"
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/mlearn"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+	"github.com/aquascale/aquascale/internal/social"
+	"github.com/aquascale/aquascale/internal/stats"
+	"github.com/aquascale/aquascale/internal/weather"
+)
+
+// Water-network modeling.
+type (
+	// Network is a community water distribution network.
+	Network = network.Network
+	// Node is a junction, reservoir or tank.
+	Node = network.Node
+	// Link is a pipe, pump or valve.
+	Link = network.Link
+	// Pattern is a demand-multiplier sequence.
+	Pattern = network.Pattern
+	// NodeType distinguishes junctions, reservoirs and tanks.
+	NodeType = network.NodeType
+	// LinkType distinguishes pipes, pumps and valves.
+	LinkType = network.LinkType
+	// LinkStatus is open or closed.
+	LinkStatus = network.LinkStatus
+)
+
+// Node and link kinds.
+const (
+	Junction  = network.Junction
+	Reservoir = network.Reservoir
+	Tank      = network.Tank
+	Pipe      = network.Pipe
+	Pump      = network.Pump
+	Valve     = network.Valve
+	Open      = network.Open
+	Closed    = network.Closed
+)
+
+// NewNetwork creates an empty network.
+func NewNetwork(name string) *Network { return network.New(name) }
+
+// BuildEPANet builds the canonical EPA-NET evaluation network (96 nodes,
+// 118 pipes, 2 pumps, 1 valve, 3 tanks, 2 sources).
+func BuildEPANet() *Network { return network.BuildEPANet() }
+
+// BuildWSSCSubnet builds the WSSC-SUBNET evaluation network (299 nodes,
+// 316 pipes, 2 valves, 1 source).
+func BuildWSSCSubnet() *Network { return network.BuildWSSCSubnet() }
+
+// BuildTestNet builds a small 8-node network for experimentation.
+func BuildTestNet() *Network { return network.BuildTestNet() }
+
+// ReadINP parses an EPANET INP subset.
+func ReadINP(r io.Reader) (*Network, error) { return network.ReadINP(r) }
+
+// WriteINP serializes a network in the INP subset.
+func WriteINP(w io.Writer, n *Network) error { return network.WriteINP(w, n) }
+
+// Hydraulic engine (EPANET++ equivalent).
+type (
+	// Solver computes steady-state hydraulics.
+	Solver = hydraulic.Solver
+	// SolverOptions configures convergence and the emitter exponent β.
+	SolverOptions = hydraulic.Options
+	// Emitter is a pressure-dependent leak discharge Q = EC·p^β.
+	Emitter = hydraulic.Emitter
+	// ScheduledEmitter is an emitter with an activation time.
+	ScheduledEmitter = hydraulic.ScheduledEmitter
+	// HydraulicResult is a steady-state snapshot.
+	HydraulicResult = hydraulic.Result
+	// EPSOptions configures extended-period simulation.
+	EPSOptions = hydraulic.EPSOptions
+	// TimeSeries is extended-period simulation output.
+	TimeSeries = hydraulic.TimeSeries
+)
+
+// NewSolver prepares a steady-state solver for a network.
+func NewSolver(n *Network, opts SolverOptions) (*Solver, error) {
+	return hydraulic.NewSolver(n, opts)
+}
+
+// RunEPS runs an extended-period simulation.
+func RunEPS(n *Network, opts EPSOptions, emitters []ScheduledEmitter) (*TimeSeries, error) {
+	return hydraulic.RunEPS(n, opts, emitters)
+}
+
+// Water-quality transport (contaminant propagation through the network).
+type (
+	// Injection is a constituent source at a node.
+	Injection = hydraulic.Injection
+	// QualityOptions configures water-quality transport.
+	QualityOptions = hydraulic.QualityOptions
+	// QualityResult holds constituent concentrations over time.
+	QualityResult = hydraulic.QualityResult
+)
+
+// RunQuality advects a constituent along a completed hydraulic simulation
+// (plug flow in pipes, complete mixing at junctions and tanks).
+func RunQuality(n *Network, ts *TimeSeries, injections []Injection, opts QualityOptions) (*QualityResult, error) {
+	return hydraulic.RunQuality(n, ts, injections, opts)
+}
+
+// ErrNotConverged is returned when the hydraulic solver fails to converge.
+var ErrNotConverged = hydraulic.ErrNotConverged
+
+// Leak events and scenarios.
+type (
+	// LeakEvent is one pipe failure e = (l, s, t).
+	LeakEvent = leak.Event
+	// LeakScenario is a set of concurrent failures.
+	LeakScenario = leak.Scenario
+	// LeakGeneratorConfig bounds random scenario generation.
+	LeakGeneratorConfig = leak.GeneratorConfig
+	// LeakGenerator draws random failure scenarios.
+	LeakGenerator = leak.Generator
+)
+
+// NewLeakGenerator builds a scenario generator.
+func NewLeakGenerator(n *Network, cfg LeakGeneratorConfig, rng Rand) (*LeakGenerator, error) {
+	return leak.NewGenerator(n, cfg, rng)
+}
+
+// IoT sensing.
+type (
+	// Sensor is one IoT device (pressure transducer or flow meter).
+	Sensor = sensor.Sensor
+	// SensorKind distinguishes pressure sensors and flow meters.
+	SensorKind = sensor.Kind
+	// SensorNoise is the Gaussian measurement-noise model.
+	SensorNoise = sensor.Noise
+	// Placer selects sensor locations (k-medoids or random).
+	Placer = sensor.Placer
+)
+
+// Sensor kinds.
+const (
+	PressureSensor = sensor.Pressure
+	FlowSensor     = sensor.Flow
+)
+
+// DefaultSensorNoise matches commodity district-metering instruments.
+var DefaultSensorNoise = sensor.DefaultNoise
+
+// NewPlacer builds a sensor placer from a leak-free baseline simulation.
+func NewPlacer(n *Network, baseline *TimeSeries) (*Placer, error) {
+	return sensor.NewPlacer(n, baseline)
+}
+
+// ReadSensors samples every sensor from a hydraulic snapshot.
+func ReadSensors(sensors []Sensor, res *HydraulicResult, noise SensorNoise, rng Rand) []float64 {
+	return sensor.Read(sensors, res, noise, rng)
+}
+
+// Phase-I data factory and profile.
+type (
+	// DatasetConfig controls training-sample generation.
+	DatasetConfig = dataset.Config
+	// Dataset is a feature/label set.
+	Dataset = dataset.Dataset
+	// DataSample is one training or test example.
+	DataSample = dataset.Sample
+	// Factory generates datasets from leak scenarios.
+	Factory = dataset.Factory
+	// Profile is the trained per-node classifier bank.
+	Profile = core.Profile
+	// ProfileConfig selects the Phase-I technique.
+	ProfileConfig = core.ProfileConfig
+)
+
+// NewFactory prepares a Phase-I data factory.
+func NewFactory(n *Network, sensors []Sensor, cfg DatasetConfig) (*Factory, error) {
+	return dataset.NewFactory(n, sensors, cfg)
+}
+
+// TrainProfile fits a profile model on a dataset (Algorithm 1).
+func TrainProfile(ds *Dataset, nodeCount int, cfg ProfileConfig) (*Profile, error) {
+	return core.TrainProfile(ds, nodeCount, cfg)
+}
+
+// LoadProfile reads a profile previously written by Profile.Save, so
+// online deployments can skip Phase-I retraining.
+func LoadProfile(r io.Reader) (*Profile, error) { return core.LoadProfile(r) }
+
+// ClassifierNames lists the registered plug-and-play techniques.
+func ClassifierNames() []string { return mlearn.Names() }
+
+// HammingScore is the paper's evaluation metric (Jaccard of leak sets).
+func HammingScore(pred, truth []int) float64 { return mlearn.HammingScore(pred, truth) }
+
+// The AquaSCALE system (two-phase workflow).
+type (
+	// System is a trained AquaSCALE instance.
+	System = core.System
+	// SystemConfig wires a System.
+	SystemConfig = core.SystemConfig
+	// Sources toggles the Phase-II information sources.
+	Sources = core.Sources
+	// Observation is one live Phase-II input.
+	Observation = core.Observation
+	// ObserveOptions controls observation simulation.
+	ObserveOptions = core.ObserveOptions
+	// ColdScenario is a freeze-driven multi-failure scenario.
+	ColdScenario = core.ColdScenario
+	// EvalResult summarizes an evaluation run.
+	EvalResult = core.EvalResult
+)
+
+// NewSystem builds an untrained AquaSCALE system.
+func NewSystem(factory *Factory, n *Network, cfg SystemConfig) *System {
+	return core.NewSystem(factory, n, cfg)
+}
+
+// Phase-II fusion.
+type (
+	// FusionConfig parameterizes Phase-II inference.
+	FusionConfig = fusion.Config
+	// FusionEngine runs Phase-II inference.
+	FusionEngine = fusion.Engine
+	// Prediction is the per-node leak belief.
+	Prediction = fusion.Prediction
+)
+
+// NewFusionEngine creates a Phase-II fusion engine.
+func NewFusionEngine(cfg FusionConfig) *FusionEngine { return fusion.NewEngine(cfg) }
+
+// Weather modeling.
+type (
+	// WeatherSeries is a sampled ambient-temperature record.
+	WeatherSeries = weather.Series
+	// WeatherSeriesConfig configures temperature synthesis.
+	WeatherSeriesConfig = weather.SeriesConfig
+	// FreezeModel holds p(freeze) and p(leak|freeze).
+	FreezeModel = weather.FreezeModel
+	// BreakRateModel is the Fig-3 temperature/break-rate relationship.
+	BreakRateModel = weather.BreakRateModel
+)
+
+// FreezeThresholdF is the paper's freezing-risk temperature (°F).
+const FreezeThresholdF = weather.FreezeThresholdF
+
+// DefaultFreezeModel uses the paper's 0.8/0.9 parameters.
+var DefaultFreezeModel = weather.DefaultFreezeModel
+
+// GenerateWeatherSeries synthesizes an ambient temperature series.
+func GenerateWeatherSeries(cfg WeatherSeriesConfig, rng Rand) (*WeatherSeries, error) {
+	return weather.GenerateSeries(cfg, rng)
+}
+
+// Markov regime-switching weather (the paper's stated future work).
+type (
+	// WeatherRegime is a hidden weather state (Mild or ColdSnap).
+	WeatherRegime = weather.Regime
+	// MarkovWeatherConfig parameterizes regime-switching weather.
+	MarkovWeatherConfig = weather.MarkovConfig
+	// MarkovWeatherSeries is a temperature series with its regime path.
+	MarkovWeatherSeries = weather.MarkovSeries
+)
+
+// Weather regimes.
+const (
+	MildWeather     = weather.Mild
+	ColdSnapWeather = weather.ColdSnap
+)
+
+// GenerateMarkovWeather synthesizes a regime-switching temperature series
+// with persistent cold snaps.
+func GenerateMarkovWeather(cfg MarkovWeatherConfig, rng Rand) (*MarkovWeatherSeries, error) {
+	return weather.GenerateMarkovSeries(cfg, rng)
+}
+
+// Human input (social sensing).
+type (
+	// Report is one leak-related social media post.
+	Report = social.Report
+	// SocialConfig parameterizes the report stream (λ, p_e, scatter).
+	SocialConfig = social.Config
+	// Clique is a tweet-derived subzone c = {v : |l_c − l_v| < γ}.
+	Clique = social.Clique
+	// ReportGenerator draws synthetic report streams.
+	ReportGenerator = social.Generator
+)
+
+// NewReportGenerator builds a tweet-stream generator for a network.
+func NewReportGenerator(n *Network, cfg SocialConfig, rng Rand) (*ReportGenerator, error) {
+	return social.NewGenerator(n, cfg, rng)
+}
+
+// BuildCliques groups reports into node cliques with eq.-3 confidence.
+func BuildCliques(n *Network, reports []Report, gammaM, pe float64) []Clique {
+	return social.BuildCliques(n, reports, gammaM, pe)
+}
+
+// TweetConfidence is eq. 3: p_t = 1 − p_e^k.
+func TweetConfidence(pe float64, k int) float64 { return social.Confidence(pe, k) }
+
+// FuseOdds combines probability assessments by Bayesian odds aggregation
+// (eqs. 5–6).
+func FuseOdds(probs ...float64) float64 { return stats.FuseOdds(probs...) }
+
+// Flood modeling (cascading impact).
+type (
+	// DEM is a raster digital elevation model.
+	DEM = flood.DEM
+	// FloodSource is a point inflow (a surfacing leak).
+	FloodSource = flood.Source
+	// FloodConfig configures the shallow-water run.
+	FloodConfig = flood.SimConfig
+	// FloodResult holds the inundation output.
+	FloodResult = flood.Result
+)
+
+// DEMFromNetwork interpolates a DEM from node elevations.
+func DEMFromNetwork(n *Network, cellSize float64, marginCells int) (*DEM, error) {
+	return flood.FromNetwork(n, cellSize, marginCells)
+}
+
+// SimulateFlood runs the local-inertial shallow-water model.
+func SimulateFlood(dem *DEM, sources []FloodSource, cfg FloodConfig) (*FloodResult, error) {
+	return flood.Simulate(dem, sources, cfg)
+}
+
+// Leak-onset detection (estimating e.t, which the paper assumes known).
+type (
+	// CUSUMConfig tunes one sensor's change detector.
+	CUSUMConfig = detect.CUSUMConfig
+	// CUSUM is a two-sided change detector with an adaptive baseline.
+	CUSUM = detect.CUSUM
+	// OnsetConfig tunes network-level onset detection.
+	OnsetConfig = detect.OnsetConfig
+	// Onset is a detected network change.
+	Onset = detect.Onset
+)
+
+// NewCUSUM creates a per-sensor change detector.
+func NewCUSUM(cfg CUSUMConfig) *CUSUM { return detect.NewCUSUM(cfg) }
+
+// DetectOnset scans residual readings (readings[slot][sensor], observed
+// minus expected) for the first slot at which the alarm quorum is reached.
+func DetectOnset(readings [][]float64, cfg OnsetConfig) (Onset, bool, error) {
+	return detect.DetectOnset(readings, cfg)
+}
+
+// Experiment harness.
+type (
+	// ExperimentScale sets experiment sizes (CI-sized vs paper-sized).
+	ExperimentScale = bench.Scale
+	// ExperimentFigure is a reproduced paper figure.
+	ExperimentFigure = bench.Figure
+)
+
+// Experiments maps experiment ids (fig2 … fig11, ablations) to runners.
+func Experiments() map[string]func(ExperimentScale) (*ExperimentFigure, error) {
+	out := make(map[string]func(ExperimentScale) (*ExperimentFigure, error))
+	for id, run := range bench.Experiments() {
+		out[id] = run
+	}
+	return out
+}
+
+// ExperimentIDs lists experiment ids in presentation order.
+func ExperimentIDs() []string { return bench.ExperimentIDs() }
+
+// Rand is the random source used across the API.
+type Rand = *rand.Rand

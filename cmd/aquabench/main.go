@@ -1,0 +1,97 @@
+// Command aquabench regenerates the paper's evaluation figures. Every
+// table and figure of the evaluation section has an experiment id; run one
+// with -run <id> or all of them with -run all. Experiment sizes default to
+// a CI-friendly scale; -train/-test raise them toward the paper's
+// 20000/2000.
+//
+// Examples:
+//
+//	aquabench -list
+//	aquabench -run fig6
+//	aquabench -run all -train 2000 -test 200 -out results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/aquascale/aquascale"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "aquabench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		list      = flag.Bool("list", false, "list experiment ids and exit")
+		runID     = flag.String("run", "", "experiment id to run, or 'all'")
+		train     = flag.Int("train", 0, "training scenarios (0 = default 600; paper 20000)")
+		test      = flag.Int("test", 0, "test scenarios (0 = default 60; paper 2000)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		technique = flag.String("technique", "hybrid-rsl", "profile classifier for fusion experiments")
+		outPath   = flag.String("out", "", "also write results to this file")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range aquascale.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return nil
+	}
+	if *runID == "" {
+		return fmt.Errorf("nothing to do: pass -run <id> or -list")
+	}
+
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+
+	scale := aquascale.ExperimentScale{
+		TrainSamples:  *train,
+		TestScenarios: *test,
+		Seed:          *seed,
+		Technique:     *technique,
+	}
+	experiments := aquascale.Experiments()
+
+	var ids []string
+	if *runID == "all" {
+		ids = aquascale.ExperimentIDs()
+	} else {
+		for _, id := range strings.Split(*runID, ",") {
+			id = strings.TrimSpace(id)
+			if _, ok := experiments[id]; !ok {
+				return fmt.Errorf("unknown experiment %q (try -list)", id)
+			}
+			ids = append(ids, id)
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		fig, err := experiments[id](scale)
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", id, err)
+		}
+		if err := fig.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

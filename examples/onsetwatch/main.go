@@ -1,0 +1,98 @@
+// Onsetwatch: noticing that something broke, before asking where.
+//
+// The paper assumes the leak's starting slot e.t is known and focuses on
+// localization. This example closes that loop: a CUSUM change detector per
+// sensor watches the live telemetry residuals (observed minus the expected
+// diurnal profile) and raises a network alarm within a slot or two of a
+// burst — the e.t that Phase II then consumes. It also shows the detector
+// staying quiet through an uneventful day.
+//
+// Run with: go run ./examples/onsetwatch
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"github.com/aquascale/aquascale"
+)
+
+func main() {
+	net := aquascale.BuildEPANet()
+	const step = 15 * time.Minute
+
+	// The utility's model of a normal day: a leak-free EPS run.
+	clean, err := aquascale.RunEPS(net, aquascale.EPSOptions{
+		Duration: 24 * time.Hour,
+		Step:     step,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	placer, err := aquascale.NewPlacer(net, clean)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sensors, err := placer.KMedoids(40, rand.New(rand.NewSource(2)))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	residuals := func(emitters []aquascale.ScheduledEmitter, seed int64) [][]float64 {
+		ts, err := aquascale.RunEPS(net, aquascale.EPSOptions{
+			Duration: 24 * time.Hour,
+			Step:     step,
+		}, emitters)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		out := make([][]float64, ts.Steps())
+		for k := 0; k < ts.Steps(); k++ {
+			observed := aquascale.ReadSensors(sensors,
+				&aquascale.HydraulicResult{Pressure: ts.Pressure[k], Flow: ts.Flow[k]},
+				aquascale.DefaultSensorNoise, rng)
+			expected := aquascale.ReadSensors(sensors,
+				&aquascale.HydraulicResult{Pressure: clean.Pressure[k], Flow: clean.Flow[k]},
+				aquascale.SensorNoise{}, nil)
+			row := make([]float64, len(observed))
+			for i := range row {
+				row[i] = observed[i] - expected[i]
+			}
+			out[k] = row
+		}
+		return out
+	}
+
+	// Day 1: quiet.
+	fmt.Println("day 1: no failures")
+	if _, found, err := aquascale.DetectOnset(residuals(nil, 7), aquascale.OnsetConfig{}); err != nil {
+		log.Fatal(err)
+	} else if found {
+		fmt.Println("  false alarm! (should not happen)")
+	} else {
+		fmt.Println("  96 slots of telemetry, zero alarms")
+	}
+
+	// Day 2: a main bursts at 09:30.
+	burstAt := 9*time.Hour + 30*time.Minute
+	j45, _ := net.NodeIndex("J45")
+	fmt.Printf("\nday 2: main bursts at %v (slot %d)\n", burstAt, int(burstAt/step))
+	onset, found, err := aquascale.DetectOnset(
+		residuals([]aquascale.ScheduledEmitter{{Node: j45, Coeff: 2e-3, Start: burstAt}}, 8),
+		aquascale.OnsetConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !found {
+		log.Fatal("burst went undetected")
+	}
+	alarmTime := time.Duration(onset.Slot) * step
+	fmt.Printf("  network alarm at %v (slot %d), %d sensors alarmed\n",
+		alarmTime, onset.Slot, onset.AlarmedSensors)
+	fmt.Printf("  detection delay: %v\n", alarmTime-burstAt+step/2)
+	fmt.Println("\nthe alarm slot is the e.t that Phase II localization consumes;")
+	fmt.Println("compare hours-to-days for customer-complaint-driven detection")
+}

@@ -1,0 +1,3 @@
+module github.com/aquascale/aquascale
+
+go 1.22

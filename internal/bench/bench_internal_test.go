@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyScale keeps training-backed experiments fast enough for unit tests.
+var tinyScale = Scale{TrainSamples: 80, TestScenarios: 10, Seed: 1, Technique: "svm"}
+
+func renderOK(t *testing.T, fig *Figure) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, fig.ID) {
+		t.Fatalf("render misses figure id:\n%s", out)
+	}
+	return out
+}
+
+func TestFig2PressureDistance(t *testing.T) {
+	fig, err := Fig2PressureDistance(tinyScale)
+	if err != nil {
+		t.Fatalf("Fig2: %v", err)
+	}
+	if len(fig.Series) != 3 {
+		t.Fatalf("series = %d, want 3", len(fig.Series))
+	}
+	// The single-failure curve must start high and decay: the first ring
+	// around e1 sees more total change than the last.
+	single := fig.Series[0].Points
+	if len(single) < 3 {
+		t.Fatalf("too few rings: %d", len(single))
+	}
+	if single[0].Y <= single[len(single)-1].Y {
+		t.Fatalf("single-failure signature does not decay: first=%v last=%v",
+			single[0].Y, single[len(single)-1].Y)
+	}
+	renderOK(t, fig)
+}
+
+func TestFig3BreaksVsTemperature(t *testing.T) {
+	fig, err := Fig3BreaksVsTemperature(tinyScale)
+	if err != nil {
+		t.Fatalf("Fig3: %v", err)
+	}
+	if len(fig.Series) != 2 {
+		t.Fatalf("series = %d, want 2", len(fig.Series))
+	}
+	temp, breaks := fig.Series[0].Points, fig.Series[1].Points
+	if len(temp) != 60 || len(breaks) != 60 {
+		t.Fatalf("months = %d/%d, want 60", len(temp), len(breaks))
+	}
+	// Anti-correlation: coldest month has more breaks than warmest.
+	minT, maxT := 0, 0
+	for i := range temp {
+		if temp[i].Y < temp[minT].Y {
+			minT = i
+		}
+		if temp[i].Y > temp[maxT].Y {
+			maxT = i
+		}
+	}
+	if breaks[minT].Y <= breaks[maxT].Y {
+		t.Fatalf("cold month breaks (%v) not above warm month breaks (%v)",
+			breaks[minT].Y, breaks[maxT].Y)
+	}
+	renderOK(t, fig)
+}
+
+func TestFig11Flood(t *testing.T) {
+	fig, err := Fig11Flood(tinyScale)
+	if err != nil {
+		t.Fatalf("Fig11: %v", err)
+	}
+	if len(fig.Tables) == 0 {
+		t.Fatal("no summary table")
+	}
+	out := renderOK(t, fig)
+	if !strings.Contains(out, "flooded area") {
+		t.Fatalf("missing inundation stats:\n%s", out)
+	}
+	// The depth map must contain some flooded cells.
+	if !strings.ContainsAny(out, ".:*#") {
+		t.Fatal("depth map is empty")
+	}
+}
+
+func TestAblationEmitterExponent(t *testing.T) {
+	fig, err := AblationEmitterExponent(tinyScale)
+	if err != nil {
+		t.Fatalf("ablation-beta: %v", err)
+	}
+	if len(fig.Tables) != 1 || len(fig.Tables[0].Rows) != 3 {
+		t.Fatalf("unexpected table shape: %+v", fig.Tables)
+	}
+	renderOK(t, fig)
+}
+
+func TestFig6TinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training-backed experiment")
+	}
+	fig, err := Fig6MLComparison(tinyScale)
+	if err != nil {
+		t.Fatalf("Fig6: %v", err)
+	}
+	if len(fig.Series) != len(fig6Techniques) {
+		t.Fatalf("series = %d, want %d", len(fig.Series), len(fig6Techniques))
+	}
+	for _, s := range fig.Series {
+		if len(s.Points) != 2 {
+			t.Fatalf("series %q has %d points, want 2", s.Name, len(s.Points))
+		}
+		for _, p := range s.Points {
+			if p.Y < 0 || p.Y > 1 {
+				t.Fatalf("series %q score %v outside [0,1]", s.Name, p.Y)
+			}
+		}
+	}
+	renderOK(t, fig)
+}
+
+func TestExperimentRegistry(t *testing.T) {
+	exps := Experiments()
+	for _, id := range ExperimentIDs() {
+		if _, ok := exps[id]; !ok {
+			t.Fatalf("experiment %q missing from registry", id)
+		}
+	}
+	if len(exps) != len(ExperimentIDs()) {
+		t.Fatalf("registry has %d entries, ids list %d", len(exps), len(ExperimentIDs()))
+	}
+}
+
+func TestRenderTableAlignment(t *testing.T) {
+	var buf bytes.Buffer
+	err := renderTable(&buf, Table{
+		Title:   "t",
+		Columns: []string{"a", "long-column"},
+		Rows:    [][]string{{"first-cell", "x"}},
+	})
+	if err != nil {
+		t.Fatalf("renderTable: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), buf.String())
+	}
+}
+
+func TestScaleDefaults(t *testing.T) {
+	s := Scale{}.withDefaults()
+	if s.TrainSamples != 600 || s.TestScenarios != 60 || s.Technique != "hybrid-rsl" || s.Seed != 1 {
+		t.Fatalf("defaults = %+v", s)
+	}
+}

@@ -1,0 +1,86 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// fig8Percents and fig8Slots form the surface grid of Fig 8 (the paper
+// sweeps IoT percentage against elapsed 15-minute slots).
+var (
+	fig8Percents = []float64{10, 40, 70, 100}
+	fig8Slots    = []int{1, 2, 4, 6, 8}
+)
+
+// wsscMultiLeak is the WSSC cold-weather multi-failure family.
+var wsscMultiLeak = leak.GeneratorConfig{MinEvents: 1, MaxEvents: 5}
+
+// Fig8WSSCSurface reproduces Fig. 8: the Hamming-score surface over IoT
+// deployment percentage × elapsed time slots on WSSC-SUBNET cold-weather
+// multi-failures — (a) IoT data only, (b) IoT + temperature + human
+// reports, (c) the increment.
+func Fig8WSSCSurface(scale Scale) (*Figure, error) {
+	scale = scale.withDefaults()
+	tb, err := newTestbed(network.BuildWSSCSubnet)
+	if err != nil {
+		return nil, err
+	}
+	fig := &Figure{
+		ID:    "fig8",
+		Title: "Hamming surface: IoT % x elapsed slots (WSSC-SUBNET, cold multi-failures)",
+	}
+
+	cols := []string{"IoT %"}
+	for _, n := range fig8Slots {
+		cols = append(cols, fmt.Sprintf("n=%d", n))
+	}
+	iotTable := Table{Title: "(a) IoT only", Columns: cols}
+	allTable := Table{Title: "(b) IoT + temp + human", Columns: cols}
+	incTable := Table{Title: "(c) increment (b - a)", Columns: cols}
+
+	for _, pct := range fig8Percents {
+		sensors, err := tb.sensorsAtPercent(pct, scale.Seed+3)
+		if err != nil {
+			return nil, err
+		}
+		sys, err := tb.trainedSystem(sensors, wsscMultiLeak, scale)
+		if err != nil {
+			return nil, fmt.Errorf("bench: fig8 at %.0f%%: %w", pct, err)
+		}
+		iotRow := []string{fmt.Sprintf("%.0f", pct)}
+		allRow := []string{fmt.Sprintf("%.0f", pct)}
+		incRow := []string{fmt.Sprintf("%.0f", pct)}
+		for _, n := range fig8Slots {
+			iot, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+				core.ObserveOptions{ElapsedSlots: n},
+				rand.New(rand.NewSource(scale.Seed+int64(1000+n))))
+			if err != nil {
+				return nil, err
+			}
+			all, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+				core.ObserveOptions{
+					Sources:      core.Sources{Weather: true, Human: true},
+					ElapsedSlots: n,
+				},
+				rand.New(rand.NewSource(scale.Seed+int64(1000+n))))
+			if err != nil {
+				return nil, err
+			}
+			iotRow = append(iotRow, fmt.Sprintf("%.3f", iot.MeanHamming))
+			allRow = append(allRow, fmt.Sprintf("%.3f", all.MeanHamming))
+			incRow = append(incRow, fmt.Sprintf("%+.3f", all.MeanHamming-iot.MeanHamming))
+		}
+		iotTable.Rows = append(iotTable.Rows, iotRow)
+		allTable.Rows = append(allTable.Rows, allRow)
+		incTable.Rows = append(incTable.Rows, incRow)
+	}
+	fig.Tables = append(fig.Tables, iotTable, allTable, incTable)
+	fig.Notes = append(fig.Notes,
+		"paper: fused sources keep the score high even with limited IoT; the increment grows as IoT coverage shrinks",
+	)
+	return fig, nil
+}

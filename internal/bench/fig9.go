@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// fig9Gammas sweeps the tweet coarseness γ in meters (the paper's 30 m up
+// to kilometer-scale coarseness).
+var fig9Gammas = []float64{30, 100, 300, 600, 1200, 2000}
+
+// fig9Percent fixes the IoT deployment for the γ sweep.
+const fig9Percent = 40.0
+
+// Fig9Coarseness reproduces Fig. 9: the effect of coarser Twitter data
+// (larger γ) on the Hamming score, with and without temperature data, on
+// WSSC-SUBNET cold-weather multi-failures.
+func Fig9Coarseness(scale Scale) (*Figure, error) {
+	scale = scale.withDefaults()
+	tb, err := newTestbed(network.BuildWSSCSubnet)
+	if err != nil {
+		return nil, err
+	}
+	sensors, err := tb.sensorsAtPercent(fig9Percent, scale.Seed+3)
+	if err != nil {
+		return nil, err
+	}
+	sys, err := tb.trainedSystem(sensors, wsscMultiLeak, scale)
+	if err != nil {
+		return nil, fmt.Errorf("bench: fig9: %w", err)
+	}
+
+	fig := &Figure{
+		ID:     "fig9",
+		Title:  fmt.Sprintf("Effect of twitter-data coarseness gamma (WSSC-SUBNET, %.0f%% IoT)", fig9Percent),
+		XLabel: "gamma (m)",
+		YLabel: "Hamming score",
+	}
+
+	iotOnly, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+		core.ObserveOptions{ElapsedSlots: 4},
+		rand.New(rand.NewSource(scale.Seed+101)))
+	if err != nil {
+		return nil, err
+	}
+
+	var base, human, humanTemp Series
+	base.Name = "IoT only"
+	human.Name = "IoT + human"
+	humanTemp.Name = "IoT + human + temp"
+	for _, gamma := range fig9Gammas {
+		h, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+			core.ObserveOptions{
+				Sources:      core.Sources{Human: true},
+				ElapsedSlots: 4,
+				GammaM:       gamma,
+			},
+			rand.New(rand.NewSource(scale.Seed+101)))
+		if err != nil {
+			return nil, err
+		}
+		ht, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+			core.ObserveOptions{
+				Sources:      core.Sources{Weather: true, Human: true},
+				ElapsedSlots: 4,
+				GammaM:       gamma,
+			},
+			rand.New(rand.NewSource(scale.Seed+101)))
+		if err != nil {
+			return nil, err
+		}
+		base.Points = append(base.Points, Point{X: gamma, Y: iotOnly.MeanHamming})
+		human.Points = append(human.Points, Point{X: gamma, Y: h.MeanHamming})
+		humanTemp.Points = append(humanTemp.Points, Point{X: gamma, Y: ht.MeanHamming})
+	}
+	fig.Series = append(fig.Series, base, human, humanTemp)
+	fig.Notes = append(fig.Notes,
+		"paper: human input loses efficacy as gamma coarsens; adding temperature compensates and keeps the score higher",
+	)
+	return fig, nil
+}

@@ -1,0 +1,106 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/mlearn"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+)
+
+// testbed bundles a network with its sensor placer (built from a leak-free
+// baseline EPS run, as sensor placement requires).
+type testbed struct {
+	net    *network.Network
+	placer *sensor.Placer
+}
+
+func newTestbed(build func() *network.Network) (*testbed, error) {
+	net := build()
+	baseline, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{
+		Duration: 6 * time.Hour,
+		Step:     time.Hour,
+	}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline EPS for %s: %w", net.Name, err)
+	}
+	placer, err := sensor.NewPlacer(net, baseline)
+	if err != nil {
+		return nil, err
+	}
+	return &testbed{net: net, placer: placer}, nil
+}
+
+// sensorsAtPercent places k-medoids sensors at the given IoT deployment
+// percentage.
+func (tb *testbed) sensorsAtPercent(pct float64, seed int64) ([]sensor.Sensor, error) {
+	count := tb.placer.CountForPercent(pct)
+	return tb.placer.KMedoids(count, rand.New(rand.NewSource(seed)))
+}
+
+// factoryFor builds a data factory over the given sensors.
+func (tb *testbed) factoryFor(sensors []sensor.Sensor, leakCfg leak.GeneratorConfig) (*dataset.Factory, error) {
+	return dataset.NewFactory(tb.net, sensors, dataset.Config{
+		Noise: sensor.DefaultNoise,
+		Leaks: leakCfg,
+	})
+}
+
+// trainedSystem wires and trains a full AquaSCALE system.
+func (tb *testbed) trainedSystem(sensors []sensor.Sensor, leakCfg leak.GeneratorConfig, scale Scale) (*core.System, error) {
+	factory, err := tb.factoryFor(sensors, leakCfg)
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(factory, tb.net, core.SystemConfig{})
+	err = sys.Train(scale.TrainSamples,
+		core.ProfileConfig{Technique: scale.Technique, Seed: scale.Seed + 77},
+		rand.New(rand.NewSource(scale.Seed+11)))
+	if err != nil {
+		return nil, err
+	}
+	return sys, nil
+}
+
+// evalProfile measures the profile-only (IoT data only, no fusion) mean
+// Hamming score over fresh plain scenarios — the Fig 6/7 setting.
+func evalProfile(factory *dataset.Factory, profile *core.Profile, net *network.Network,
+	leakCfg leak.GeneratorConfig, count int, rng *rand.Rand) (float64, error) {
+	gen, err := leak.NewGenerator(net, leakCfg, rng)
+	if err != nil {
+		return 0, err
+	}
+	var preds, truths [][]int
+	for i := 0; i < count; i++ {
+		sc := gen.Next()
+		sample, err := factory.FromScenario(sc, rng)
+		if err != nil {
+			return 0, err
+		}
+		pred, err := profile.Predict(sample.Features)
+		if err != nil {
+			return 0, err
+		}
+		preds = append(preds, pred)
+		truths = append(truths, sc.Labels(len(net.Nodes)))
+	}
+	return mlearn.MeanHammingScore(preds, truths), nil
+}
+
+// trainProfileOnly trains just a Phase-I profile for one technique over a
+// pre-generated dataset (so Fig 6 can reuse one dataset across techniques).
+func trainProfileOnly(ds *dataset.Dataset, nodeCount int, technique string, seed int64) (*core.Profile, error) {
+	return core.TrainProfile(ds, nodeCount, core.ProfileConfig{Technique: technique, Seed: seed})
+}
+
+// epanetSingleLeak is the Fig 6/7a scenario family.
+var epanetSingleLeak = leak.GeneratorConfig{MinEvents: 1, MaxEvents: 1}
+
+// epanetMultiLeak is the paper's U(1,5) concurrent-failure family.
+var epanetMultiLeak = leak.GeneratorConfig{MinEvents: 1, MaxEvents: 5}

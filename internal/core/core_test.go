@@ -1,0 +1,264 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+	"github.com/aquascale/aquascale/internal/social"
+)
+
+// syntheticDataset fabricates a trivially learnable dataset: feature j is
+// the (negated) indicator of a leak at junction column j.
+func syntheticDataset(junctions []int, samples int, rng *rand.Rand) *dataset.Dataset {
+	ds := &dataset.Dataset{Junctions: junctions}
+	for i := 0; i < samples; i++ {
+		labels := make([]int, len(junctions))
+		labels[rng.Intn(len(junctions))] = 1
+		features := make([]float64, len(junctions))
+		for j, v := range labels {
+			features[j] = -float64(v)*2 + rng.NormFloat64()*0.1
+		}
+		ds.Samples = append(ds.Samples, dataset.Sample{Features: features, Labels: labels})
+	}
+	return ds
+}
+
+func TestTrainProfileAndPredict(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	junctions := []int{2, 3, 5, 7} // node indices in a 9-node network
+	ds := syntheticDataset(junctions, 200, rng)
+	p, err := TrainProfile(ds, 9, ProfileConfig{Technique: "gb", Seed: 3})
+	if err != nil {
+		t.Fatalf("TrainProfile: %v", err)
+	}
+	if p.Technique() != "gb" {
+		t.Fatalf("technique = %q", p.Technique())
+	}
+	// A leak signature at column 2 (node 5).
+	features := []float64{0, 0, -2, 0}
+	proba, err := p.PredictProba(features)
+	if err != nil {
+		t.Fatalf("PredictProba: %v", err)
+	}
+	if len(proba) != 9 {
+		t.Fatalf("proba length = %d, want 9", len(proba))
+	}
+	if proba[5] < 0.5 {
+		t.Fatalf("node 5 proba = %v, want > 0.5", proba[5])
+	}
+	for _, v := range []int{0, 1, 4, 6, 8} {
+		if proba[v] != 0 {
+			t.Fatalf("non-junction node %d proba = %v, want 0", v, proba[v])
+		}
+	}
+	pred, err := p.Predict(features)
+	if err != nil {
+		t.Fatalf("Predict: %v", err)
+	}
+	if pred[5] != 1 {
+		t.Fatalf("pred = %v, want node 5 flagged", pred)
+	}
+}
+
+func TestTrainProfileValidation(t *testing.T) {
+	empty := &dataset.Dataset{Junctions: []int{0}}
+	if _, err := TrainProfile(empty, 2, ProfileConfig{}); err == nil {
+		t.Fatal("empty dataset should error")
+	}
+	ds := syntheticDataset([]int{0, 1}, 10, rand.New(rand.NewSource(1)))
+	if _, err := TrainProfile(ds, 2, ProfileConfig{Technique: "nope"}); err == nil {
+		t.Fatal("unknown technique should error")
+	}
+	if _, err := TrainProfile(ds, 1, ProfileConfig{Technique: "linear"}); err == nil {
+		t.Fatal("junction outside node count should error")
+	}
+	noJunctions := &dataset.Dataset{Samples: ds.Samples}
+	if _, err := TrainProfile(noJunctions, 2, ProfileConfig{Technique: "linear"}); err == nil {
+		t.Fatal("dataset without junctions should error")
+	}
+}
+
+// buildSystem wires a small trained system on EPA-NET for end-to-end tests.
+func buildSystem(t *testing.T, technique string, trainSamples int) *System {
+	t.Helper()
+	net := network.BuildEPANet()
+	base, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
+	if err != nil {
+		t.Fatalf("baseline EPS: %v", err)
+	}
+	placer, err := sensor.NewPlacer(net, base)
+	if err != nil {
+		t.Fatalf("NewPlacer: %v", err)
+	}
+	sensors, err := placer.KMedoids(60, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("KMedoids: %v", err)
+	}
+	factory, err := dataset.NewFactory(net, sensors, dataset.Config{
+		Noise: sensor.DefaultNoise,
+		Leaks: leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	sys := NewSystem(factory, net, SystemConfig{})
+	if err := sys.Train(trainSamples, ProfileConfig{Technique: technique, Seed: 5}, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return sys
+}
+
+func TestSystemEndToEndIoTOnly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end training is slow")
+	}
+	sys := buildSystem(t, "gb", 400)
+	res, err := sys.Evaluate(40,
+		leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2},
+		ObserveOptions{Sources: Sources{}},
+		rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatalf("Evaluate: %v", err)
+	}
+	if res.Scenarios != 40 {
+		t.Fatalf("scenarios = %d", res.Scenarios)
+	}
+	// A 91-junction network with 1-2 leaks: random guessing scores ~0.02.
+	// Even a small profile should be an order of magnitude better.
+	if res.MeanHamming < 0.12 {
+		t.Fatalf("IoT-only Hamming = %v, want ≥ 0.12", res.MeanHamming)
+	}
+	if res.HumanAdded != 0 {
+		t.Fatalf("human added %d nodes with human source disabled", res.HumanAdded)
+	}
+}
+
+func TestSystemSourcesImproveScore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end training is slow")
+	}
+	sys := buildSystem(t, "gb", 400)
+	leakCfg := leak.GeneratorConfig{MinEvents: 2, MaxEvents: 4}
+	iot, err := sys.Evaluate(50, leakCfg, ObserveOptions{}, rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatalf("Evaluate(IoT): %v", err)
+	}
+	all, err := sys.Evaluate(50, leakCfg,
+		ObserveOptions{Sources: Sources{Weather: true, Human: true}, ElapsedSlots: 4, GammaM: 60},
+		rand.New(rand.NewSource(21)))
+	if err != nil {
+		t.Fatalf("Evaluate(all): %v", err)
+	}
+	if all.MeanHamming <= iot.MeanHamming {
+		t.Fatalf("fusing sources did not help: IoT=%v, all=%v", iot.MeanHamming, all.MeanHamming)
+	}
+	if all.HumanAdded == 0 {
+		t.Fatal("human input never fired")
+	}
+}
+
+func TestGenerateColdScenario(t *testing.T) {
+	net := network.BuildEPANet()
+	factory := testFactory(t, net)
+	sys := NewSystem(factory, net, SystemConfig{})
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		sc, err := sys.GenerateColdScenario(leak.GeneratorConfig{MinEvents: 1, MaxEvents: 5}, rng)
+		if err != nil {
+			t.Fatalf("GenerateColdScenario: %v", err)
+		}
+		if len(sc.Events) < 1 || len(sc.Events) > 5 {
+			t.Fatalf("event count = %d", len(sc.Events))
+		}
+		for _, e := range sc.Events {
+			if !sc.Frozen[e.Node] {
+				t.Fatal("cold leak at unfrozen node")
+			}
+			if net.Nodes[e.Node].Type != network.Junction {
+				t.Fatal("leak at non-junction")
+			}
+		}
+	}
+	if _, err := sys.GenerateColdScenario(leak.GeneratorConfig{}, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+	if _, err := sys.GenerateColdScenario(leak.GeneratorConfig{MinEvents: 5, MaxEvents: 1}, rng); err == nil {
+		t.Fatal("invalid bounds should error")
+	}
+}
+
+func testFactory(t *testing.T, net *network.Network) *dataset.Factory {
+	t.Helper()
+	j40, _ := net.NodeIndex("J40")
+	sensors := []sensor.Sensor{{Kind: sensor.Pressure, Index: j40}}
+	f, err := dataset.NewFactory(net, sensors, dataset.Config{})
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	return f
+}
+
+func TestObserveSourceToggles(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := NewSystem(testFactory(t, net), net, SystemConfig{})
+	rng := rand.New(rand.NewSource(9))
+	sc, err := sys.GenerateColdScenario(leak.GeneratorConfig{MinEvents: 2, MaxEvents: 2}, rng)
+	if err != nil {
+		t.Fatalf("GenerateColdScenario: %v", err)
+	}
+
+	obs, err := sys.Observe(sc, ObserveOptions{}, rng)
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	if obs.Frozen != nil || obs.Cliques != nil {
+		t.Fatal("disabled sources leaked into observation")
+	}
+	if len(obs.Features) != 1 {
+		t.Fatalf("features = %d", len(obs.Features))
+	}
+
+	obs, err = sys.Observe(sc, ObserveOptions{
+		Sources:      Sources{Weather: true, Human: true},
+		ElapsedSlots: 8,
+		GammaM:       100,
+	}, rng)
+	if err != nil {
+		t.Fatalf("Observe(all): %v", err)
+	}
+	if obs.Frozen == nil {
+		t.Fatal("weather enabled but no frozen mask")
+	}
+	// With λ=1 over 8 slots, reports (and usually cliques) exist.
+	if len(obs.Cliques) == 0 {
+		t.Fatal("human enabled but no cliques after 8 slots")
+	}
+}
+
+func TestLocalizeRequiresTraining(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := NewSystem(testFactory(t, net), net, SystemConfig{})
+	if _, _, err := sys.Localize(Observation{Features: []float64{0}}); err == nil {
+		t.Fatal("untrained Localize should error")
+	}
+	if _, err := sys.Evaluate(5, leak.GeneratorConfig{}, ObserveOptions{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("untrained Evaluate should error")
+	}
+}
+
+func TestHammingNodes(t *testing.T) {
+	if got := hammingNodes([]int{1, 0, 1}, []int{1, 0, 0}); got != 0.5 {
+		t.Fatalf("hamming = %v, want 0.5", got)
+	}
+	if got := hammingNodes([]int{0, 0}, []int{0, 0}); got != 1 {
+		t.Fatalf("empty = %v, want 1", got)
+	}
+}
+
+var _ = social.Clique{} // keep the import for Observation documentation

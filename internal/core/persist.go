@@ -1,0 +1,71 @@
+package core
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"github.com/aquascale/aquascale/internal/mlearn"
+)
+
+// profileHeader carries the profile metadata alongside the serialized
+// classifier bank.
+type profileHeader struct {
+	Technique string
+	Junctions []int
+	NodeCount int
+}
+
+// Save serializes a trained profile so online deployments can skip
+// Phase-I retraining.
+func (p *Profile) Save(w io.Writer) error {
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(profileHeader{
+		Technique: p.technique,
+		Junctions: p.junctions,
+		NodeCount: p.nodeCount,
+	}); err != nil {
+		return fmt.Errorf("core: encode profile header: %w", err)
+	}
+	return p.model.Save(w)
+}
+
+// LoadProfile reads a profile previously written by Save.
+func LoadProfile(r io.Reader) (*Profile, error) {
+	dec := gob.NewDecoder(r)
+	var h profileHeader
+	if err := dec.Decode(&h); err != nil {
+		return nil, fmt.Errorf("core: decode profile header: %w", err)
+	}
+	if h.NodeCount <= 0 || len(h.Junctions) == 0 {
+		return nil, fmt.Errorf("core: corrupt profile header: %d nodes, %d junctions",
+			h.NodeCount, len(h.Junctions))
+	}
+	model, err := mlearn.LoadMultiOutput(r)
+	if err != nil {
+		return nil, err
+	}
+	if model.Outputs() != len(h.Junctions) {
+		return nil, fmt.Errorf("core: profile has %d outputs but %d junction columns",
+			model.Outputs(), len(h.Junctions))
+	}
+	return &Profile{
+		technique: h.Technique,
+		model:     model,
+		junctions: h.Junctions,
+		nodeCount: h.NodeCount,
+	}, nil
+}
+
+// SetProfile installs a pre-trained (e.g. loaded) profile into the system.
+func (s *System) SetProfile(p *Profile) error {
+	if p == nil {
+		return fmt.Errorf("core: nil profile")
+	}
+	if p.nodeCount != len(s.net.Nodes) {
+		return fmt.Errorf("core: profile covers %d nodes, network has %d",
+			p.nodeCount, len(s.net.Nodes))
+	}
+	s.profile = p
+	return nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+func TestProfileSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	junctions := []int{1, 3, 4}
+	ds := syntheticDataset(junctions, 120, rng)
+	p, err := TrainProfile(ds, 6, ProfileConfig{Technique: "gb", Seed: 3})
+	if err != nil {
+		t.Fatalf("TrainProfile: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := p.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatalf("LoadProfile: %v", err)
+	}
+	if loaded.Technique() != "gb" {
+		t.Fatalf("technique = %q", loaded.Technique())
+	}
+	probe := []float64{-2, 0.1, 0}
+	want, err := p.PredictProba(probe)
+	if err != nil {
+		t.Fatalf("PredictProba: %v", err)
+	}
+	got, err := loaded.PredictProba(probe)
+	if err != nil {
+		t.Fatalf("loaded PredictProba: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("length drift: %d vs %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("node %d drift: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestLoadProfileCorrupt(t *testing.T) {
+	if _, err := LoadProfile(bytes.NewReader([]byte("not a profile"))); err == nil {
+		t.Fatal("garbage input should error")
+	}
+}
+
+func TestSetProfile(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := NewSystem(testFactory(t, net), net, SystemConfig{})
+	if err := sys.SetProfile(nil); err == nil {
+		t.Fatal("nil profile should error")
+	}
+	// Profile for a different node count must be rejected.
+	rng := rand.New(rand.NewSource(2))
+	ds := syntheticDataset([]int{0, 1}, 50, rng)
+	small, err := TrainProfile(ds, 2, ProfileConfig{Technique: "linear"})
+	if err != nil {
+		t.Fatalf("TrainProfile: %v", err)
+	}
+	if err := sys.SetProfile(small); err == nil {
+		t.Fatal("node-count mismatch should error")
+	}
+	// A matching profile installs and serves Localize.
+	junctions := net.JunctionIndices()[:4]
+	ds2 := syntheticDataset(junctions, 60, rng)
+	full, err := TrainProfile(ds2, len(net.Nodes), ProfileConfig{Technique: "linear"})
+	if err != nil {
+		t.Fatalf("TrainProfile: %v", err)
+	}
+	if err := sys.SetProfile(full); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	if sys.Profile() != full {
+		t.Fatal("profile not installed")
+	}
+	if _, _, err := sys.Localize(Observation{Features: []float64{0, 0, 0, 0}}); err != nil {
+		t.Fatalf("Localize with installed profile: %v", err)
+	}
+}

@@ -1,0 +1,107 @@
+// Package core is the AquaSCALE engine: it wires the hydraulic substrate,
+// the IoT/weather/human information sources and the plug-and-play analytic
+// suite into the paper's two-phase workflow — offline profile training
+// (Phase I, Algorithm 1) and online multi-source leak localization
+// (Phase II, Algorithm 2).
+package core
+
+import (
+	"fmt"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/mlearn"
+)
+
+// ProfileConfig selects the Phase-I learning technique.
+type ProfileConfig struct {
+	// Technique is a classifier name from the mlearn registry
+	// ("linear", "logistic", "gb", "rf", "svm", "hybrid-rsl").
+	// Empty means "hybrid-rsl", the paper's best performer.
+	Technique string
+
+	// Seed drives all stochastic training.
+	Seed int64
+}
+
+// Profile is the paper's offline profile model f = {f_v : v ∈ V}: one
+// binary classifier per junction, predicting leak probability from IoT
+// reading deltas.
+type Profile struct {
+	technique string
+	model     *mlearn.MultiOutput
+	junctions []int // label column → node index
+	nodeCount int
+}
+
+// TrainProfile fits the profile on a Phase-I dataset (Algorithm 1).
+// nodeCount is the network's |V|; predictions are indexed by node with
+// zero probability at fixed-grade nodes (they cannot leak).
+func TrainProfile(ds *dataset.Dataset, nodeCount int, cfg ProfileConfig) (*Profile, error) {
+	if cfg.Technique == "" {
+		cfg.Technique = "hybrid-rsl"
+	}
+	if len(ds.Samples) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	if len(ds.Junctions) == 0 {
+		return nil, fmt.Errorf("core: dataset has no junction columns")
+	}
+	for _, nodeIdx := range ds.Junctions {
+		if nodeIdx < 0 || nodeIdx >= nodeCount {
+			return nil, fmt.Errorf("core: junction node %d outside node count %d", nodeIdx, nodeCount)
+		}
+	}
+	factory := func(seed int64) mlearn.Classifier {
+		c, err := mlearn.NewByName(cfg.Technique, seed)
+		if err != nil {
+			// Unreachable: the name is validated below before training.
+			panic(err)
+		}
+		return c
+	}
+	if _, err := mlearn.NewByName(cfg.Technique, 0); err != nil {
+		return nil, err
+	}
+	mo := mlearn.NewMultiOutput(factory, cfg.Seed)
+	if err := mo.Fit(ds.X(), ds.Y()); err != nil {
+		return nil, fmt.Errorf("core: profile training: %w", err)
+	}
+	return &Profile{
+		technique: cfg.Technique,
+		model:     mo,
+		junctions: append([]int(nil), ds.Junctions...),
+		nodeCount: nodeCount,
+	}, nil
+}
+
+// Technique returns the classifier name the profile was trained with.
+func (p *Profile) Technique() string { return p.technique }
+
+// PredictProba returns per-node leak probabilities P = {p_v(1)} for one
+// observation's features. Fixed-grade nodes get probability 0.
+func (p *Profile) PredictProba(features []float64) ([]float64, error) {
+	cols, err := p.model.PredictProba(features)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, p.nodeCount)
+	for col, nodeIdx := range p.junctions {
+		out[nodeIdx] = cols[col]
+	}
+	return out, nil
+}
+
+// Predict returns the per-node leak set S (0/1 per node).
+func (p *Profile) Predict(features []float64) ([]int, error) {
+	proba, err := p.PredictProba(features)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(proba))
+	for v, pv := range proba {
+		if pv > 0.5 {
+			out[v] = 1
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,184 @@
+// Package detect estimates the leak onset time e.t from raw IoT streams.
+//
+// The paper assumes the starting time slot of a failure is known and
+// focuses on locating e.l; a deployed system must first notice that
+// *something* happened. This package implements the standard change-point
+// machinery for that: a two-sided CUSUM detector per sensor over
+// standardized residuals from an exponentially-weighted baseline, and a
+// quorum rule across sensors that turns per-sensor alarms into a network
+// alarm with an onset estimate. The output slot is what Phase II uses as
+// e.t.
+package detect
+
+import (
+	"fmt"
+	"math"
+)
+
+// CUSUMConfig tunes one sensor's change detector.
+type CUSUMConfig struct {
+	// Drift is the CUSUM slack k in standard deviations — changes smaller
+	// than this are ignored. Zero means 0.5.
+	Drift float64
+
+	// Threshold is the alarm level h in standard deviations. Zero means 8
+	// (high: a pipe burst shifts readings by tens of σ, so sensitivity is
+	// cheap and false alarms are the real cost).
+	Threshold float64
+
+	// BaselineAlpha is the EWMA weight for the adaptive baseline.
+	// Zero means 0.05 (slow drift tracking).
+	BaselineAlpha float64
+
+	// WarmupSamples estimate the residual scale before alarms may fire.
+	// Zero means 16.
+	WarmupSamples int
+}
+
+func (c CUSUMConfig) withDefaults() CUSUMConfig {
+	if c.Drift <= 0 {
+		c.Drift = 0.5
+	}
+	if c.Threshold <= 0 {
+		c.Threshold = 8
+	}
+	if c.BaselineAlpha <= 0 {
+		c.BaselineAlpha = 0.05
+	}
+	if c.WarmupSamples <= 0 {
+		c.WarmupSamples = 16
+	}
+	return c
+}
+
+// CUSUM is a two-sided cumulative-sum change detector with an adaptive
+// EWMA baseline and online scale estimation.
+type CUSUM struct {
+	cfg      CUSUMConfig
+	n        int
+	baseline float64
+	scale    float64 // mean absolute residual (robust-ish σ proxy)
+	posSum   float64
+	negSum   float64
+	alarmed  bool
+}
+
+// NewCUSUM creates a detector.
+func NewCUSUM(cfg CUSUMConfig) *CUSUM {
+	return &CUSUM{cfg: cfg.withDefaults()}
+}
+
+// Update consumes one reading and reports whether the detector is in the
+// alarmed state. Once alarmed it stays alarmed until Reset.
+func (c *CUSUM) Update(v float64) bool {
+	if c.alarmed {
+		return true
+	}
+	c.n++
+	if c.n == 1 {
+		c.baseline = v
+		return false
+	}
+	residual := v - c.baseline
+	absR := math.Abs(residual)
+
+	if c.n <= c.cfg.WarmupSamples {
+		// Warmup: learn the noise scale, keep the baseline current.
+		c.scale += (absR - c.scale) / float64(c.n-1)
+		c.baseline += c.cfg.BaselineAlpha * residual
+		return false
+	}
+	scale := c.scale
+	if scale < 1e-12 {
+		scale = 1e-12
+	}
+	z := residual / (scale * 1.2533) // E|X| = σ·√(2/π) for Gaussian noise
+	c.posSum = math.Max(0, c.posSum+z-c.cfg.Drift)
+	c.negSum = math.Max(0, c.negSum-z-c.cfg.Drift)
+	if c.posSum > c.cfg.Threshold || c.negSum > c.cfg.Threshold {
+		c.alarmed = true
+		return true
+	}
+	// Only adapt the baseline (and scale) while quiescent, so a slow leak
+	// is not absorbed into the baseline.
+	c.baseline += c.cfg.BaselineAlpha * residual
+	c.scale += c.cfg.BaselineAlpha * (absR - c.scale)
+	return false
+}
+
+// Alarmed reports the sticky alarm state.
+func (c *CUSUM) Alarmed() bool { return c.alarmed }
+
+// Reset clears the alarm and statistics.
+func (c *CUSUM) Reset() {
+	*c = CUSUM{cfg: c.cfg}
+}
+
+// OnsetConfig tunes network-level onset detection.
+type OnsetConfig struct {
+	// Sensor is the per-sensor CUSUM configuration.
+	Sensor CUSUMConfig
+
+	// Quorum is the number of sensors that must alarm before the network
+	// alarm fires. Zero means max(2, 5% of sensors).
+	Quorum int
+}
+
+// Onset is a detected network change.
+type Onset struct {
+	// Slot is the reading index at which the quorum was reached.
+	Slot int
+
+	// FirstAlarmSlot is the earliest individual sensor alarm.
+	FirstAlarmSlot int
+
+	// AlarmedSensors counts sensors alarmed at Slot.
+	AlarmedSensors int
+}
+
+// DetectOnset scans a reading matrix (readings[slot][sensor]) and returns
+// the first slot at which the alarm quorum is reached.
+func DetectOnset(readings [][]float64, cfg OnsetConfig) (Onset, bool, error) {
+	if len(readings) == 0 || len(readings[0]) == 0 {
+		return Onset{}, false, fmt.Errorf("detect: empty reading matrix")
+	}
+	sensors := len(readings[0])
+	quorum := cfg.Quorum
+	if quorum <= 0 {
+		quorum = sensors / 20
+		if quorum < 2 {
+			quorum = 2
+		}
+	}
+	if quorum > sensors {
+		quorum = sensors
+	}
+	dets := make([]*CUSUM, sensors)
+	for i := range dets {
+		dets[i] = NewCUSUM(cfg.Sensor)
+	}
+	firstAlarm := -1
+	for slot, row := range readings {
+		if len(row) != sensors {
+			return Onset{}, false, fmt.Errorf("detect: ragged readings at slot %d", slot)
+		}
+		alarmed := 0
+		for i, v := range row {
+			wasAlarmed := dets[i].Alarmed()
+			if dets[i].Update(v) {
+				alarmed++
+				if !wasAlarmed && firstAlarm < 0 {
+					firstAlarm = slot
+				}
+			}
+		}
+		if alarmed >= quorum {
+			return Onset{
+				Slot:           slot,
+				FirstAlarmSlot: firstAlarm,
+				AlarmedSensors: alarmed,
+			}, true, nil
+		}
+	}
+	return Onset{}, false, nil
+}

@@ -1,0 +1,158 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// stream builds a noisy series with a level shift at changeAt.
+func stream(rng *rand.Rand, n, changeAt int, base, shift, noise float64) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		v := base
+		if changeAt >= 0 && i >= changeAt {
+			v += shift
+		}
+		out[i] = v + rng.NormFloat64()*noise
+	}
+	return out
+}
+
+func TestCUSUMDetectsShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c := NewCUSUM(CUSUMConfig{})
+	series := stream(rng, 60, 30, 40, -1.5, 0.05)
+	alarmAt := -1
+	for i, v := range series {
+		if c.Update(v) {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 30 {
+		t.Fatalf("alarm before the change: %d", alarmAt)
+	}
+	if alarmAt > 36 {
+		t.Fatalf("alarm too late: slot %d for change at 30", alarmAt)
+	}
+	if !c.Alarmed() {
+		t.Fatal("alarm state not sticky")
+	}
+	// Alarm stays on regardless of further input.
+	if !c.Update(40) {
+		t.Fatal("alarm cleared by new data")
+	}
+	c.Reset()
+	if c.Alarmed() {
+		t.Fatal("Reset did not clear the alarm")
+	}
+}
+
+func TestCUSUMNoFalseAlarmOnNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		c := NewCUSUM(CUSUMConfig{})
+		series := stream(rng, 200, -1, 40, 0, 0.05)
+		for i, v := range series {
+			if c.Update(v) {
+				t.Fatalf("trial %d: false alarm at slot %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestCUSUMTracksSlowDrift(t *testing.T) {
+	// A gentle seasonal drift (well below the drift slack) must not alarm.
+	rng := rand.New(rand.NewSource(3))
+	c := NewCUSUM(CUSUMConfig{})
+	for i := 0; i < 300; i++ {
+		v := 40 + float64(i)*0.0004 + rng.NormFloat64()*0.05
+		if c.Update(v) {
+			t.Fatalf("alarm on slow drift at slot %d", i)
+		}
+	}
+}
+
+func TestCUSUMDetectsPositiveShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	c := NewCUSUM(CUSUMConfig{})
+	series := stream(rng, 60, 25, 10, +0.8, 0.05)
+	alarmAt := -1
+	for i, v := range series {
+		if c.Update(v) {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 25 || alarmAt > 31 {
+		t.Fatalf("positive shift alarm at %d, want 25-31", alarmAt)
+	}
+}
+
+func TestDetectOnsetQuorum(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const sensors = 20
+	const changeAt = 40
+	readings := make([][]float64, 80)
+	// Half the sensors see the change; half do not.
+	cols := make([][]float64, sensors)
+	for s := 0; s < sensors; s++ {
+		at := -1
+		if s < sensors/2 {
+			at = changeAt
+		}
+		cols[s] = stream(rng, len(readings), at, 30+float64(s), -1.0, 0.05)
+	}
+	for k := range readings {
+		row := make([]float64, sensors)
+		for s := 0; s < sensors; s++ {
+			row[s] = cols[s][k]
+		}
+		readings[k] = row
+	}
+	onset, found, err := DetectOnset(readings, OnsetConfig{Quorum: 5})
+	if err != nil {
+		t.Fatalf("DetectOnset: %v", err)
+	}
+	if !found {
+		t.Fatal("onset not detected")
+	}
+	if onset.Slot < changeAt || onset.Slot > changeAt+6 {
+		t.Fatalf("onset slot %d, want near %d", onset.Slot, changeAt)
+	}
+	if onset.FirstAlarmSlot > onset.Slot {
+		t.Fatalf("first alarm %d after quorum slot %d", onset.FirstAlarmSlot, onset.Slot)
+	}
+	if onset.AlarmedSensors < 5 {
+		t.Fatalf("alarmed sensors = %d", onset.AlarmedSensors)
+	}
+}
+
+func TestDetectOnsetNoChange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	readings := make([][]float64, 100)
+	for k := range readings {
+		row := make([]float64, 10)
+		for s := range row {
+			row[s] = 25 + rng.NormFloat64()*0.05
+		}
+		readings[k] = row
+	}
+	_, found, err := DetectOnset(readings, OnsetConfig{})
+	if err != nil {
+		t.Fatalf("DetectOnset: %v", err)
+	}
+	if found {
+		t.Fatal("phantom onset on pure noise")
+	}
+}
+
+func TestDetectOnsetValidation(t *testing.T) {
+	if _, _, err := DetectOnset(nil, OnsetConfig{}); err == nil {
+		t.Fatal("empty matrix should error")
+	}
+	bad := [][]float64{{1, 2}, {1}}
+	if _, _, err := DetectOnset(bad, OnsetConfig{}); err == nil {
+		t.Fatal("ragged matrix should error")
+	}
+}

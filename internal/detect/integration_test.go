@@ -1,0 +1,85 @@
+package detect
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+)
+
+// TestDetectOnsetFromHydraulics drives the detector with real simulated
+// IoT streams. Utilities detrend telemetry against the expected diurnal
+// profile (the demand pattern steps hourly, which would otherwise swamp
+// any change detector), so the detector consumes residuals: observed
+// noisy readings minus the leak-free expectation at the same instant. A
+// burst day must be flagged within a slot or two of onset; a leak-free
+// day must stay quiet.
+func TestDetectOnsetFromHydraulics(t *testing.T) {
+	net := network.BuildEPANet()
+	const step = 15 * time.Minute
+	leakNode, _ := net.NodeIndex("J45")
+	leakStart := 6 * time.Hour
+	leakSlot := int(leakStart / step)
+
+	run := func(emitters []hydraulic.ScheduledEmitter) [][]float64 {
+		t.Helper()
+		clean, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{
+			Duration: 12 * time.Hour,
+			Step:     step,
+		}, nil)
+		if err != nil {
+			t.Fatalf("RunEPS(clean): %v", err)
+		}
+		ts, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{
+			Duration: 12 * time.Hour,
+			Step:     step,
+		}, emitters)
+		if err != nil {
+			t.Fatalf("RunEPS: %v", err)
+		}
+		// Sample 40 sensors with realistic noise; emit residuals against
+		// the noise-free expected profile.
+		placer, err := sensor.NewPlacer(net, clean)
+		if err != nil {
+			t.Fatalf("NewPlacer: %v", err)
+		}
+		sensors, err := placer.KMedoids(40, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("KMedoids: %v", err)
+		}
+		noiseRng := rand.New(rand.NewSource(3))
+		readings := make([][]float64, ts.Steps())
+		for k := 0; k < ts.Steps(); k++ {
+			res := &hydraulic.Result{Pressure: ts.Pressure[k], Flow: ts.Flow[k]}
+			expectedRes := &hydraulic.Result{Pressure: clean.Pressure[k], Flow: clean.Flow[k]}
+			observed := sensor.Read(sensors, res, sensor.DefaultNoise, noiseRng)
+			expected := sensor.Read(sensors, expectedRes, sensor.Noise{}, nil)
+			readings[k] = sensor.Delta(expected, observed)
+		}
+		return readings
+	}
+
+	// Burst day: detect near the true onset.
+	withLeak := run([]hydraulic.ScheduledEmitter{{Node: leakNode, Coeff: 2e-3, Start: leakStart}})
+	onset, found, err := DetectOnset(withLeak, OnsetConfig{})
+	if err != nil {
+		t.Fatalf("DetectOnset: %v", err)
+	}
+	if !found {
+		t.Fatal("burst not detected")
+	}
+	if onset.Slot < leakSlot || onset.Slot > leakSlot+2 {
+		t.Fatalf("onset detected at slot %d, true onset %d", onset.Slot, leakSlot)
+	}
+
+	// Quiet day: the diurnal demand cycle alone must not alarm.
+	clean := run(nil)
+	if _, found, err := DetectOnset(clean, OnsetConfig{}); err != nil {
+		t.Fatalf("DetectOnset(clean): %v", err)
+	} else if found {
+		t.Fatal("false network alarm on a leak-free day")
+	}
+}

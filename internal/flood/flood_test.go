@@ -1,0 +1,226 @@
+package flood
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+func flatDEM(t *testing.T, w, h int, elev float64) *DEM {
+	t.Helper()
+	dem, err := NewDEM(w, h, 10, 0, 0)
+	if err != nil {
+		t.Fatalf("NewDEM: %v", err)
+	}
+	for i := range dem.Elev {
+		dem.Elev[i] = elev
+	}
+	return dem
+}
+
+func TestNewDEMValidation(t *testing.T) {
+	if _, err := NewDEM(0, 5, 10, 0, 0); err == nil {
+		t.Fatal("zero width should error")
+	}
+	if _, err := NewDEM(5, 5, 0, 0, 0); err == nil {
+		t.Fatal("zero cell size should error")
+	}
+}
+
+func TestDEMCellMapping(t *testing.T) {
+	dem := flatDEM(t, 10, 8, 0)
+	ix, iy, ok := dem.CellOf(52, 31)
+	if !ok || ix != 5 || iy != 3 {
+		t.Fatalf("CellOf = %d,%d,%v", ix, iy, ok)
+	}
+	if _, _, ok := dem.CellOf(-100, 0); ok {
+		t.Fatal("out-of-grid coordinates should not map")
+	}
+	x, y := dem.CellCenter(5, 3)
+	if x != 50 || y != 30 {
+		t.Fatalf("CellCenter = %v,%v", x, y)
+	}
+	dem.Set(2, 1, 42)
+	if dem.At(2, 1) != 42 {
+		t.Fatal("Set/At failed")
+	}
+}
+
+func TestFromNetworkDEM(t *testing.T) {
+	net := network.BuildWSSCSubnet()
+	dem, err := FromNetwork(net, 100, 2)
+	if err != nil {
+		t.Fatalf("FromNetwork: %v", err)
+	}
+	if dem.Width < 10 || dem.Height < 10 {
+		t.Fatalf("DEM too small: %dx%d", dem.Width, dem.Height)
+	}
+	// Interpolated elevations must stay within the node elevation range.
+	minE, maxE := math.Inf(1), math.Inf(-1)
+	for i := range net.Nodes {
+		minE = math.Min(minE, net.Nodes[i].Elevation)
+		maxE = math.Max(maxE, net.Nodes[i].Elevation)
+	}
+	for _, e := range dem.Elev {
+		if e < minE-1e-9 || e > maxE+1e-9 {
+			t.Fatalf("DEM elevation %v outside node range [%v, %v]", e, minE, maxE)
+		}
+	}
+	// The DEM should reflect the terrain gradient: near the hilltop
+	// source it must be higher than at the far corner.
+	src := net.Nodes[0]
+	six, siy, ok := dem.CellOf(src.X, src.Y)
+	if !ok {
+		t.Fatal("source outside DEM")
+	}
+	if dem.At(six, siy) < dem.At(dem.Width-1, dem.Height-1) {
+		t.Fatal("DEM lost the terrain gradient")
+	}
+
+	if _, err := FromNetwork(network.New("x"), 100, 2); err == nil {
+		t.Fatal("empty network should error")
+	}
+	if _, err := FromNetwork(net, -1, 2); err == nil {
+		t.Fatal("bad cell size should error")
+	}
+}
+
+func TestSimulateMassConservation(t *testing.T) {
+	dem := flatDEM(t, 20, 20, 5)
+	res, err := Simulate(dem, []Source{
+		{X: 100, Y: 100, Rate: ConstantRate(0.05)},
+	}, SimConfig{Duration: 10 * time.Minute})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	wantVol := 0.05 * 600
+	if math.Abs(res.InflowVolume-wantVol) > 0.01*wantVol {
+		t.Fatalf("inflow volume = %v, want ~%v", res.InflowVolume, wantVol)
+	}
+	stored := res.StoredVolume(dem)
+	if math.Abs(stored-res.InflowVolume) > 0.01*res.InflowVolume {
+		t.Fatalf("stored %v != inflow %v (mass not conserved)", stored, res.InflowVolume)
+	}
+	if res.Steps <= 0 {
+		t.Fatal("no steps taken")
+	}
+}
+
+func TestSimulateSpreadsFromSource(t *testing.T) {
+	dem := flatDEM(t, 21, 21, 0)
+	res, err := Simulate(dem, []Source{
+		{X: 100, Y: 100, Rate: ConstantRate(0.1)},
+	}, SimConfig{Duration: 20 * time.Minute})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	center := res.MaxDepthAt(dem, 100, 100)
+	ring := res.MaxDepthAt(dem, 130, 100)
+	far := res.MaxDepthAt(dem, 200, 200)
+	if center <= 0 {
+		t.Fatal("no water at source")
+	}
+	if ring <= 0 {
+		t.Fatal("water did not spread to adjacent cells")
+	}
+	if center < ring {
+		t.Fatalf("depth at source (%v) below ring (%v)", center, ring)
+	}
+	if far > center {
+		t.Fatalf("corner depth %v exceeds source depth %v", far, center)
+	}
+}
+
+func TestSimulateFlowsDownhill(t *testing.T) {
+	// A sloped plane: water released mid-slope must pool downhill.
+	dem := flatDEM(t, 30, 5, 0)
+	for iy := 0; iy < 5; iy++ {
+		for ix := 0; ix < 30; ix++ {
+			dem.Set(ix, iy, float64(30-ix)*0.5) // falls to the east
+		}
+	}
+	res, err := Simulate(dem, []Source{
+		{X: 50, Y: 20, Rate: ConstantRate(0.05)},
+	}, SimConfig{Duration: 30 * time.Minute})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	uphill := res.MaxDepthAt(dem, 10, 20)
+	downhill := res.MaxDepthAt(dem, 250, 20)
+	if downhill <= uphill {
+		t.Fatalf("water did not flow downhill: up=%v down=%v", uphill, downhill)
+	}
+}
+
+func TestSimulateFillsDepression(t *testing.T) {
+	// A bowl: water must stay inside it.
+	dem := flatDEM(t, 15, 15, 10)
+	for iy := 5; iy < 10; iy++ {
+		for ix := 5; ix < 10; ix++ {
+			dem.Set(ix, iy, 5)
+		}
+	}
+	res, err := Simulate(dem, []Source{
+		{X: 70, Y: 70, Rate: ConstantRate(0.02)},
+	}, SimConfig{Duration: 15 * time.Minute})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	inside := res.MaxDepthAt(dem, 70, 70)
+	outside := res.MaxDepthAt(dem, 20, 20)
+	if inside <= 0 {
+		t.Fatal("bowl is dry")
+	}
+	if outside > 1e-6 {
+		t.Fatalf("water escaped the bowl: %v", outside)
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	dem := flatDEM(t, 5, 5, 0)
+	if _, err := Simulate(dem, []Source{{X: 1e6, Y: 0, Rate: ConstantRate(1)}}, SimConfig{}); err == nil {
+		t.Fatal("out-of-grid source should error")
+	}
+	if _, err := Simulate(dem, []Source{{X: 0, Y: 0}}, SimConfig{}); err == nil {
+		t.Fatal("nil rate should error")
+	}
+}
+
+func TestFloodedArea(t *testing.T) {
+	dem := flatDEM(t, 10, 10, 0)
+	res, err := Simulate(dem, []Source{
+		{X: 50, Y: 50, Rate: ConstantRate(0.05)},
+	}, SimConfig{Duration: 10 * time.Minute})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	all := res.FloodedArea(dem, 0)
+	deep := res.FloodedArea(dem, 0.05)
+	if all <= 0 {
+		t.Fatal("nothing flooded")
+	}
+	if deep > all {
+		t.Fatal("deeper threshold covers more area")
+	}
+}
+
+func TestTimeVaryingSource(t *testing.T) {
+	dem := flatDEM(t, 10, 10, 0)
+	// Source shuts off halfway.
+	rate := func(t time.Duration) float64 {
+		if t < 5*time.Minute {
+			return 0.1
+		}
+		return 0
+	}
+	res, err := Simulate(dem, []Source{{X: 50, Y: 50, Rate: rate}}, SimConfig{Duration: 10 * time.Minute})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	want := 0.1 * 300
+	if math.Abs(res.InflowVolume-want) > 0.05*want {
+		t.Fatalf("inflow = %v, want ~%v", res.InflowVolume, want)
+	}
+}

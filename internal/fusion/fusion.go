@@ -1,0 +1,192 @@
+// Package fusion implements Phase II of the paper's composite leak
+// identification algorithm (Sec. IV-B, Algorithm 2): starting from the
+// profile model's per-node leak probabilities, it fuses freeze evidence by
+// Bayesian odds aggregation (eqs. 5–6) and enforces consistency with
+// human-report cliques through the entropy-based energy function with
+// higher-order potentials (eqs. 7–10).
+package fusion
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/aquascale/aquascale/internal/social"
+	"github.com/aquascale/aquascale/internal/stats"
+	"github.com/aquascale/aquascale/internal/weather"
+)
+
+// Prediction is the evolving per-node leak belief: P in the paper.
+type Prediction struct {
+	// Proba[v] is p_v(1), the probability node v leaks.
+	Proba []float64
+}
+
+// NewPrediction wraps profile-model probabilities (copied).
+func NewPrediction(proba []float64) *Prediction {
+	p := &Prediction{Proba: make([]float64, len(proba))}
+	copy(p.Proba, proba)
+	return p
+}
+
+// Set returns S = {v : p_v(1) > p_v(0)}: the nodes predicted to leak.
+func (p *Prediction) Set() []int {
+	out := make([]int, len(p.Proba))
+	for v, pv := range p.Proba {
+		if pv > 0.5 {
+			out[v] = 1
+		}
+	}
+	return out
+}
+
+// LeakNodes returns the indices in S.
+func (p *Prediction) LeakNodes() []int {
+	var out []int
+	for v, pv := range p.Proba {
+		if pv > 0.5 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Entropy returns H(y_v) (eq. 7) for node v.
+func (p *Prediction) Entropy(v int) float64 {
+	return stats.BinaryEntropy(p.Proba[v])
+}
+
+// TotalEntropy is Σ_v H(y_v) — the first term of the energy (eq. 8).
+func (p *Prediction) TotalEntropy() float64 {
+	total := 0.0
+	for _, pv := range p.Proba {
+		total += stats.BinaryEntropy(pv)
+	}
+	return total
+}
+
+// Potential is Φ_c (eq. 10) for one clique given the current prediction:
+// 0 when some clique node is predicted to leak, 0 when every clique node's
+// entropy is below the threshold Γ (the pipeline-level prediction is
+// determinate enough to override the subzone report), +Inf otherwise.
+func (p *Prediction) Potential(c social.Clique, gammaThreshold float64) float64 {
+	for _, v := range c.Nodes {
+		if p.Proba[v] > 0.5 {
+			return 0
+		}
+	}
+	for _, v := range c.Nodes {
+		if p.Entropy(v) >= gammaThreshold && p.Entropy(v) > 0 {
+			return math.Inf(1)
+		}
+	}
+	return 0
+}
+
+// Energy is E[y] (eq. 9): total entropy plus the clique potentials. An
+// inconsistent clique pushes the energy to +Inf.
+func (p *Prediction) Energy(cliques []social.Clique, gammaThreshold float64) float64 {
+	e := p.TotalEntropy()
+	for _, c := range cliques {
+		e += p.Potential(c, gammaThreshold)
+	}
+	return e
+}
+
+// Config parameterizes Phase-II fusion.
+type Config struct {
+	// EntropyThreshold is Γ in eq. 10: a clique is overridden only when
+	// some member's pipeline-level entropy exceeds it. The paper sets
+	// Γ = 0 to always apply human input.
+	EntropyThreshold float64
+
+	// MinCliqueConfidence gates clique application by eq.-3 confidence:
+	// cliques backed by too few reports (p_t below this) are ignored.
+	// Zero means 0.5 (one report at the paper's p_e = 0.3 suffices).
+	MinCliqueConfidence float64
+
+	// Freeze is the freeze-evidence model.
+	Freeze weather.FreezeModel
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinCliqueConfidence == 0 {
+		c.MinCliqueConfidence = 0.5
+	}
+	if c.Freeze == (weather.FreezeModel{}) {
+		c.Freeze = weather.DefaultFreezeModel
+	}
+	return c
+}
+
+// Engine runs Phase-II inference.
+type Engine struct {
+	cfg Config
+}
+
+// NewEngine creates a fusion engine.
+func NewEngine(cfg Config) *Engine {
+	return &Engine{cfg: cfg.withDefaults()}
+}
+
+// ApplyFreezeEvidence fuses weather evidence into the prediction
+// (Algorithm 2 lines 6–13): for every node flagged frozen, the leak
+// probability is updated by Bayesian odds aggregation with
+// p(leak|freeze). Returns the number of nodes updated.
+func (e *Engine) ApplyFreezeEvidence(p *Prediction, frozen []bool) (int, error) {
+	if len(frozen) != len(p.Proba) {
+		return 0, fmt.Errorf("fusion: frozen mask has %d entries, prediction has %d",
+			len(frozen), len(p.Proba))
+	}
+	updated := 0
+	for v, isFrozen := range frozen {
+		if !isFrozen {
+			continue
+		}
+		p.Proba[v] = e.cfg.Freeze.FuseLeakEvidence(p.Proba[v])
+		updated++
+	}
+	return updated, nil
+}
+
+// ApplyCliques performs event tuning (Algorithm 2 lines 14–26): for every
+// sufficiently confident clique with an infinite potential (no member
+// predicted to leak), the member with the highest entropy is forced to
+// leak (p = 1, H = 0), eliminating the infinite potential and reducing the
+// energy. Returns the indices of nodes forced to leak.
+func (e *Engine) ApplyCliques(p *Prediction, cliques []social.Clique) []int {
+	var added []int
+	for _, c := range cliques {
+		if c.Confidence < e.cfg.MinCliqueConfidence || len(c.Nodes) == 0 {
+			continue
+		}
+		if !math.IsInf(p.Potential(c, e.cfg.EntropyThreshold), 1) {
+			continue
+		}
+		best, bestH := -1, -1.0
+		for _, v := range c.Nodes {
+			if h := p.Entropy(v); h > bestH {
+				best, bestH = v, h
+			}
+		}
+		if best < 0 || bestH <= e.cfg.EntropyThreshold {
+			continue
+		}
+		p.Proba[best] = 1
+		added = append(added, best)
+	}
+	return added
+}
+
+// Infer runs the full Phase-II pipeline on profile-model probabilities:
+// freeze fusion then clique tuning. It returns the refined prediction and
+// the list of nodes added by human input.
+func (e *Engine) Infer(proba []float64, frozen []bool, cliques []social.Clique) (*Prediction, []int, error) {
+	p := NewPrediction(proba)
+	if frozen != nil {
+		if _, err := e.ApplyFreezeEvidence(p, frozen); err != nil {
+			return nil, nil, err
+		}
+	}
+	added := e.ApplyCliques(p, cliques)
+	return p, added, nil
+}

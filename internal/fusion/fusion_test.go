@@ -1,0 +1,193 @@
+package fusion
+
+import (
+	"math"
+	"testing"
+
+	"github.com/aquascale/aquascale/internal/social"
+	"github.com/aquascale/aquascale/internal/stats"
+	"github.com/aquascale/aquascale/internal/weather"
+)
+
+func TestPredictionSet(t *testing.T) {
+	p := NewPrediction([]float64{0.1, 0.9, 0.5, 0.7})
+	set := p.Set()
+	want := []int{0, 1, 0, 1} // 0.5 is not > 0.5
+	for i := range want {
+		if set[i] != want[i] {
+			t.Fatalf("Set = %v, want %v", set, want)
+		}
+	}
+	nodes := p.LeakNodes()
+	if len(nodes) != 2 || nodes[0] != 1 || nodes[1] != 3 {
+		t.Fatalf("LeakNodes = %v", nodes)
+	}
+}
+
+func TestNewPredictionCopies(t *testing.T) {
+	src := []float64{0.2, 0.8}
+	p := NewPrediction(src)
+	p.Proba[0] = 0.99
+	if src[0] != 0.2 {
+		t.Fatal("NewPrediction aliases input")
+	}
+}
+
+func TestEntropyAndEnergy(t *testing.T) {
+	p := NewPrediction([]float64{0.5, 1.0, 0.0})
+	if math.Abs(p.Entropy(0)-math.Ln2) > 1e-12 {
+		t.Fatalf("Entropy(0) = %v", p.Entropy(0))
+	}
+	if p.Entropy(1) != 0 || p.Entropy(2) != 0 {
+		t.Fatal("degenerate entropies should be 0")
+	}
+	if math.Abs(p.TotalEntropy()-math.Ln2) > 1e-12 {
+		t.Fatalf("TotalEntropy = %v", p.TotalEntropy())
+	}
+	// No cliques: energy equals total entropy.
+	if p.Energy(nil, 0) != p.TotalEntropy() {
+		t.Fatal("energy without cliques should equal entropy")
+	}
+}
+
+func TestPotential(t *testing.T) {
+	p := NewPrediction([]float64{0.9, 0.3, 0.3})
+	// Clique containing a predicted-leak node: zero potential.
+	cSat := social.Clique{Nodes: []int{0, 1}}
+	if p.Potential(cSat, 0) != 0 {
+		t.Fatal("satisfied clique should have zero potential")
+	}
+	// Clique with only uncertain non-leak nodes: infinite potential at Γ=0.
+	cBad := social.Clique{Nodes: []int{1, 2}}
+	if !math.IsInf(p.Potential(cBad, 0), 1) {
+		t.Fatal("inconsistent clique should have infinite potential")
+	}
+	// High Γ: determinate-enough predictions suppress the clique.
+	gamma := stats.BinaryEntropy(0.3) + 0.01
+	if p.Potential(cBad, gamma) != 0 {
+		t.Fatal("below-threshold entropies should zero the potential")
+	}
+	// Degenerate probabilities (entropy exactly 0) never trigger Inf.
+	pDet := NewPrediction([]float64{0.0, 0.0})
+	if v := pDet.Potential(social.Clique{Nodes: []int{0, 1}}, 0); v != 0 {
+		t.Fatalf("deterministic non-leak clique potential = %v, want 0", v)
+	}
+}
+
+func TestApplyFreezeEvidence(t *testing.T) {
+	e := NewEngine(Config{})
+	p := NewPrediction([]float64{0.3, 0.3, 0.3})
+	frozen := []bool{true, false, true}
+	n, err := e.ApplyFreezeEvidence(p, frozen)
+	if err != nil {
+		t.Fatalf("ApplyFreezeEvidence: %v", err)
+	}
+	if n != 2 {
+		t.Fatalf("updated = %d, want 2", n)
+	}
+	want := weather.DefaultFreezeModel.FuseLeakEvidence(0.3)
+	if math.Abs(p.Proba[0]-want) > 1e-12 || math.Abs(p.Proba[2]-want) > 1e-12 {
+		t.Fatalf("fused probs = %v, want %v", p.Proba, want)
+	}
+	if p.Proba[1] != 0.3 {
+		t.Fatal("unfrozen node should be untouched")
+	}
+	if _, err := e.ApplyFreezeEvidence(p, []bool{true}); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestApplyCliquesForcesHighestEntropy(t *testing.T) {
+	e := NewEngine(Config{})
+	// Node 1 is most uncertain (0.45 → highest entropy among members).
+	p := NewPrediction([]float64{0.1, 0.45, 0.2})
+	c := social.Clique{Nodes: []int{0, 1, 2}, Confidence: 0.9}
+	added := e.ApplyCliques(p, []social.Clique{c})
+	if len(added) != 1 || added[0] != 1 {
+		t.Fatalf("added = %v, want [1]", added)
+	}
+	if p.Proba[1] != 1 {
+		t.Fatalf("forced node prob = %v, want 1", p.Proba[1])
+	}
+	if p.Entropy(1) != 0 {
+		t.Fatal("forced node entropy should be 0")
+	}
+}
+
+func TestApplyCliquesSkipsSatisfied(t *testing.T) {
+	e := NewEngine(Config{})
+	p := NewPrediction([]float64{0.8, 0.2})
+	c := social.Clique{Nodes: []int{0, 1}, Confidence: 0.9}
+	if added := e.ApplyCliques(p, []social.Clique{c}); added != nil {
+		t.Fatalf("satisfied clique should add nothing, got %v", added)
+	}
+	if p.Proba[0] != 0.8 || p.Proba[1] != 0.2 {
+		t.Fatal("satisfied clique must not mutate the prediction")
+	}
+}
+
+func TestApplyCliquesConfidenceGate(t *testing.T) {
+	e := NewEngine(Config{MinCliqueConfidence: 0.8})
+	p := NewPrediction([]float64{0.2, 0.3})
+	weak := social.Clique{Nodes: []int{0, 1}, Confidence: 0.7}
+	if added := e.ApplyCliques(p, []social.Clique{weak}); added != nil {
+		t.Fatalf("weak clique should be gated, got %v", added)
+	}
+	strong := social.Clique{Nodes: []int{0, 1}, Confidence: 0.95}
+	if added := e.ApplyCliques(p, []social.Clique{strong}); len(added) != 1 {
+		t.Fatalf("strong clique should force a node, got %v", added)
+	}
+}
+
+func TestApplyCliquesReducesEnergy(t *testing.T) {
+	e := NewEngine(Config{})
+	p := NewPrediction([]float64{0.2, 0.4, 0.3, 0.1})
+	cliques := []social.Clique{
+		{Nodes: []int{0, 1}, Confidence: 0.9},
+		{Nodes: []int{2, 3}, Confidence: 0.9},
+	}
+	before := p.Energy(cliques, 0)
+	if !math.IsInf(before, 1) {
+		t.Fatalf("energy before = %v, want +Inf", before)
+	}
+	e.ApplyCliques(p, cliques)
+	after := p.Energy(cliques, 0)
+	if math.IsInf(after, 1) {
+		t.Fatal("energy still infinite after tuning")
+	}
+}
+
+func TestInferPipeline(t *testing.T) {
+	e := NewEngine(Config{})
+	proba := []float64{0.45, 0.2, 0.1}
+	frozen := []bool{true, false, false}
+	cliques := []social.Clique{{Nodes: []int{1, 2}, Confidence: 0.9}}
+	p, added, err := e.Infer(proba, frozen, cliques)
+	if err != nil {
+		t.Fatalf("Infer: %v", err)
+	}
+	// Node 0: freeze evidence lifts 0.45 above 0.5 → predicted.
+	if p.Proba[0] <= 0.5 {
+		t.Fatalf("freeze-fused prob = %v, want > 0.5", p.Proba[0])
+	}
+	// The clique over {1,2} has no predicted leak → forces one.
+	if len(added) != 1 {
+		t.Fatalf("added = %v, want one forced node", added)
+	}
+	set := p.Set()
+	if set[0] != 1 {
+		t.Fatal("node 0 should be in S")
+	}
+	// Original input must be untouched.
+	if proba[0] != 0.45 {
+		t.Fatal("Infer mutated its input")
+	}
+	// Error path: bad frozen mask.
+	if _, _, err := e.Infer(proba, []bool{true}, nil); err == nil {
+		t.Fatal("bad frozen mask should error")
+	}
+	// Nil frozen mask is allowed.
+	if _, _, err := e.Infer(proba, nil, nil); err != nil {
+		t.Fatalf("nil frozen mask: %v", err)
+	}
+}

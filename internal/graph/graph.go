@@ -1,0 +1,205 @@
+// Package graph provides weighted undirected graph utilities for water
+// network analysis: shortest paths (Dijkstra), breadth-first traversal and
+// connectivity checks.
+//
+// Water networks are modeled in the paper as undirected graphs G(V, E)
+// where the distance between adjacent nodes is the length of the connecting
+// pipeline. The Fig-2 analysis (pressure change vs. distance from a leak)
+// and the tweet-clique construction both rely on these primitives.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Edge is a weighted undirected edge between two vertex indices.
+type Edge struct {
+	U, V   int
+	Weight float64
+}
+
+// Graph is a weighted undirected graph over vertices 0..N-1 with an
+// adjacency-list representation.
+type Graph struct {
+	n   int
+	adj [][]halfEdge
+}
+
+type halfEdge struct {
+	to     int
+	weight float64
+}
+
+// New creates a graph with n vertices and no edges.
+func New(n int) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative vertex count %d", n))
+	}
+	return &Graph{n: n, adj: make([][]halfEdge, n)}
+}
+
+// NewFromEdges creates a graph with n vertices and the given edges.
+func NewFromEdges(n int, edges []Edge) (*Graph, error) {
+	g := New(n)
+	for _, e := range edges {
+		if err := g.AddEdge(e.U, e.V, e.Weight); err != nil {
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// AddEdge inserts an undirected edge u—v with the given non-negative weight.
+func (g *Graph) AddEdge(u, v int, weight float64) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if weight < 0 || math.IsNaN(weight) {
+		return fmt.Errorf("graph: invalid edge weight %v for (%d,%d)", weight, u, v)
+	}
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, weight: weight})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, weight: weight})
+	return nil
+}
+
+// Degree returns the number of edges incident to u.
+func (g *Graph) Degree(u int) int { return len(g.adj[u]) }
+
+// Neighbors calls fn for every neighbor of u with the edge weight.
+func (g *Graph) Neighbors(u int, fn func(v int, weight float64)) {
+	for _, he := range g.adj[u] {
+		fn(he.to, he.weight)
+	}
+}
+
+// priority queue for Dijkstra.
+type pqItem struct {
+	vertex int
+	dist   float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int            { return len(q) }
+func (q pq) Less(i, j int) bool  { return q[i].dist < q[j].dist }
+func (q pq) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x interface{}) { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() interface{} {
+	old := *q
+	n := len(old)
+	item := old[n-1]
+	*q = old[:n-1]
+	return item
+}
+
+// ShortestPaths returns the weighted shortest-path distance from src to
+// every vertex. Unreachable vertices get +Inf.
+func (g *Graph) ShortestPaths(src int) []float64 {
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	q := &pq{{vertex: src, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if it.dist > dist[it.vertex] {
+			continue // stale entry
+		}
+		for _, he := range g.adj[it.vertex] {
+			if nd := it.dist + he.weight; nd < dist[he.to] {
+				dist[he.to] = nd
+				heap.Push(q, pqItem{vertex: he.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// ShortestPath returns the shortest-path distance between u and v, or +Inf
+// if v is unreachable from u.
+func (g *Graph) ShortestPath(u, v int) float64 {
+	return g.ShortestPaths(u)[v]
+}
+
+// BFSOrder returns vertices reachable from src in breadth-first order.
+func (g *Graph) BFSOrder(src int) []int {
+	if src < 0 || src >= g.n {
+		return nil
+	}
+	seen := make([]bool, g.n)
+	order := make([]int, 0, g.n)
+	queue := []int{src}
+	seen[src] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, he := range g.adj[u] {
+			if !seen[he.to] {
+				seen[he.to] = true
+				queue = append(queue, he.to)
+			}
+		}
+	}
+	return order
+}
+
+// Components returns the connected-component id of every vertex and the
+// number of components. Ids are assigned in increasing vertex order.
+func (g *Graph) Components() (ids []int, count int) {
+	ids = make([]int, g.n)
+	for i := range ids {
+		ids[i] = -1
+	}
+	for v := 0; v < g.n; v++ {
+		if ids[v] >= 0 {
+			continue
+		}
+		for _, u := range g.BFSOrder(v) {
+			ids[u] = count
+		}
+		count++
+	}
+	return ids, count
+}
+
+// Connected reports whether the graph has exactly one connected component
+// (true for the empty graph with zero or one vertices).
+func (g *Graph) Connected() bool {
+	_, c := g.Components()
+	return c <= 1
+}
+
+// HopDistances returns unweighted (hop-count) distances from src; -1 marks
+// unreachable vertices.
+func (g *Graph) HopDistances(src int) []int {
+	dist := make([]int, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[u] {
+			if dist[he.to] < 0 {
+				dist[he.to] = dist[u] + 1
+				queue = append(queue, he.to)
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,178 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// lineGraph builds 0—1—2—…—(n-1) with unit weights.
+func lineGraph(t *testing.T, n int) *Graph {
+	t.Helper()
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		if err := g.AddEdge(i, i+1, 1); err != nil {
+			t.Fatalf("AddEdge: %v", err)
+		}
+	}
+	return g
+}
+
+func TestAddEdgeValidation(t *testing.T) {
+	g := New(3)
+	if err := g.AddEdge(0, 3, 1); err == nil {
+		t.Fatal("out-of-range edge should error")
+	}
+	if err := g.AddEdge(-1, 0, 1); err == nil {
+		t.Fatal("negative vertex should error")
+	}
+	if err := g.AddEdge(0, 1, -2); err == nil {
+		t.Fatal("negative weight should error")
+	}
+	if err := g.AddEdge(0, 1, math.NaN()); err == nil {
+		t.Fatal("NaN weight should error")
+	}
+}
+
+func TestNewFromEdges(t *testing.T) {
+	g, err := NewFromEdges(3, []Edge{{U: 0, V: 1, Weight: 2}, {U: 1, V: 2, Weight: 3}})
+	if err != nil {
+		t.Fatalf("NewFromEdges: %v", err)
+	}
+	if d := g.ShortestPath(0, 2); d != 5 {
+		t.Fatalf("ShortestPath(0,2) = %v, want 5", d)
+	}
+	if _, err := NewFromEdges(2, []Edge{{U: 0, V: 5, Weight: 1}}); err == nil {
+		t.Fatal("bad edge should propagate error")
+	}
+}
+
+func TestShortestPathsLine(t *testing.T) {
+	g := lineGraph(t, 5)
+	dist := g.ShortestPaths(0)
+	for i, want := range []float64{0, 1, 2, 3, 4} {
+		if dist[i] != want {
+			t.Fatalf("dist[%d] = %v, want %v", i, dist[i], want)
+		}
+	}
+}
+
+func TestShortestPathsPicksCheaperRoute(t *testing.T) {
+	// Triangle with a shortcut: 0-1 (10), 0-2 (1), 2-1 (2).
+	g := New(3)
+	_ = g.AddEdge(0, 1, 10)
+	_ = g.AddEdge(0, 2, 1)
+	_ = g.AddEdge(2, 1, 2)
+	if d := g.ShortestPath(0, 1); d != 3 {
+		t.Fatalf("ShortestPath(0,1) = %v, want 3", d)
+	}
+}
+
+func TestShortestPathsUnreachable(t *testing.T) {
+	g := New(4)
+	_ = g.AddEdge(0, 1, 1)
+	dist := g.ShortestPaths(0)
+	if !math.IsInf(dist[3], 1) {
+		t.Fatalf("dist[3] = %v, want +Inf", dist[3])
+	}
+	// Invalid source yields all-Inf.
+	dist = g.ShortestPaths(-1)
+	for i, d := range dist {
+		if !math.IsInf(d, 1) {
+			t.Fatalf("dist[%d] = %v, want +Inf for invalid src", i, d)
+		}
+	}
+}
+
+func TestBFSOrderAndHops(t *testing.T) {
+	g := lineGraph(t, 4)
+	order := g.BFSOrder(1)
+	if len(order) != 4 || order[0] != 1 {
+		t.Fatalf("BFSOrder = %v", order)
+	}
+	hops := g.HopDistances(1)
+	want := []int{1, 0, 1, 2}
+	for i := range want {
+		if hops[i] != want[i] {
+			t.Fatalf("hops = %v, want %v", hops, want)
+		}
+	}
+	if got := g.BFSOrder(99); got != nil {
+		t.Fatalf("BFSOrder(out of range) = %v, want nil", got)
+	}
+}
+
+func TestComponents(t *testing.T) {
+	g := New(5)
+	_ = g.AddEdge(0, 1, 1)
+	_ = g.AddEdge(3, 4, 1)
+	ids, count := g.Components()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if ids[0] != ids[1] || ids[3] != ids[4] || ids[0] == ids[2] || ids[0] == ids[3] {
+		t.Fatalf("ids = %v", ids)
+	}
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !lineGraph(t, 6).Connected() {
+		t.Fatal("line graph reported disconnected")
+	}
+}
+
+func TestDegreeAndNeighbors(t *testing.T) {
+	g := New(3)
+	_ = g.AddEdge(0, 1, 2.5)
+	_ = g.AddEdge(0, 2, 1.5)
+	if g.Degree(0) != 2 || g.Degree(1) != 1 {
+		t.Fatalf("degrees = %d,%d", g.Degree(0), g.Degree(1))
+	}
+	total := 0.0
+	g.Neighbors(0, func(v int, w float64) { total += w })
+	if total != 4 {
+		t.Fatalf("sum of neighbor weights = %v, want 4", total)
+	}
+}
+
+// Property: on random connected graphs, Dijkstra distances satisfy the
+// triangle inequality over every edge (relaxation fixpoint).
+func TestDijkstraFixpointProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(40)
+		g := New(n)
+		type edge struct {
+			u, v int
+			w    float64
+		}
+		var edges []edge
+		// Random spanning tree plus extra edges.
+		for v := 1; v < n; v++ {
+			u := rng.Intn(v)
+			w := rng.Float64()*9 + 1
+			_ = g.AddEdge(u, v, w)
+			edges = append(edges, edge{u, v, w})
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			w := rng.Float64()*9 + 1
+			_ = g.AddEdge(u, v, w)
+			edges = append(edges, edge{u, v, w})
+		}
+		src := rng.Intn(n)
+		dist := g.ShortestPaths(src)
+		if dist[src] != 0 {
+			t.Fatalf("trial %d: dist[src] = %v", trial, dist[src])
+		}
+		for _, e := range edges {
+			if dist[e.v] > dist[e.u]+e.w+1e-9 || dist[e.u] > dist[e.v]+e.w+1e-9 {
+				t.Fatalf("trial %d: edge (%d,%d,%v) violates fixpoint: %v vs %v",
+					trial, e.u, e.v, e.w, dist[e.u], dist[e.v])
+			}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package hydraulic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// pumpNet: low reservoir → pump → junction with demand.
+func pumpNet(h0, r, n float64) *network.Network {
+	net := network.New("pump")
+	res, _ := net.AddNode(network.Node{ID: "R", Type: network.Reservoir, Elevation: 5})
+	j, _ := net.AddNode(network.Node{ID: "J", Type: network.Junction, Elevation: 0, BaseDemand: 0.02})
+	_, _ = net.AddLink(network.Link{
+		ID: "PU", Type: network.Pump, From: res, To: j,
+		PumpH0: h0, PumpR: r, PumpN: n,
+	})
+	return net
+}
+
+func TestPumpDeliversCurveHead(t *testing.T) {
+	const h0, r, n = 50.0, 1000.0, 2.0
+	net := pumpNet(h0, r, n)
+	s, err := NewSolver(net, Options{Accuracy: 1e-7})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	j, _ := net.NodeIndex("J")
+	pu, _ := net.LinkIndex("PU")
+	q := res.Flow[pu]
+	if math.Abs(q-0.02) > 1e-6 {
+		t.Fatalf("pump flow = %v, want demand 0.02", q)
+	}
+	// Junction head must equal source head plus the pump curve gain.
+	wantHead := 5 + h0 - r*math.Pow(q, n)
+	if math.Abs(res.Head[j]-wantHead) > 0.01 {
+		t.Fatalf("head = %v, want %v", res.Head[j], wantHead)
+	}
+}
+
+func TestPumpBlocksBackflow(t *testing.T) {
+	// A pump into a HIGHER fixed grade would run backward without its
+	// check valve; flow must pin to ~0 instead of going negative.
+	net := network.New("backflow")
+	low, _ := net.AddNode(network.Node{ID: "LOW", Type: network.Reservoir, Elevation: 5})
+	high, _ := net.AddNode(network.Node{ID: "HIGH", Type: network.Reservoir, Elevation: 200})
+	j, _ := net.AddNode(network.Node{ID: "J", Type: network.Junction, Elevation: 0})
+	// Weak pump from low reservoir to J; strong gravity main from high
+	// reservoir to J pushes head at J far above the pump's shutoff.
+	_, _ = net.AddLink(network.Link{
+		ID: "PU", Type: network.Pump, From: low, To: j,
+		PumpH0: 20, PumpR: 1000, PumpN: 2,
+	})
+	_, _ = net.AddLink(network.Link{
+		ID: "G", Type: network.Pipe, From: high, To: j,
+		Length: 100, Diameter: 0.5, Roughness: 120,
+	})
+	s, err := NewSolver(net, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	pu, _ := net.LinkIndex("PU")
+	if res.Flow[pu] < -1e-4 {
+		t.Fatalf("pump runs backward: %v", res.Flow[pu])
+	}
+}
+
+func TestValveMinorLossDropsHead(t *testing.T) {
+	// Two parallel paths R→J: a pipe, and a pipe+valve variant on a second
+	// junction. The valve's minor loss must cost extra head.
+	net := network.New("valve")
+	r, _ := net.AddNode(network.Node{ID: "R", Type: network.Reservoir, Elevation: 50})
+	a, _ := net.AddNode(network.Node{ID: "A", Type: network.Junction, Elevation: 0, BaseDemand: 0.02})
+	b, _ := net.AddNode(network.Node{ID: "B", Type: network.Junction, Elevation: 0, BaseDemand: 0.02})
+	mk := func(id string, from, to int) {
+		_, _ = net.AddLink(network.Link{
+			ID: id, Type: network.Pipe, From: from, To: to,
+			Length: 500, Diameter: 0.2, Roughness: 100,
+		})
+	}
+	mk("PA", r, a)
+	mk("PB", r, b)
+	// Valve in series after B's feed: B gets its demand through the valve.
+	c, _ := net.AddNode(network.Node{ID: "C", Type: network.Junction, Elevation: 0, BaseDemand: 0.02})
+	_, _ = net.AddLink(network.Link{
+		ID: "V", Type: network.Valve, From: b, To: c,
+		Diameter: 0.2, MinorLoss: 10,
+	})
+	s, err := NewSolver(net, Options{Accuracy: 1e-6})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	bIdx, _ := net.NodeIndex("B")
+	cIdx, _ := net.NodeIndex("C")
+	drop := res.Head[bIdx] - res.Head[cIdx]
+	if drop <= 0 {
+		t.Fatalf("valve drop = %v, want positive", drop)
+	}
+	// Analytic: m·Q² with m = 0.0826·K/d⁴.
+	v, _ := net.LinkIndex("V")
+	q := res.Flow[v]
+	want := 8.0 / (9.81 * math.Pi * math.Pi) * 10 / math.Pow(0.2, 4) * q * q
+	if math.Abs(drop-want) > 0.05*want+1e-6 {
+		t.Fatalf("valve drop = %v, want ~%v", drop, want)
+	}
+}
+
+func TestTankDrainsAndFills(t *testing.T) {
+	// A tank above the junction head drains (supplies the network);
+	// a tank below fills.
+	mk := func(tankElev float64) (float64, float64) {
+		net := network.New("tank")
+		r, _ := net.AddNode(network.Node{ID: "R", Type: network.Reservoir, Elevation: 40})
+		j, _ := net.AddNode(network.Node{ID: "J", Type: network.Junction, Elevation: 0, BaseDemand: 0.01})
+		tk, _ := net.AddNode(network.Node{
+			ID: "T", Type: network.Tank, Elevation: tankElev,
+			TankDiameter: 10, InitLevel: 5, MinLevel: 0.2, MaxLevel: 9.8,
+		})
+		_, _ = net.AddLink(network.Link{
+			ID: "P1", Type: network.Pipe, From: r, To: j,
+			Length: 500, Diameter: 0.3, Roughness: 100,
+		})
+		_, _ = net.AddLink(network.Link{
+			ID: "P2", Type: network.Pipe, From: tk, To: j,
+			Length: 200, Diameter: 0.3, Roughness: 100,
+		})
+		ts, err := RunEPS(net, EPSOptions{Duration: 2 * time.Hour, Step: 15 * time.Minute}, nil)
+		if err != nil {
+			t.Fatalf("RunEPS: %v", err)
+		}
+		levels := ts.TankLevel[tk]
+		return levels[0], levels[len(levels)-1]
+	}
+	start, end := mk(60) // grade 65 m, well above the ~40 m junction head
+	if end >= start {
+		t.Fatalf("high tank should drain: %v → %v", start, end)
+	}
+	start, end = mk(20) // grade 25 m, below the junction head
+	if end <= start {
+		t.Fatalf("low tank should fill: %v → %v", start, end)
+	}
+}

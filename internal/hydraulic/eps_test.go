@@ -1,0 +1,123 @@
+package hydraulic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+func TestRunEPSBasics(t *testing.T) {
+	n := network.BuildTestNet()
+	ts, err := RunEPS(n, EPSOptions{Duration: 2 * time.Hour, Step: 15 * time.Minute}, nil)
+	if err != nil {
+		t.Fatalf("RunEPS: %v", err)
+	}
+	wantSteps := 9 // 0..2h inclusive at 15 min
+	if ts.Steps() != wantSteps {
+		t.Fatalf("steps = %d, want %d", ts.Steps(), wantSteps)
+	}
+	if ts.Times[0] != 0 || ts.Times[8] != 2*time.Hour {
+		t.Fatalf("times = %v..%v", ts.Times[0], ts.Times[8])
+	}
+	for k := 0; k < ts.Steps(); k++ {
+		if len(ts.Head[k]) != len(n.Nodes) || len(ts.Flow[k]) != len(n.Links) {
+			t.Fatalf("step %d has wrong snapshot sizes", k)
+		}
+	}
+	if got := ts.StepAt(30 * time.Minute); got != 2 {
+		t.Fatalf("StepAt(30m) = %d, want 2", got)
+	}
+	if got := ts.StepAt(7 * time.Minute); got != -1 {
+		t.Fatalf("StepAt(7m) = %d, want -1", got)
+	}
+}
+
+func TestRunEPSLeakActivation(t *testing.T) {
+	n := network.BuildTestNet()
+	leakNode, _ := n.NodeIndex("J5")
+	start := 30 * time.Minute
+	ts, err := RunEPS(n, EPSOptions{Duration: time.Hour, Step: 15 * time.Minute},
+		[]ScheduledEmitter{{Node: leakNode, Coeff: 0.002, Start: start}})
+	if err != nil {
+		t.Fatalf("RunEPS: %v", err)
+	}
+	for k := range ts.Times {
+		_, leaking := ts.EmitterOutflow[k][leakNode]
+		wantLeaking := ts.Times[k] >= start
+		if leaking != wantLeaking {
+			t.Fatalf("step %d (t=%v): leaking=%v, want %v", k, ts.Times[k], leaking, wantLeaking)
+		}
+	}
+	// Pressure at the leak node must drop when the leak activates.
+	before := ts.Pressure[ts.StepAt(15*time.Minute)][leakNode]
+	after := ts.Pressure[ts.StepAt(30*time.Minute)][leakNode]
+	if after >= before {
+		t.Fatalf("pressure did not drop at activation: %v → %v", before, after)
+	}
+	if ts.TotalLeakVolume(15*time.Minute) <= 0 {
+		t.Fatal("no leak volume recorded")
+	}
+}
+
+func TestRunEPSTankDynamics(t *testing.T) {
+	n := network.BuildEPANet()
+	ts, err := RunEPS(n, EPSOptions{Duration: 6 * time.Hour, Step: 15 * time.Minute}, nil)
+	if err != nil {
+		t.Fatalf("RunEPS: %v", err)
+	}
+	if len(ts.TankLevel) != 3 {
+		t.Fatalf("tank series count = %d, want 3", len(ts.TankLevel))
+	}
+	moved := false
+	for tankIdx, levels := range ts.TankLevel {
+		if len(levels) != ts.Steps() {
+			t.Fatalf("tank %d has %d level samples, want %d", tankIdx, len(levels), ts.Steps())
+		}
+		node := n.Nodes[tankIdx]
+		for k, lvl := range levels {
+			if lvl < node.MinLevel-1e-9 || lvl > node.MaxLevel+1e-9 {
+				t.Fatalf("tank %s level %v outside [%v,%v] at step %d",
+					node.ID, lvl, node.MinLevel, node.MaxLevel, k)
+			}
+		}
+		if math.Abs(levels[len(levels)-1]-levels[0]) > 1e-12 {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("no tank level changed over six hours")
+	}
+}
+
+func TestRunEPSDefaults(t *testing.T) {
+	opts := EPSOptions{}.withDefaults()
+	if opts.Duration != 24*time.Hour || opts.Step != 15*time.Minute {
+		t.Fatalf("defaults = %v/%v", opts.Duration, opts.Step)
+	}
+}
+
+func TestRunEPSInvalidNetwork(t *testing.T) {
+	n := network.New("empty")
+	if _, err := RunEPS(n, EPSOptions{}, nil); err == nil {
+		t.Fatal("invalid network should error")
+	}
+}
+
+func TestRunEPSLeakIsolation(t *testing.T) {
+	n := network.BuildTestNet()
+	leakNode, _ := n.NodeIndex("J5")
+	ts, err := RunEPS(n, EPSOptions{Duration: time.Hour, Step: 15 * time.Minute},
+		[]ScheduledEmitter{{Node: leakNode, Coeff: 0.002, Start: 15 * time.Minute, End: 45 * time.Minute}})
+	if err != nil {
+		t.Fatalf("RunEPS: %v", err)
+	}
+	for k := range ts.Times {
+		_, leaking := ts.EmitterOutflow[k][leakNode]
+		wantLeaking := ts.Times[k] >= 15*time.Minute && ts.Times[k] < 45*time.Minute
+		if leaking != wantLeaking {
+			t.Fatalf("t=%v: leaking=%v, want %v", ts.Times[k], leaking, wantLeaking)
+		}
+	}
+}

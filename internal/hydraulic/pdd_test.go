@@ -1,0 +1,144 @@
+package hydraulic
+
+import (
+	"math"
+	"testing"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// lowHeadNet is a single junction fed from a barely-elevated reservoir, so
+// service pressure is inherently marginal.
+func lowHeadNet(head float64, demand float64) *network.Network {
+	n := network.New("lowhead")
+	r, _ := n.AddNode(network.Node{ID: "R", Type: network.Reservoir, Elevation: head})
+	j, _ := n.AddNode(network.Node{ID: "J", Type: network.Junction, Elevation: 0, BaseDemand: demand})
+	_, _ = n.AddLink(network.Link{
+		ID: "P", Type: network.Pipe, From: r, To: j,
+		Length: 800, Diameter: 0.15, Roughness: 100,
+	})
+	return n
+}
+
+func TestWagnerFunction(t *testing.T) {
+	g, dg := wagner(-5, 0, 20)
+	if g != 0 || dg != 0 {
+		t.Fatalf("below pMin: g=%v dg=%v", g, dg)
+	}
+	g, dg = wagner(30, 0, 20)
+	if g != 1 || dg != 0 {
+		t.Fatalf("above pRef: g=%v dg=%v", g, dg)
+	}
+	g, _ = wagner(5, 0, 20)
+	if math.Abs(g-0.5) > 1e-12 {
+		t.Fatalf("g(5;0,20) = %v, want 0.5", g)
+	}
+	// Monotone in p.
+	prev := -1.0
+	for p := 0.5; p <= 20; p += 0.5 {
+		g, _ := wagner(p, 0, 20)
+		if g < prev {
+			t.Fatalf("wagner not monotone at p=%v", p)
+		}
+		prev = g
+	}
+}
+
+func TestPDDFullPressureDeliversFullDemand(t *testing.T) {
+	n := lowHeadNet(60, 0.005)
+	s, err := NewSolver(n, Options{PressureDriven: true, Accuracy: 1e-6})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	j, _ := n.NodeIndex("J")
+	if math.Abs(res.Demand[j]-0.005) > 1e-8 {
+		t.Fatalf("delivered = %v, want full 0.005", res.Demand[j])
+	}
+}
+
+func TestPDDLowPressureShedsDemand(t *testing.T) {
+	// Source head of 8 m cannot sustain 20 m reference pressure: delivery
+	// must drop below base demand but stay positive.
+	n := lowHeadNet(8, 0.01)
+	s, err := NewSolver(n, Options{PressureDriven: true, Accuracy: 1e-6})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	j, _ := n.NodeIndex("J")
+	if res.Demand[j] >= 0.01 {
+		t.Fatalf("delivered = %v, want below base demand", res.Demand[j])
+	}
+	if res.Demand[j] <= 0 {
+		t.Fatalf("delivered = %v, want positive", res.Demand[j])
+	}
+	// Consistency: delivered demand matches the Wagner fraction of the
+	// solved pressure.
+	g, _ := wagner(res.Pressure[j], 0, 20)
+	if math.Abs(res.Demand[j]-0.01*g) > 1e-6 {
+		t.Fatalf("delivered %v inconsistent with g(p)=%v", res.Demand[j], g)
+	}
+	if mbe := s.MassBalanceError(res); mbe > 1e-5 {
+		t.Fatalf("mass balance error = %v", mbe)
+	}
+	// Demand-driven analysis of the same network reports full (fictional)
+	// delivery with deeply negative pressure.
+	dd, err := NewSolver(n, Options{Accuracy: 1e-6})
+	if err != nil {
+		t.Fatalf("NewSolver(dd): %v", err)
+	}
+	resDD, err := dd.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady(dd): %v", err)
+	}
+	if resDD.Pressure[j] >= res.Pressure[j] {
+		t.Fatalf("demand-driven pressure %v should be below PDD pressure %v",
+			resDD.Pressure[j], res.Pressure[j])
+	}
+}
+
+func TestPDDMultiLeakPressureInteraction(t *testing.T) {
+	// Under PDD, a severe leak sheds neighboring demand instead of driving
+	// pressures arbitrarily negative.
+	n := network.BuildTestNet()
+	pdd, err := NewSolver(n, Options{PressureDriven: true, RefPressure: 30})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	j5, _ := n.NodeIndex("J5")
+	res, err := pdd.SolveSteady(0, []Emitter{{Node: j5, Coeff: 0.15}}, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	totalBase := n.TotalBaseDemand()
+	totalDelivered := 0.0
+	for i := range n.Nodes {
+		totalDelivered += res.Demand[i]
+	}
+	if totalDelivered >= totalBase {
+		t.Fatalf("severe leak should shed demand: delivered %v of %v", totalDelivered, totalBase)
+	}
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == network.Junction && res.Pressure[i] < -1 {
+			t.Fatalf("PDD pressure %v at node %d implausibly negative", res.Pressure[i], i)
+		}
+	}
+}
+
+func TestPDDDefaults(t *testing.T) {
+	o := Options{PressureDriven: true}.withDefaults()
+	if o.MinPressure != 0 || o.RefPressure != 20 {
+		t.Fatalf("PDD defaults = %v/%v", o.MinPressure, o.RefPressure)
+	}
+	o = Options{PressureDriven: true, MinPressure: 5, RefPressure: 3}.withDefaults()
+	if o.RefPressure <= o.MinPressure {
+		t.Fatalf("inverted pressures not repaired: %v/%v", o.MinPressure, o.RefPressure)
+	}
+}

@@ -1,0 +1,159 @@
+package hydraulic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// randomNetwork builds a random connected gravity-fed network: a spanning
+// tree over n junctions plus extra loop pipes, one elevated reservoir.
+func randomNetwork(rng *rand.Rand, junctions int) *network.Network {
+	net := network.New(fmt.Sprintf("rand-%d", junctions))
+	res, _ := net.AddNode(network.Node{ID: "R", Type: network.Reservoir, Elevation: 80})
+	idx := make([]int, junctions)
+	for i := 0; i < junctions; i++ {
+		idx[i], _ = net.AddNode(network.Node{
+			ID:         fmt.Sprintf("J%d", i),
+			Type:       network.Junction,
+			Elevation:  rng.Float64() * 25,
+			X:          rng.Float64() * 2000,
+			Y:          rng.Float64() * 2000,
+			BaseDemand: (0.2 + rng.Float64()) / 1000,
+		})
+	}
+	link := 0
+	addPipe := func(a, b int, diam float64) {
+		link++
+		_, _ = net.AddLink(network.Link{
+			ID: fmt.Sprintf("P%d", link), Type: network.Pipe,
+			From: a, To: b,
+			Length:    50 + rng.Float64()*500,
+			Diameter:  diam,
+			Roughness: 90 + rng.Float64()*40,
+		})
+	}
+	// Trunk from the reservoir, then a random spanning tree, then loops.
+	addPipe(res, idx[0], 0.4)
+	for i := 1; i < junctions; i++ {
+		addPipe(idx[rng.Intn(i)], idx[i], 0.15+rng.Float64()*0.25)
+	}
+	for k := 0; k < junctions/2; k++ {
+		a, b := rng.Intn(junctions), rng.Intn(junctions)
+		if a != b {
+			addPipe(idx[a], idx[b], 0.15+rng.Float64()*0.15)
+		}
+	}
+	return net
+}
+
+// TestSolverPropertyRandomNetworks checks core hydraulic invariants on a
+// population of random networks: convergence, junction mass balance,
+// energy consistency along every open pipe (headloss sign matches flow
+// direction), and source outflow equal to total consumption.
+func TestSolverPropertyRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 25; trial++ {
+		junctions := 4 + rng.Intn(40)
+		net := randomNetwork(rng, junctions)
+		if err := net.Validate(); err != nil {
+			t.Fatalf("trial %d: invalid generated network: %v", trial, err)
+		}
+		solver, err := NewSolver(net, Options{Accuracy: 1e-5})
+		if err != nil {
+			t.Fatalf("trial %d: NewSolver: %v", trial, err)
+		}
+
+		// Optionally add a leak at a random junction.
+		var emitters []Emitter
+		if rng.Intn(2) == 0 {
+			emitters = append(emitters, Emitter{
+				Node:  net.JunctionIndices()[rng.Intn(junctions)],
+				Coeff: 1e-3,
+			})
+		}
+		res, err := solver.SolveSteady(0, emitters, nil)
+		if err != nil {
+			t.Fatalf("trial %d (%d junctions): %v", trial, junctions, err)
+		}
+
+		// Invariant 1: junction mass balance.
+		if mbe := solver.MassBalanceError(res); mbe > 1e-6 {
+			t.Fatalf("trial %d: mass balance error %v", trial, mbe)
+		}
+
+		// Invariant 2: energy consistency — flow runs downhill in head
+		// across every open pipe.
+		for li := range net.Links {
+			l := &net.Links[li]
+			if l.Type != network.Pipe || l.Status == network.Closed {
+				continue
+			}
+			dh := res.Head[l.From] - res.Head[l.To]
+			q := res.Flow[li]
+			if math.Abs(q) < 1e-9 {
+				continue
+			}
+			if q > 0 && dh < -1e-6 {
+				t.Fatalf("trial %d: pipe %s flows uphill: q=%v dh=%v", trial, l.ID, q, dh)
+			}
+			if q < 0 && dh > 1e-6 {
+				t.Fatalf("trial %d: pipe %s flows uphill: q=%v dh=%v", trial, l.ID, q, dh)
+			}
+		}
+
+		// Invariant 3: source outflow equals demand + leak.
+		var sourceOut float64
+		for li := range net.Links {
+			l := &net.Links[li]
+			if net.Nodes[l.From].Type == network.Reservoir {
+				sourceOut += res.Flow[li]
+			}
+			if net.Nodes[l.To].Type == network.Reservoir {
+				sourceOut -= res.Flow[li]
+			}
+		}
+		want := 0.0
+		for i := range net.Nodes {
+			want += res.Demand[i]
+		}
+		want += res.TotalEmitterFlow()
+		if math.Abs(sourceOut-want) > 1e-6 {
+			t.Fatalf("trial %d: source supplies %v, consumption is %v", trial, sourceOut, want)
+		}
+	}
+}
+
+// TestSolverLeakMonotonicity: on random networks, growing a leak's
+// effective area increases its discharge and decreases the local pressure.
+func TestSolverLeakMonotonicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		net := randomNetwork(rng, 10+rng.Intn(20))
+		solver, err := NewSolver(net, Options{Accuracy: 1e-5})
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		node := net.JunctionIndices()[rng.Intn(net.JunctionCount())]
+		prevQ := -1.0
+		prevP := math.Inf(1)
+		for _, ec := range []float64{5e-4, 1e-3, 2e-3, 4e-3} {
+			res, err := solver.SolveSteady(0, []Emitter{{Node: node, Coeff: ec}}, nil)
+			if err != nil {
+				t.Fatalf("trial %d ec=%v: %v", trial, ec, err)
+			}
+			q := res.EmitterFlow[node]
+			p := res.Pressure[node]
+			if q <= prevQ {
+				t.Fatalf("trial %d: leak flow not increasing with EC: %v → %v", trial, prevQ, q)
+			}
+			if p >= prevP {
+				t.Fatalf("trial %d: leak pressure not decreasing with EC: %v → %v", trial, prevP, p)
+			}
+			prevQ, prevP = q, p
+		}
+	}
+}

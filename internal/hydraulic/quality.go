@@ -1,0 +1,291 @@
+package hydraulic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// Water-quality transport. The paper motivates AquaSCALE partly by
+// contamination risk ("quality of water can also be compromised via
+// contaminant propagation through a faulty pipe") and notes EPANET++
+// captures "hydraulic and water quality behavior"; this file implements
+// the corresponding substrate: plug-flow advection of a conservative or
+// first-order-decaying constituent through the network, with complete
+// mixing at junctions and in tanks — the same transport model EPANET uses.
+
+// Injection is a constituent source: the node's outflow concentration is
+// raised to Concentration between Start and End (a contaminant intrusion
+// at a damaged pipe joint, or a tracer study).
+type Injection struct {
+	Node          int
+	Concentration float64 // mg/L
+	Start         time.Duration
+	End           time.Duration // zero means never ends
+}
+
+func (inj Injection) active(t time.Duration) bool {
+	if t < inj.Start {
+		return false
+	}
+	return inj.End <= 0 || t <= inj.End
+}
+
+// QualityOptions configures transport simulation.
+type QualityOptions struct {
+	// Step is the transport sub-step. Zero means 1 minute. It must divide
+	// the hydraulic step reasonably; flows are frozen between hydraulic
+	// snapshots.
+	Step time.Duration
+
+	// DecayRate is the first-order decay constant per hour (chlorine-like
+	// die-off). Zero means a conservative constituent.
+	DecayRate float64
+}
+
+func (o QualityOptions) withDefaults() QualityOptions {
+	if o.Step <= 0 {
+		o.Step = time.Minute
+	}
+	return o
+}
+
+// QualityResult holds constituent concentrations over time.
+type QualityResult struct {
+	// Times mirror the hydraulic snapshots the quality run was driven by.
+	Times []time.Duration
+
+	// Node[k][i] is the concentration at node i at Times[k] (mg/L).
+	Node [][]float64
+}
+
+// MaxAtNode returns the peak concentration seen at a node.
+func (r *QualityResult) MaxAtNode(node int) float64 {
+	peak := 0.0
+	for _, snap := range r.Node {
+		if node < len(snap) && snap[node] > peak {
+			peak = snap[node]
+		}
+	}
+	return peak
+}
+
+// ArrivalTime returns the first snapshot time at which the node's
+// concentration reaches the threshold, or a negative duration if never.
+func (r *QualityResult) ArrivalTime(node int, threshold float64) time.Duration {
+	for k, snap := range r.Node {
+		if node < len(snap) && snap[node] >= threshold {
+			return r.Times[k]
+		}
+	}
+	return -1
+}
+
+// pipeSegment is one plug of water in a pipe, ordered From→To.
+type pipeSegment struct {
+	volume float64 // m³
+	conc   float64 // mg/L
+}
+
+// RunQuality advects a constituent through the network along the flows of
+// a completed hydraulic simulation. Pipes carry plug-flow segment queues
+// (travel time emerges from pipe volume over flow); junctions mix their
+// inflows instantaneously; tanks are completely mixed storage.
+func RunQuality(net *network.Network, ts *TimeSeries, injections []Injection, opts QualityOptions) (*QualityResult, error) {
+	opts = opts.withDefaults()
+	if ts.Steps() < 2 {
+		return nil, fmt.Errorf("hydraulic: quality needs at least two hydraulic snapshots")
+	}
+	for _, inj := range injections {
+		if inj.Node < 0 || inj.Node >= len(net.Nodes) {
+			return nil, fmt.Errorf("hydraulic: injection node %d out of range", inj.Node)
+		}
+		if inj.Concentration < 0 {
+			return nil, fmt.Errorf("hydraulic: negative injection concentration at node %d", inj.Node)
+		}
+	}
+
+	// Segment queues, index 0 at the From end.
+	segs := make([][]pipeSegment, len(net.Links))
+	for li := range net.Links {
+		l := &net.Links[li]
+		vol := pipeVolume(l)
+		segs[li] = []pipeSegment{{volume: vol, conc: 0}}
+	}
+
+	nodeConc := make([]float64, len(net.Nodes))
+	tankVol := make(map[int]float64)
+	for i := range net.Nodes {
+		if net.Nodes[i].Type == network.Tank {
+			n := &net.Nodes[i]
+			area := math.Pi * n.TankDiameter * n.TankDiameter / 4
+			tankVol[i] = area * n.InitLevel
+		}
+	}
+
+	res := &QualityResult{}
+	hydStep := ts.Times[1] - ts.Times[0]
+	sub := int(hydStep / opts.Step)
+	if sub < 1 {
+		sub = 1
+	}
+	dt := hydStep.Seconds() / float64(sub)
+	decay := math.Exp(-opts.DecayRate / 3600 * dt)
+
+	inflowMass := make([]float64, len(net.Nodes))
+	inflowVol := make([]float64, len(net.Nodes))
+
+	for k := 0; k < ts.Steps(); k++ {
+		flows := ts.Flow[k]
+		t := ts.Times[k]
+		for s := 0; s < sub; s++ {
+			subT := t + time.Duration(float64(s)*dt*float64(time.Second))
+			for i := range inflowMass {
+				inflowMass[i] = 0
+				inflowVol[i] = 0
+			}
+
+			// Advect each open link: pull a plug of volume |Q|·dt from the
+			// upstream node into the pipe, push the same volume out of the
+			// downstream end into the downstream node's mixing pool.
+			for li := range net.Links {
+				l := &net.Links[li]
+				if l.Status == network.Closed {
+					continue
+				}
+				q := flows[li]
+				if q == 0 {
+					continue
+				}
+				up, down := l.From, l.To
+				if q < 0 {
+					up, down = down, up
+				}
+				vol := math.Abs(q) * dt
+				mass := advect(&segs[li], vol, nodeConc[up], q >= 0)
+				inflowMass[down] += mass
+				inflowVol[down] += vol
+			}
+
+			// Mix at nodes.
+			for i := range net.Nodes {
+				node := &net.Nodes[i]
+				switch node.Type {
+				case network.Reservoir:
+					nodeConc[i] = 0 // clean source water
+				case network.Tank:
+					// Completely mixed storage: blend inflow into volume.
+					v := tankVol[i]
+					if v <= 0 {
+						v = 1
+					}
+					mass := nodeConc[i]*v + inflowMass[i]
+					vol := v + inflowVol[i]
+					nodeConc[i] = mass / vol
+					// Outflow leaves at tank concentration; volume is
+					// refreshed from hydraulics each hydraulic step.
+				default:
+					if inflowVol[i] > 0 {
+						nodeConc[i] = inflowMass[i] / inflowVol[i]
+					}
+					// Dead-end with no inflow this sub-step keeps its
+					// previous concentration (stagnant water).
+				}
+				if decay < 1 {
+					nodeConc[i] *= decay
+				}
+			}
+
+			// Apply active injections: the node's outflow is overridden to
+			// the source concentration (EPANET's SOURCE SETPOINT).
+			for _, inj := range injections {
+				if inj.active(subT) {
+					nodeConc[inj.Node] = inj.Concentration
+				}
+			}
+		}
+
+		// Refresh tank volumes from the hydraulic trajectory.
+		for i, levels := range ts.TankLevel {
+			if k < len(levels) {
+				n := &net.Nodes[i]
+				area := math.Pi * n.TankDiameter * n.TankDiameter / 4
+				tankVol[i] = area * levels[k]
+				if tankVol[i] <= 0 {
+					tankVol[i] = 1e-3
+				}
+			}
+		}
+
+		snap := make([]float64, len(nodeConc))
+		copy(snap, nodeConc)
+		res.Times = append(res.Times, t)
+		res.Node = append(res.Node, snap)
+	}
+	return res, nil
+}
+
+// advect pushes a plug of volume vol at concentration inConc into the
+// upstream end of the segment queue and pulls vol out of the downstream
+// end, returning the mass removed. forward selects which end is upstream
+// (segment order is From→To).
+func advect(queue *[]pipeSegment, vol, inConc float64, forward bool) float64 {
+	segsIn := *queue
+	if !forward {
+		reverseSegments(segsIn)
+	}
+	// Push at the front (upstream).
+	segsIn = append([]pipeSegment{{volume: vol, conc: inConc}}, segsIn...)
+	// Pull vol from the back (downstream).
+	mass := 0.0
+	remaining := vol
+	for remaining > 0 && len(segsIn) > 0 {
+		last := &segsIn[len(segsIn)-1]
+		if last.volume > remaining {
+			mass += remaining * last.conc
+			last.volume -= remaining
+			remaining = 0
+		} else {
+			mass += last.volume * last.conc
+			remaining -= last.volume
+			segsIn = segsIn[:len(segsIn)-1]
+		}
+	}
+	// Merge adjacent segments with near-equal concentration to bound the
+	// queue length over long runs.
+	merged := segsIn[:0]
+	for _, s := range segsIn {
+		if n := len(merged); n > 0 && math.Abs(merged[n-1].conc-s.conc) < 1e-9 {
+			merged[n-1].volume += s.volume
+			continue
+		}
+		merged = append(merged, s)
+	}
+	if !forward {
+		reverseSegments(merged)
+	}
+	*queue = merged
+	return mass
+}
+
+func reverseSegments(s []pipeSegment) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// pipeVolume returns the water volume of a link (pumps and valves are
+// short devices with nominal volume).
+func pipeVolume(l *network.Link) float64 {
+	if l.Type != network.Pipe || l.Diameter <= 0 || l.Length <= 0 {
+		return 0.05
+	}
+	area := math.Pi * l.Diameter * l.Diameter / 4
+	v := area * l.Length
+	if v < 1e-3 {
+		v = 1e-3
+	}
+	return v
+}

@@ -1,0 +1,179 @@
+package hydraulic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+func testNetTimeSeries(t *testing.T, hours int) (*network.Network, *TimeSeries) {
+	t.Helper()
+	net := network.BuildTestNet()
+	ts, err := RunEPS(net, EPSOptions{
+		Duration: time.Duration(hours) * time.Hour,
+		Step:     15 * time.Minute,
+	}, nil)
+	if err != nil {
+		t.Fatalf("RunEPS: %v", err)
+	}
+	return net, ts
+}
+
+func TestRunQualityPropagatesDownstream(t *testing.T) {
+	net, ts := testNetTimeSeries(t, 6)
+	j1, _ := net.NodeIndex("J1")
+	j7, _ := net.NodeIndex("J7") // far downstream dead end
+	qr, err := RunQuality(net, ts, []Injection{
+		{Node: j1, Concentration: 100, Start: 0},
+	}, QualityOptions{})
+	if err != nil {
+		t.Fatalf("RunQuality: %v", err)
+	}
+	if qr.MaxAtNode(j1) < 99 {
+		t.Fatalf("injection node peak = %v, want ~100", qr.MaxAtNode(j1))
+	}
+	// The constituent must reach the far end, delayed by pipe travel time.
+	arrival := qr.ArrivalTime(j7, 50)
+	if arrival < 0 {
+		t.Fatal("constituent never reached J7")
+	}
+	if arrival == 0 {
+		t.Fatal("constituent arrived instantaneously — no plug-flow delay")
+	}
+	// Travel check: J5 (two hops) must see it before J7 (three+ hops).
+	j5, _ := net.NodeIndex("J5")
+	if a5 := qr.ArrivalTime(j5, 50); a5 < 0 || a5 > arrival {
+		t.Fatalf("J5 arrival %v should precede J7 arrival %v", a5, arrival)
+	}
+}
+
+func TestRunQualityUpstreamStaysClean(t *testing.T) {
+	net, ts := testNetTimeSeries(t, 4)
+	j5, _ := net.NodeIndex("J5")
+	j1, _ := net.NodeIndex("J1") // upstream of J5 in the gravity feed
+	resIdx, _ := net.NodeIndex("R")
+	qr, err := RunQuality(net, ts, []Injection{
+		{Node: j5, Concentration: 100, Start: 0},
+	}, QualityOptions{})
+	if err != nil {
+		t.Fatalf("RunQuality: %v", err)
+	}
+	if qr.MaxAtNode(resIdx) > 0 {
+		t.Fatalf("reservoir contaminated: %v", qr.MaxAtNode(resIdx))
+	}
+	if qr.MaxAtNode(j1) > 1 {
+		t.Fatalf("upstream J1 contaminated against the flow: %v", qr.MaxAtNode(j1))
+	}
+}
+
+func TestRunQualityInjectionWindow(t *testing.T) {
+	net, ts := testNetTimeSeries(t, 6)
+	j1, _ := net.NodeIndex("J1")
+	qr, err := RunQuality(net, ts, []Injection{
+		{Node: j1, Concentration: 100, Start: time.Hour, End: 2 * time.Hour},
+	}, QualityOptions{})
+	if err != nil {
+		t.Fatalf("RunQuality: %v", err)
+	}
+	early := qr.Node[qr.indexAt(t, 30*time.Minute)][j1]
+	during := qr.Node[qr.indexAt(t, 90*time.Minute)][j1]
+	late := qr.Node[qr.indexAt(t, 5*time.Hour)][j1]
+	if early > 1 {
+		t.Fatalf("concentration before injection = %v", early)
+	}
+	if during < 99 {
+		t.Fatalf("concentration during injection = %v", during)
+	}
+	if late > 50 {
+		t.Fatalf("concentration long after injection = %v (should flush)", late)
+	}
+}
+
+// indexAt finds the snapshot index for a time, failing the test otherwise.
+func (r *QualityResult) indexAt(t *testing.T, at time.Duration) int {
+	t.Helper()
+	for k, tt := range r.Times {
+		if tt == at {
+			return k
+		}
+	}
+	t.Fatalf("no snapshot at %v", at)
+	return -1
+}
+
+func TestRunQualityDecay(t *testing.T) {
+	net, ts := testNetTimeSeries(t, 6)
+	j1, _ := net.NodeIndex("J1")
+	j7, _ := net.NodeIndex("J7")
+	conservative, err := RunQuality(net, ts, []Injection{{Node: j1, Concentration: 100}}, QualityOptions{})
+	if err != nil {
+		t.Fatalf("conservative: %v", err)
+	}
+	decaying, err := RunQuality(net, ts, []Injection{{Node: j1, Concentration: 100}},
+		QualityOptions{DecayRate: 2.0})
+	if err != nil {
+		t.Fatalf("decaying: %v", err)
+	}
+	if decaying.MaxAtNode(j7) >= conservative.MaxAtNode(j7) {
+		t.Fatalf("decay did not reduce downstream peak: %v vs %v",
+			decaying.MaxAtNode(j7), conservative.MaxAtNode(j7))
+	}
+}
+
+func TestRunQualityValidation(t *testing.T) {
+	net, ts := testNetTimeSeries(t, 2)
+	if _, err := RunQuality(net, ts, []Injection{{Node: 999, Concentration: 1}}, QualityOptions{}); err == nil {
+		t.Fatal("out-of-range injection node should error")
+	}
+	if _, err := RunQuality(net, ts, []Injection{{Node: 0, Concentration: -5}}, QualityOptions{}); err == nil {
+		t.Fatal("negative concentration should error")
+	}
+	short := &TimeSeries{Times: []time.Duration{0}}
+	if _, err := RunQuality(net, short, nil, QualityOptions{}); err == nil {
+		t.Fatal("single-snapshot series should error")
+	}
+}
+
+func TestRunQualityNoInjectionStaysClean(t *testing.T) {
+	net, ts := testNetTimeSeries(t, 2)
+	qr, err := RunQuality(net, ts, nil, QualityOptions{})
+	if err != nil {
+		t.Fatalf("RunQuality: %v", err)
+	}
+	for k := range qr.Node {
+		for i, c := range qr.Node[k] {
+			if math.Abs(c) > 1e-12 {
+				t.Fatalf("phantom constituent %v at node %d step %d", c, i, k)
+			}
+		}
+	}
+}
+
+func TestAdvectConservesMass(t *testing.T) {
+	queue := []pipeSegment{{volume: 1.0, conc: 10}}
+	// Push 0.4 m³ at conc 50; pull 0.4 m³ of the old water (conc 10).
+	mass := advect(&queue, 0.4, 50, true)
+	if math.Abs(mass-4.0) > 1e-12 {
+		t.Fatalf("extracted mass = %v, want 4.0", mass)
+	}
+	totalVol := 0.0
+	totalMass := 0.0
+	for _, s := range queue {
+		totalVol += s.volume
+		totalMass += s.volume * s.conc
+	}
+	if math.Abs(totalVol-1.0) > 1e-12 {
+		t.Fatalf("pipe volume changed: %v", totalVol)
+	}
+	// 0.4·50 new + 0.6·10 remaining = 26.
+	if math.Abs(totalMass-26.0) > 1e-12 {
+		t.Fatalf("pipe mass = %v, want 26", totalMass)
+	}
+	// Reverse flow pulls the newest water back out first.
+	mass = advect(&queue, 0.4, 0, false)
+	if math.Abs(mass-20.0) > 1e-9 {
+		t.Fatalf("reverse extraction = %v, want 20 (the plug just pushed in)", mass)
+	}
+}

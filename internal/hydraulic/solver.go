@@ -1,0 +1,430 @@
+package hydraulic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/matrix"
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// ErrNotConverged is returned when the Newton iteration exhausts its
+// iteration budget without meeting the accuracy target.
+var ErrNotConverged = errors.New("hydraulic: solver did not converge")
+
+// Options configures the steady-state solver.
+type Options struct {
+	// Accuracy is the convergence target on Σ|ΔQ| / Σ|Q| per iteration.
+	// Zero means the EPANET default of 1e-3.
+	Accuracy float64
+
+	// MaxIterations bounds the Newton loop. Zero means 200.
+	MaxIterations int
+
+	// EmitterExponent is β in Q = EC·p^β. Zero means the paper's 0.5.
+	EmitterExponent float64
+
+	// PressureDriven enables Wagner pressure-driven demand: delivered
+	// demand scales with √((p−Pmin)/(Pref−Pmin)), clamped to [0, 1].
+	// Demand-driven analysis (the default, and EPANET's) assumes full
+	// delivery regardless of pressure, which overstates consumption when
+	// severe multi-leak events depress service pressure.
+	PressureDriven bool
+
+	// MinPressure is the head below which no demand is delivered (m).
+	// Used only with PressureDriven; default 0.
+	MinPressure float64
+
+	// RefPressure is the head at which full demand is delivered (m).
+	// Used only with PressureDriven; zero means 20.
+	RefPressure float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Accuracy <= 0 {
+		o.Accuracy = 1e-3
+	}
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 200
+	}
+	if o.EmitterExponent <= 0 {
+		o.EmitterExponent = 0.5
+	}
+	if o.RefPressure <= o.MinPressure {
+		o.RefPressure = o.MinPressure + 20
+	}
+	return o
+}
+
+// wagner returns the delivered-demand fraction g(p) and its derivative
+// dg/dp for the Wagner pressure-demand relationship.
+func wagner(p, pMin, pRef float64) (g, dg float64) {
+	switch {
+	case p <= pMin:
+		return 0, 0
+	case p >= pRef:
+		return 1, 0
+	default:
+		span := pRef - pMin
+		g = math.Sqrt((p - pMin) / span)
+		if g < 0.05 {
+			g = 0.05 // keep the Newton derivative bounded near pMin
+		}
+		return g, 0.5 / (span * g)
+	}
+}
+
+// Emitter is a pressure-dependent discharge at a node: Q = Coeff·p^β where
+// p is the pressure head above the node elevation. This is the paper's leak
+// model (eq. 1); Coeff is the effective leak area EC (the leak size e.s).
+type Emitter struct {
+	Node  int     // node index
+	Coeff float64 // EC, in m³/s per m^β of pressure head
+}
+
+// Result is a steady-state hydraulic snapshot.
+type Result struct {
+	// Head is hydraulic head per node (m).
+	Head []float64
+
+	// Pressure is pressure head per node: Head − Elevation (m). Fixed-grade
+	// nodes report level above their base.
+	Pressure []float64
+
+	// Flow is volumetric flow per link (m³/s), positive From→To. Closed
+	// links carry zero.
+	Flow []float64
+
+	// EmitterFlow is leak outflow per node index (only emitter nodes).
+	EmitterFlow map[int]float64
+
+	// Demand is the consumer demand per node used in this solve (m³/s).
+	Demand []float64
+
+	// Iterations is the Newton iteration count used.
+	Iterations int
+}
+
+// TotalEmitterFlow sums all leak outflow in m³/s.
+func (r *Result) TotalEmitterFlow() float64 {
+	total := 0.0
+	for _, q := range r.EmitterFlow {
+		total += q
+	}
+	return total
+}
+
+// Solver solves steady-state hydraulics for one network. It precomputes
+// topology indexes and link resistances; it is safe for sequential reuse
+// across many solves (scenario generation), but not for concurrent use —
+// clone one Solver per goroutine.
+type Solver struct {
+	net  *network.Network
+	opts Options
+
+	junctionOf []int // node index → junction ordinal, -1 for fixed grade
+	junctions  []int // junction ordinal → node index
+	resistance []float64
+	minorRes   []float64
+
+	// Scratch buffers reused across solves.
+	flow     []float64
+	head     []float64
+	diag     []float64
+	rhs      []float64
+	aMat     *matrix.Dense
+	demand   []float64
+	emitFlow map[int]float64
+}
+
+// NewSolver prepares a solver for the given network. The network is
+// validated; the solver reads (never mutates) it afterwards.
+func NewSolver(net *network.Network, opts Options) (*Solver, error) {
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("hydraulic: %w", err)
+	}
+	s := &Solver{
+		net:        net,
+		opts:       opts.withDefaults(),
+		junctionOf: make([]int, len(net.Nodes)),
+		resistance: make([]float64, len(net.Links)),
+		minorRes:   make([]float64, len(net.Links)),
+	}
+	for i := range net.Nodes {
+		if net.Nodes[i].Type == network.Junction {
+			s.junctionOf[i] = len(s.junctions)
+			s.junctions = append(s.junctions, i)
+		} else {
+			s.junctionOf[i] = -1
+		}
+	}
+	for i := range net.Links {
+		l := &net.Links[i]
+		if l.Type != network.Pump {
+			s.resistance[i] = pipeResistance(l)
+			s.minorRes[i] = minorResistance(l)
+		}
+		if l.Type == network.Valve {
+			// Valves are short devices: friction is negligible, the
+			// setting acts through the minor-loss term. Keep a small
+			// linear floor so an all-zero valve still has a gradient.
+			s.resistance[i] = 1e-4
+		}
+	}
+	nj := len(s.junctions)
+	s.flow = make([]float64, len(net.Links))
+	s.head = make([]float64, len(net.Nodes))
+	s.diag = make([]float64, nj)
+	s.rhs = make([]float64, nj)
+	if nj > 0 {
+		s.aMat = matrix.NewDense(nj, nj)
+	}
+	s.demand = make([]float64, len(net.Nodes))
+	s.emitFlow = make(map[int]float64)
+	return s, nil
+}
+
+// Network returns the network this solver was built for.
+func (s *Solver) Network() *network.Network { return s.net }
+
+// SolveSteady computes a steady-state snapshot at elapsed time t (which
+// selects demand-pattern multipliers), with the given active emitters and
+// optional tank head overrides (node index → hydraulic head). Tank heads
+// default to elevation + initial level when not overridden.
+func (s *Solver) SolveSteady(t time.Duration, emitters []Emitter, tankHeads map[int]float64) (*Result, error) {
+	net := s.net
+	beta := s.opts.EmitterExponent
+
+	// Demands and fixed heads.
+	for i := range net.Nodes {
+		node := &net.Nodes[i]
+		switch node.Type {
+		case network.Junction:
+			s.demand[i] = net.DemandAt(i, t)
+			s.head[i] = node.Elevation + 30 // initial guess
+		case network.Reservoir:
+			s.demand[i] = 0
+			s.head[i] = node.Elevation
+		case network.Tank:
+			s.demand[i] = 0
+			if h, ok := tankHeads[i]; ok {
+				s.head[i] = h
+			} else {
+				s.head[i] = node.Elevation + node.InitLevel
+			}
+		}
+	}
+
+	// Aggregate emitter coefficients per node (multiple concurrent leaks at
+	// one node sum their effective areas).
+	emitCoeff := make(map[int]float64, len(emitters))
+	for _, e := range emitters {
+		if e.Node < 0 || e.Node >= len(net.Nodes) {
+			return nil, fmt.Errorf("hydraulic: emitter node %d out of range", e.Node)
+		}
+		if e.Coeff < 0 {
+			return nil, fmt.Errorf("hydraulic: negative emitter coefficient %v at node %d", e.Coeff, e.Node)
+		}
+		emitCoeff[e.Node] += e.Coeff
+	}
+
+	// Initial flows.
+	for i := range net.Links {
+		l := &net.Links[i]
+		if l.Status == network.Closed {
+			s.flow[i] = 0
+			continue
+		}
+		s.flow[i] = initialFlow(l)
+	}
+
+	nj := len(s.junctions)
+	converged := false
+	iter := 0
+	for ; iter < s.opts.MaxIterations; iter++ {
+		s.aMat.Zero()
+		for j := 0; j < nj; j++ {
+			s.rhs[j] = 0
+			s.diag[j] = 0
+		}
+
+		// Node balance contributions from demand. Under pressure-driven
+		// analysis the delivered demand depends on head, so it is
+		// linearized per Newton iteration like the emitters.
+		for j, nodeIdx := range s.junctions {
+			d := s.demand[nodeIdx]
+			if !s.opts.PressureDriven || d == 0 {
+				s.rhs[j] -= d
+				continue
+			}
+			p := s.head[nodeIdx] - net.Nodes[nodeIdx].Elevation
+			g, dg := wagner(p, s.opts.MinPressure, s.opts.RefPressure)
+			delivered := d * g
+			dd := d * dg
+			s.diag[j] += dd
+			s.rhs[j] += -delivered + dd*s.head[nodeIdx]
+		}
+
+		// Link contributions.
+		for li := range net.Links {
+			l := &net.Links[li]
+			if l.Status == network.Closed {
+				continue
+			}
+			c := evalLink(l, s.resistance[li], s.minorRes[li], s.flow[li])
+			y := c.p * c.h // flow correction term
+			jf := s.junctionOf[l.From]
+			jt := s.junctionOf[l.To]
+
+			// Continuity: flow From→To leaves From, enters To.
+			if jf >= 0 {
+				s.diag[jf] += c.p
+				s.rhs[jf] -= s.flow[li] - y // outflow
+				if jt >= 0 {
+					s.aMat.Add(jf, jt, -c.p)
+				} else {
+					s.rhs[jf] += c.p * s.head[l.To]
+				}
+			}
+			if jt >= 0 {
+				s.diag[jt] += c.p
+				s.rhs[jt] += s.flow[li] - y // inflow
+				if jf >= 0 {
+					s.aMat.Add(jt, jf, -c.p)
+				} else {
+					s.rhs[jt] += c.p * s.head[l.From]
+				}
+			}
+		}
+
+		// Emitters: Newton linearization of Q = EC·p^β around current head.
+		for nodeIdx, coeff := range emitCoeff {
+			j := s.junctionOf[nodeIdx]
+			if j < 0 || coeff == 0 {
+				continue // emitters at fixed-grade nodes discharge freely; ignore
+			}
+			elev := net.Nodes[nodeIdx].Elevation
+			p := s.head[nodeIdx] - elev
+			if p <= 0 {
+				// No discharge; tiny derivative keeps the system stable
+				// if the head rises above elevation next iteration.
+				s.diag[j] += 1e-9
+				continue
+			}
+			q := coeff * math.Pow(p, beta)
+			dq := beta * coeff * math.Pow(p, beta-1)
+			// Newton step on the outflow Q(H) ≈ q0 + dq·(H − H0):
+			// the dq·H term joins the diagonal, the rest joins the RHS.
+			s.diag[j] += dq
+			s.rhs[j] += -q + dq*s.head[nodeIdx]
+		}
+
+		for j := 0; j < nj; j++ {
+			s.aMat.Add(j, j, s.diag[j])
+		}
+
+		newHead, err := matrix.SolveSPD(s.aMat, s.rhs)
+		if err != nil {
+			return nil, fmt.Errorf("hydraulic: head solve at iteration %d: %w", iter, err)
+		}
+		for j, nodeIdx := range s.junctions {
+			s.head[nodeIdx] = newHead[j]
+		}
+
+		// Flow update and convergence check.
+		sumDQ, sumQ := 0.0, 0.0
+		for li := range net.Links {
+			l := &net.Links[li]
+			if l.Status == network.Closed {
+				continue
+			}
+			c := evalLink(l, s.resistance[li], s.minorRes[li], s.flow[li])
+			dh := s.head[l.From] - s.head[l.To]
+			newQ := s.flow[li] - c.p*c.h + c.p*dh
+			if iter >= 20 {
+				// Damp late iterations to break Hazen-Williams flow
+				// oscillations (EPANET applies the same relaxation).
+				newQ = s.flow[li] + 0.6*(newQ-s.flow[li])
+			}
+			sumDQ += math.Abs(newQ - s.flow[li])
+			sumQ += math.Abs(newQ)
+			s.flow[li] = newQ
+		}
+		if sumQ > 0 && sumDQ/sumQ < s.opts.Accuracy {
+			converged = true
+			iter++
+			break
+		}
+	}
+	if !converged {
+		return nil, fmt.Errorf("%w after %d iterations", ErrNotConverged, iter)
+	}
+	return s.buildResult(emitCoeff, beta, iter), nil
+}
+
+func (s *Solver) buildResult(emitCoeff map[int]float64, beta float64, iterations int) *Result {
+	net := s.net
+	res := &Result{
+		Head:        matrix.Clone(s.head),
+		Pressure:    make([]float64, len(net.Nodes)),
+		Flow:        matrix.Clone(s.flow),
+		EmitterFlow: make(map[int]float64, len(emitCoeff)),
+		Demand:      matrix.Clone(s.demand),
+		Iterations:  iterations,
+	}
+	for i := range net.Nodes {
+		res.Pressure[i] = s.head[i] - net.Nodes[i].Elevation
+	}
+	if s.opts.PressureDriven {
+		// Report delivered (not required) demand.
+		for i := range net.Nodes {
+			if net.Nodes[i].Type == network.Junction && s.demand[i] > 0 {
+				g, _ := wagner(res.Pressure[i], s.opts.MinPressure, s.opts.RefPressure)
+				res.Demand[i] = s.demand[i] * g
+			}
+		}
+	}
+	for nodeIdx, coeff := range emitCoeff {
+		p := res.Pressure[nodeIdx]
+		if p <= 0 {
+			res.EmitterFlow[nodeIdx] = 0
+			continue
+		}
+		res.EmitterFlow[nodeIdx] = coeff * math.Pow(p, beta)
+	}
+	return res
+}
+
+// MassBalanceError returns the worst junction continuity residual of a
+// result (m³/s): |Σ inflow − Σ outflow − demand − leak| maximized over
+// junctions. Useful as a solver-quality diagnostic and test invariant.
+func (s *Solver) MassBalanceError(res *Result) float64 {
+	net := s.net
+	residual := make([]float64, len(net.Nodes))
+	for i := range net.Nodes {
+		residual[i] = -res.Demand[i]
+	}
+	for li := range net.Links {
+		l := &net.Links[li]
+		if l.Status == network.Closed {
+			continue
+		}
+		residual[l.From] -= res.Flow[li]
+		residual[l.To] += res.Flow[li]
+	}
+	for nodeIdx, q := range res.EmitterFlow {
+		residual[nodeIdx] -= q
+	}
+	worst := 0.0
+	for i := range net.Nodes {
+		if net.Nodes[i].Type != network.Junction {
+			continue
+		}
+		if a := math.Abs(residual[i]); a > worst {
+			worst = a
+		}
+	}
+	return worst
+}

@@ -1,0 +1,313 @@
+package hydraulic
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// singlePipeNet builds R(head=50) --pipe--> J(elev=0, demand).
+func singlePipeNet(demand float64) *network.Network {
+	n := network.New("single")
+	r, _ := n.AddNode(network.Node{ID: "R", Type: network.Reservoir, Elevation: 50})
+	j, _ := n.AddNode(network.Node{ID: "J", Type: network.Junction, Elevation: 0, BaseDemand: demand})
+	_, _ = n.AddLink(network.Link{
+		ID: "P", Type: network.Pipe, From: r, To: j,
+		Length: 1000, Diameter: 0.3, Roughness: 100,
+	})
+	return n
+}
+
+func TestSolveSteadySinglePipeAnalytic(t *testing.T) {
+	const demand = 0.05
+	n := singlePipeNet(demand)
+	s, err := NewSolver(n, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	// Hand-computed Hazen-Williams: r = 10.667·L/(C^1.852·d^4.871).
+	r := 10.667 * 1000 / (math.Pow(100, 1.852) * math.Pow(0.3, 4.871))
+	wantHead := 50 - r*math.Pow(demand, 1.852)
+	jIdx, _ := n.NodeIndex("J")
+	if math.Abs(res.Head[jIdx]-wantHead) > 0.01 {
+		t.Fatalf("head = %v, want %v", res.Head[jIdx], wantHead)
+	}
+	pIdx, _ := n.LinkIndex("P")
+	if math.Abs(res.Flow[pIdx]-demand) > 1e-6 {
+		t.Fatalf("flow = %v, want %v", res.Flow[pIdx], demand)
+	}
+	if res.Iterations <= 0 {
+		t.Fatal("iterations not reported")
+	}
+	if mbe := s.MassBalanceError(res); mbe > 1e-6 {
+		t.Fatalf("mass balance error = %v", mbe)
+	}
+}
+
+func TestSolveSteadyEmitterAnalytic(t *testing.T) {
+	const ec = 0.01
+	n := singlePipeNet(0)
+	s, err := NewSolver(n, Options{Accuracy: 1e-6})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	jIdx, _ := n.NodeIndex("J")
+	res, err := s.SolveSteady(0, []Emitter{{Node: jIdx, Coeff: ec}}, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	// Independent fixed-point solution of p = 50 − r·(ec·√p)^1.852.
+	r := 10.667 * 1000 / (math.Pow(100, 1.852) * math.Pow(0.3, 4.871))
+	p := 40.0
+	for k := 0; k < 200; k++ {
+		q := ec * math.Sqrt(p)
+		p = 0.5*p + 0.5*(50-r*math.Pow(q, 1.852))
+	}
+	if math.Abs(res.Pressure[jIdx]-p) > 0.05 {
+		t.Fatalf("pressure = %v, want %v", res.Pressure[jIdx], p)
+	}
+	wantQ := ec * math.Sqrt(p)
+	if gotQ := res.EmitterFlow[jIdx]; math.Abs(gotQ-wantQ) > 1e-5 {
+		t.Fatalf("emitter flow = %v, want %v", gotQ, wantQ)
+	}
+	if math.Abs(res.TotalEmitterFlow()-wantQ) > 1e-5 {
+		t.Fatalf("TotalEmitterFlow = %v, want %v", res.TotalEmitterFlow(), wantQ)
+	}
+	if mbe := s.MassBalanceError(res); mbe > 1e-5 {
+		t.Fatalf("mass balance error = %v", mbe)
+	}
+}
+
+func TestEmitterValidation(t *testing.T) {
+	n := singlePipeNet(0.01)
+	s, _ := NewSolver(n, Options{})
+	if _, err := s.SolveSteady(0, []Emitter{{Node: 99, Coeff: 1}}, nil); err == nil {
+		t.Fatal("out-of-range emitter node should error")
+	}
+	if _, err := s.SolveSteady(0, []Emitter{{Node: 1, Coeff: -1}}, nil); err == nil {
+		t.Fatal("negative emitter coefficient should error")
+	}
+}
+
+func TestLeakDropsPressureAndRaisesInflow(t *testing.T) {
+	n := network.BuildTestNet()
+	s, err := NewSolver(n, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	base, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("baseline: %v", err)
+	}
+	leakNode, _ := n.NodeIndex("J5")
+	leaky, err := s.SolveSteady(0, []Emitter{{Node: leakNode, Coeff: 0.002}}, nil)
+	if err != nil {
+		t.Fatalf("leak solve: %v", err)
+	}
+	// Pressure at the leak node must drop.
+	if leaky.Pressure[leakNode] >= base.Pressure[leakNode] {
+		t.Fatalf("leak did not drop pressure: %v → %v",
+			base.Pressure[leakNode], leaky.Pressure[leakNode])
+	}
+	// Source pipe flow must rise to supply the leak.
+	pr, _ := n.LinkIndex("PR")
+	if leaky.Flow[pr] <= base.Flow[pr] {
+		t.Fatalf("leak did not raise inflow: %v → %v", base.Flow[pr], leaky.Flow[pr])
+	}
+	// The inflow increase equals the leak outflow (mass conservation).
+	dIn := leaky.Flow[pr] - base.Flow[pr]
+	if math.Abs(dIn-leaky.EmitterFlow[leakNode]) > 1e-4 {
+		t.Fatalf("inflow increase %v != leak outflow %v", dIn, leaky.EmitterFlow[leakNode])
+	}
+}
+
+func TestPressureDropDecaysWithDistance(t *testing.T) {
+	// The Fig-2 physics: nodes nearer the leak see larger pressure drops.
+	n := network.BuildTestNet()
+	s, _ := NewSolver(n, Options{Accuracy: 1e-5})
+	base, _ := s.SolveSteady(0, nil, nil)
+	leakNode, _ := n.NodeIndex("J5")
+	leaky, err := s.SolveSteady(0, []Emitter{{Node: leakNode, Coeff: 0.003}}, nil)
+	if err != nil {
+		t.Fatalf("leak solve: %v", err)
+	}
+	j5 := leakNode
+	j7, _ := n.NodeIndex("J7")
+	dropAtLeak := base.Pressure[j5] - leaky.Pressure[j5]
+	dropFar := base.Pressure[j7] - leaky.Pressure[j7]
+	if dropAtLeak <= 0 {
+		t.Fatal("no pressure drop at leak")
+	}
+	if dropFar > dropAtLeak+1e-9 {
+		t.Fatalf("distant node dropped more (%v) than leak node (%v)", dropFar, dropAtLeak)
+	}
+}
+
+func TestEPANetSolves(t *testing.T) {
+	n := network.BuildEPANet()
+	s, err := NewSolver(n, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(8*time.Hour, nil, nil) // morning peak
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	for i := range n.Nodes {
+		if n.Nodes[i].Type != network.Junction {
+			continue
+		}
+		if res.Pressure[i] < 5 {
+			t.Errorf("junction %s pressure %0.2f m below 5 m service minimum",
+				n.Nodes[i].ID, res.Pressure[i])
+		}
+		if res.Pressure[i] > 120 {
+			t.Errorf("junction %s pressure %0.2f m implausibly high", n.Nodes[i].ID, res.Pressure[i])
+		}
+	}
+	if mbe := s.MassBalanceError(res); mbe > 1e-5 {
+		t.Fatalf("mass balance error = %v", mbe)
+	}
+	// Pumps must run forward.
+	for li := range n.Links {
+		if n.Links[li].Type == network.Pump && res.Flow[li] < 0 {
+			t.Errorf("pump %s runs backward: %v", n.Links[li].ID, res.Flow[li])
+		}
+	}
+}
+
+func TestWSSCSubnetSolves(t *testing.T) {
+	n := network.BuildWSSCSubnet()
+	s, err := NewSolver(n, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(18*time.Hour, nil, nil) // evening peak
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	low := 0
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == network.Junction && res.Pressure[i] < 5 {
+			low++
+		}
+	}
+	if low > 0 {
+		t.Fatalf("%d junctions below 5 m service pressure", low)
+	}
+	if mbe := s.MassBalanceError(res); mbe > 1e-5 {
+		t.Fatalf("mass balance error = %v", mbe)
+	}
+}
+
+func TestMultiLeakSuperposition(t *testing.T) {
+	// Two concurrent leaks drain more than either alone (paper: multi-leak
+	// interactions are coupled, not separable).
+	n := network.BuildEPANet()
+	s, _ := NewSolver(n, Options{})
+	a, _ := n.NodeIndex("J20")
+	b, _ := n.NodeIndex("J70")
+	ra, err := s.SolveSteady(0, []Emitter{{Node: a, Coeff: 0.002}}, nil)
+	if err != nil {
+		t.Fatalf("leak A: %v", err)
+	}
+	rb, err := s.SolveSteady(0, []Emitter{{Node: b, Coeff: 0.002}}, nil)
+	if err != nil {
+		t.Fatalf("leak B: %v", err)
+	}
+	rab, err := s.SolveSteady(0, []Emitter{{Node: a, Coeff: 0.002}, {Node: b, Coeff: 0.002}}, nil)
+	if err != nil {
+		t.Fatalf("leak A+B: %v", err)
+	}
+	if rab.TotalEmitterFlow() <= ra.TotalEmitterFlow() || rab.TotalEmitterFlow() <= rb.TotalEmitterFlow() {
+		t.Fatal("two leaks should discharge more than one")
+	}
+	// Interaction: joint discharge is below the sum of individual
+	// discharges (each leak lowers the other's driving pressure).
+	if rab.TotalEmitterFlow() >= ra.TotalEmitterFlow()+rb.TotalEmitterFlow() {
+		t.Fatal("expected sub-additive discharge from interacting leaks")
+	}
+}
+
+func TestSameNodeEmittersAggregate(t *testing.T) {
+	n := singlePipeNet(0)
+	s, _ := NewSolver(n, Options{Accuracy: 1e-6})
+	j, _ := n.NodeIndex("J")
+	one, err := s.SolveSteady(0, []Emitter{{Node: j, Coeff: 0.02}}, nil)
+	if err != nil {
+		t.Fatalf("single: %v", err)
+	}
+	two, err := s.SolveSteady(0, []Emitter{{Node: j, Coeff: 0.01}, {Node: j, Coeff: 0.01}}, nil)
+	if err != nil {
+		t.Fatalf("split: %v", err)
+	}
+	if math.Abs(one.EmitterFlow[j]-two.EmitterFlow[j]) > 1e-6 {
+		t.Fatalf("split emitters differ: %v vs %v", one.EmitterFlow[j], two.EmitterFlow[j])
+	}
+}
+
+func TestNotConverged(t *testing.T) {
+	n := network.BuildEPANet()
+	s, _ := NewSolver(n, Options{MaxIterations: 1})
+	_, err := s.SolveSteady(0, nil, nil)
+	if !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestInvalidNetworkRejected(t *testing.T) {
+	n := network.New("empty")
+	if _, err := NewSolver(n, Options{}); err == nil {
+		t.Fatal("empty network should be rejected")
+	}
+}
+
+func TestClosedLinkCarriesNoFlow(t *testing.T) {
+	n := network.BuildTestNet()
+	idx, _ := n.LinkIndex("P7") // J5—J6 loop pipe
+	n.Links[idx].Status = network.Closed
+	s, err := NewSolver(n, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	if res.Flow[idx] != 0 {
+		t.Fatalf("closed link flow = %v, want 0", res.Flow[idx])
+	}
+	if mbe := s.MassBalanceError(res); mbe > 1e-5 {
+		t.Fatalf("mass balance error = %v", mbe)
+	}
+}
+
+func TestDemandPatternShiftsFlows(t *testing.T) {
+	n := network.BuildEPANet()
+	s, _ := NewSolver(n, Options{})
+	night, err := s.SolveSteady(3*time.Hour, nil, nil)
+	if err != nil {
+		t.Fatalf("night: %v", err)
+	}
+	morning, err := s.SolveSteady(8*time.Hour, nil, nil)
+	if err != nil {
+		t.Fatalf("morning: %v", err)
+	}
+	var nightIn, morningIn float64
+	for li := range n.Links {
+		if n.Links[li].Type == network.Pump {
+			nightIn += night.Flow[li]
+			morningIn += morning.Flow[li]
+		}
+	}
+	if morningIn <= nightIn {
+		t.Fatalf("morning pump flow %v should exceed night %v", morningIn, nightIn)
+	}
+}

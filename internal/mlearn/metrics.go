@@ -1,0 +1,92 @@
+package mlearn
+
+// HammingScore is the paper's evaluation metric (Sec. V-B): the number of
+// correctly predicted leak events divided by the union of predicted and
+// true leak events — the Jaccard index of the two leak sets. A scenario
+// with no true and no predicted leaks scores 1.
+func HammingScore(pred, truth []int) float64 {
+	inter, union := 0, 0
+	n := len(pred)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	for i := 0; i < n; i++ {
+		p := pred[i] == 1
+		t := truth[i] == 1
+		if p && t {
+			inter++
+		}
+		if p || t {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// MeanHammingScore averages HammingScore over aligned prediction/truth
+// pairs; it returns 0 for empty input.
+func MeanHammingScore(preds, truths [][]int) float64 {
+	if len(preds) == 0 || len(preds) != len(truths) {
+		return 0
+	}
+	total := 0.0
+	for i := range preds {
+		total += HammingScore(preds[i], truths[i])
+	}
+	return total / float64(len(preds))
+}
+
+// ConfusionCounts tallies binary outcomes over one prediction vector.
+type ConfusionCounts struct {
+	TP, FP, TN, FN int
+}
+
+// Confusion computes the confusion counts for one scenario.
+func Confusion(pred, truth []int) ConfusionCounts {
+	var c ConfusionCounts
+	n := len(pred)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case pred[i] == 1 && truth[i] == 1:
+			c.TP++
+		case pred[i] == 1 && truth[i] == 0:
+			c.FP++
+		case pred[i] == 0 && truth[i] == 1:
+			c.FN++
+		default:
+			c.TN++
+		}
+	}
+	return c
+}
+
+// Precision returns TP/(TP+FP), or 1 when nothing was predicted positive.
+func (c ConfusionCounts) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP/(TP+FN), or 1 when nothing was truly positive.
+func (c ConfusionCounts) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 1
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c ConfusionCounts) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

@@ -1,0 +1,147 @@
+// Package mlearn provides the plug-and-play machine-learning suite used for
+// leak identification: from-scratch binary classifiers with probabilistic
+// output (the scikit-learn predict_proba analog), a multi-output wrapper
+// that trains one classifier per network node, and the paper's evaluation
+// metric (Hamming score).
+//
+// Implemented classifiers match the paper's lineup: linear regression
+// (ridge), logistic regression, gradient boosting, random forest, a linear
+// SVM with Platt-scaled probabilities, and the paper's HybridRSL stack
+// (RF + SVM fused through logistic regression).
+//
+// Classifiers are registered by name in a registry so experiment harnesses
+// can select and compose techniques at run time — the paper's
+// "plug-and-play analytic engine".
+package mlearn
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ErrNotFitted is returned when prediction is attempted before Fit.
+var ErrNotFitted = errors.New("mlearn: model not fitted")
+
+// Classifier is a binary classifier with probabilistic output.
+type Classifier interface {
+	// Fit trains on feature rows X and labels y ∈ {0,1}.
+	Fit(x [][]float64, y []int) error
+
+	// PredictProba returns P(y=1 | x) in [0, 1].
+	PredictProba(x []float64) float64
+}
+
+// Factory creates a classifier seeded for deterministic training.
+type Factory func(seed int64) Classifier
+
+// Predict thresholds a classifier's probability at 0.5.
+func Predict(c Classifier, x []float64) int {
+	if c.PredictProba(x) > 0.5 {
+		return 1
+	}
+	return 0
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = make(map[string]Factory)
+)
+
+// Register adds a named classifier factory to the plug-and-play registry.
+// Registering an existing name replaces it.
+func Register(name string, f Factory) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[name] = f
+}
+
+// NewByName instantiates a registered classifier.
+func NewByName(name string, seed int64) (Classifier, error) {
+	registryMu.RLock()
+	f, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("mlearn: unknown classifier %q (have %v)", name, Names())
+	}
+	return f(seed), nil
+}
+
+// Names lists the registered classifier names, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func init() {
+	Register("linear", func(seed int64) Classifier { return NewLinearRegression(LinearConfig{}) })
+	Register("logistic", func(seed int64) Classifier { return NewLogisticRegression(LogisticConfig{}) })
+	Register("gb", func(seed int64) Classifier { return NewGradientBoosting(GBConfig{Seed: seed}) })
+	Register("rf", func(seed int64) Classifier { return NewRandomForest(RFConfig{Seed: seed}) })
+	Register("svm", func(seed int64) Classifier { return NewSVM(SVMConfig{Seed: seed}) })
+	Register("hybrid-rsl", func(seed int64) Classifier { return NewHybridRSL(HybridConfig{Seed: seed}) })
+}
+
+// validateXY checks the common Fit preconditions.
+func validateXY(x [][]float64, y []int) (features int, err error) {
+	if len(x) == 0 {
+		return 0, errors.New("mlearn: empty training set")
+	}
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("mlearn: %d feature rows but %d labels", len(x), len(y))
+	}
+	features = len(x[0])
+	if features == 0 {
+		return 0, errors.New("mlearn: zero-width feature rows")
+	}
+	for i, row := range x {
+		if len(row) != features {
+			return 0, fmt.Errorf("mlearn: ragged features: row %d has %d, want %d", i, len(row), features)
+		}
+	}
+	for i, label := range y {
+		if label != 0 && label != 1 {
+			return 0, fmt.Errorf("mlearn: label %d at row %d is not binary", label, i)
+		}
+	}
+	return features, nil
+}
+
+// classWeights returns balanced per-class weights (index 0 and 1): each
+// class contributes equally to the loss regardless of prevalence. Leak
+// labels are heavily imbalanced (a handful of leaking nodes out of
+// hundreds), so unweighted training would collapse to "never leak".
+func classWeights(y []int) [2]float64 {
+	var counts [2]int
+	for _, v := range y {
+		counts[v]++
+	}
+	n := float64(len(y))
+	var w [2]float64
+	for c := 0; c < 2; c++ {
+		if counts[c] == 0 {
+			w[c] = 0
+			continue
+		}
+		w[c] = n / (2 * float64(counts[c]))
+	}
+	return w
+}
+
+// clamp01 clips p into [0, 1].
+func clamp01(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}

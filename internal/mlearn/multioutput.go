@@ -1,0 +1,113 @@
+package mlearn
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// MultiOutput transforms the multi-output leak classification into
+// independent per-node binary problems (paper Sec. III-B): one classifier
+// per node, all trained on the same features. Training parallelizes across
+// nodes.
+type MultiOutput struct {
+	factory Factory
+	seed    int64
+	models  []Classifier
+}
+
+// NewMultiOutput creates a multi-output wrapper around a classifier
+// factory. Each node's classifier gets a distinct derived seed.
+func NewMultiOutput(factory Factory, seed int64) *MultiOutput {
+	return &MultiOutput{factory: factory, seed: seed}
+}
+
+// Fit trains one classifier per output column. Y is indexed
+// [sample][output] with binary entries.
+func (m *MultiOutput) Fit(x [][]float64, y [][]int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("mlearn: empty training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("mlearn: %d feature rows but %d label rows", len(x), len(y))
+	}
+	outputs := len(y[0])
+	if outputs == 0 {
+		return fmt.Errorf("mlearn: zero outputs")
+	}
+	for i, row := range y {
+		if len(row) != outputs {
+			return fmt.Errorf("mlearn: ragged labels: row %d has %d outputs, want %d", i, len(row), outputs)
+		}
+	}
+
+	m.models = make([]Classifier, outputs)
+	errs := make([]error, outputs)
+	workers := runtime.NumCPU()
+	if workers > outputs {
+		workers = outputs
+	}
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for v := range work {
+				col := make([]int, len(y))
+				for i := range y {
+					col[i] = y[i][v]
+				}
+				c := m.factory(m.seed + int64(v)*31337)
+				if err := c.Fit(x, col); err != nil {
+					errs[v] = fmt.Errorf("output %d: %w", v, err)
+					continue
+				}
+				m.models[v] = c
+			}
+		}()
+	}
+	for v := 0; v < outputs; v++ {
+		work <- v
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Outputs returns the number of trained outputs.
+func (m *MultiOutput) Outputs() int { return len(m.models) }
+
+// PredictProba returns P(y_v = 1 | x) for every output v — the paper's
+// predict_proba.
+func (m *MultiOutput) PredictProba(x []float64) ([]float64, error) {
+	if m.models == nil {
+		return nil, ErrNotFitted
+	}
+	out := make([]float64, len(m.models))
+	for v, c := range m.models {
+		out[v] = c.PredictProba(x)
+	}
+	return out, nil
+}
+
+// Predict thresholds each output at 0.5 — the paper's predict, yielding
+// the set S of nodes predicted to leak.
+func (m *MultiOutput) Predict(x []float64) ([]int, error) {
+	proba, err := m.PredictProba(x)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]int, len(proba))
+	for v, p := range proba {
+		if p > 0.5 {
+			out[v] = 1
+		}
+	}
+	return out, nil
+}

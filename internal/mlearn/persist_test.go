@@ -1,0 +1,143 @@
+package mlearn
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func roundTrip(t *testing.T, c Classifier) Classifier {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := SaveClassifier(&buf, c); err != nil {
+		t.Fatalf("SaveClassifier: %v", err)
+	}
+	loaded, err := LoadClassifier(&buf)
+	if err != nil {
+		t.Fatalf("LoadClassifier: %v", err)
+	}
+	return loaded
+}
+
+func TestClassifierRoundTripPreservesPredictions(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	trX, trY := blobs(rng, 250, 0.4)
+	probes := make([][]float64, 50)
+	for i := range probes {
+		probes[i] = []float64{rng.NormFloat64() * 3, rng.NormFloat64() * 3}
+	}
+	for name, c := range makeAll(5) {
+		t.Run(name, func(t *testing.T) {
+			if err := c.Fit(trX, trY); err != nil {
+				t.Fatalf("Fit: %v", err)
+			}
+			loaded := roundTrip(t, c)
+			for _, x := range probes {
+				want := c.PredictProba(x)
+				got := loaded.PredictProba(x)
+				if want != got {
+					t.Fatalf("prediction drift after round trip: %v vs %v", want, got)
+				}
+			}
+		})
+	}
+}
+
+func TestFlattenTreeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	trX, trY := xorData(rng, 300)
+	tree := NewDecisionTree(TreeConfig{MaxDepth: 8})
+	if err := tree.Fit(trX, trY); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	flat := flattenTree(tree.root)
+	if len(flat) < 3 {
+		t.Fatalf("tree too small: %d nodes", len(flat))
+	}
+	rebuilt, err := unflattenTree(flat)
+	if err != nil {
+		t.Fatalf("unflattenTree: %v", err)
+	}
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+		if tree.root.predict(x) != rebuilt.predict(x) {
+			t.Fatal("rebuilt tree predicts differently")
+		}
+	}
+}
+
+func TestUnflattenTreeCorrupt(t *testing.T) {
+	if _, err := unflattenTree([]flatNode{{Leaf: false, Left: 5, Right: 6}}); err == nil {
+		t.Fatal("corrupt links should error")
+	}
+	root, err := unflattenTree(nil)
+	if err != nil || root != nil {
+		t.Fatalf("empty input: %v, %v", root, err)
+	}
+}
+
+func TestLoadClassifierUnknownKind(t *testing.T) {
+	var buf bytes.Buffer
+	// Hand-craft an envelope with a bogus kind.
+	env := envelope{Kind: "bogus", Payload: []byte{1, 2, 3}}
+	if err := encodeGob(&buf, env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadClassifier(&buf); err == nil {
+		t.Fatal("unknown kind should error")
+	}
+}
+
+func TestSaveUnfittedHybrid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveClassifier(&buf, NewHybridRSL(HybridConfig{})); err == nil {
+		t.Fatal("unfitted hybrid should refuse to save")
+	}
+}
+
+func TestMultiOutputRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 150
+	x := make([][]float64, n)
+	y := make([][]int, n)
+	for i := 0; i < n; i++ {
+		x[i] = []float64{rng.NormFloat64(), rng.NormFloat64()}
+		y[i] = []int{boolToInt(x[i][0] > 0), boolToInt(x[i][1] > 0)}
+	}
+	mo := NewMultiOutput(func(seed int64) Classifier {
+		return NewGradientBoosting(GBConfig{Seed: seed, Rounds: 20})
+	}, 9)
+	if err := mo.Fit(x, y); err != nil {
+		t.Fatalf("Fit: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := mo.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	loaded, err := LoadMultiOutput(&buf)
+	if err != nil {
+		t.Fatalf("LoadMultiOutput: %v", err)
+	}
+	if loaded.Outputs() != 2 {
+		t.Fatalf("outputs = %d", loaded.Outputs())
+	}
+	probe := []float64{1.2, -0.7}
+	want, _ := mo.PredictProba(probe)
+	got, err := loaded.PredictProba(probe)
+	if err != nil {
+		t.Fatalf("PredictProba: %v", err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("output %d drift: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func TestMultiOutputSaveUnfitted(t *testing.T) {
+	mo := NewMultiOutput(func(seed int64) Classifier { return NewDecisionTree(TreeConfig{}) }, 1)
+	var buf bytes.Buffer
+	if err := mo.Save(&buf); err != ErrNotFitted {
+		t.Fatalf("err = %v, want ErrNotFitted", err)
+	}
+}

@@ -1,0 +1,538 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Builders for the two evaluation networks used in the paper. The real
+// EPA-NET example file and the WSSC service-area subzone are not
+// redistributable, so these builders synthesize networks with exactly the
+// element counts the paper reports (Fig. 5) and physically plausible
+// geometry, elevations, demands and device curves:
+//
+//	EPA-NET:      96 nodes (91 junctions, 3 tanks, 2 reservoirs),
+//	              118 pipes, 2 pumps, 1 valve
+//	WSSC-SUBNET:  299 nodes (298 junctions, 1 reservoir),
+//	              316 pipes, 2 valves
+//
+// Both builders are fully deterministic.
+
+// diurnalPattern is a 24-hour residential demand pattern with morning and
+// evening peaks, normalized to mean 1.0.
+func diurnalPattern() []float64 {
+	raw := []float64{
+		0.55, 0.45, 0.40, 0.40, 0.45, 0.60, // 00:00 - 05:00
+		0.95, 1.45, 1.60, 1.35, 1.15, 1.05, // 06:00 - 11:00
+		1.00, 0.95, 0.90, 0.95, 1.05, 1.25, // 12:00 - 17:00
+		1.50, 1.40, 1.20, 1.00, 0.80, 0.65, // 18:00 - 23:00
+	}
+	mean := 0.0
+	for _, v := range raw {
+		mean += v
+	}
+	mean /= float64(len(raw))
+	out := make([]float64, len(raw))
+	for i, v := range raw {
+		out[i] = v / mean
+	}
+	return out
+}
+
+// unionFind supports Kruskal spanning-tree construction.
+type unionFind struct{ parent []int }
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{parent: p}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return false
+	}
+	u.parent[ra] = rb
+	return true
+}
+
+// gridEdge is a candidate pipe between two junction indices.
+type gridEdge struct{ a, b int }
+
+// selectPipes picks exactly want edges from candidates over n vertices such
+// that the selection is connected: a shuffled spanning tree first, then
+// shuffled loop closures. It panics if want is infeasible, which would be a
+// programming error in the builders.
+func selectPipes(rng *rand.Rand, n int, candidates []gridEdge, want int) []gridEdge {
+	if want < n-1 || want > len(candidates) {
+		panic(fmt.Sprintf("network: cannot select %d pipes from %d candidates over %d vertices",
+			want, len(candidates), n))
+	}
+	shuffled := make([]gridEdge, len(candidates))
+	copy(shuffled, candidates)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	uf := newUnionFind(n)
+	selected := make([]gridEdge, 0, want)
+	var leftovers []gridEdge
+	for _, e := range shuffled {
+		if uf.union(e.a, e.b) {
+			selected = append(selected, e)
+		} else {
+			leftovers = append(leftovers, e)
+		}
+	}
+	if len(selected) != n-1 {
+		panic("network: candidate edge set is not connected")
+	}
+	for _, e := range leftovers {
+		if len(selected) == want {
+			break
+		}
+		selected = append(selected, e)
+	}
+	if len(selected) != want {
+		panic("network: not enough loop candidates")
+	}
+	return selected
+}
+
+// standardDiameters are commercial pipe sizes in meters.
+var standardDiameters = []float64{0.150, 0.200, 0.250, 0.300, 0.350, 0.400, 0.450, 0.500, 0.600, 0.750, 0.900}
+
+// diameterForFlow picks the smallest standard diameter keeping velocity at
+// or below the design velocity for the given flow.
+func diameterForFlow(q, designVelocity float64) float64 {
+	if q < 0 {
+		q = -q
+	}
+	for _, d := range standardDiameters {
+		area := math.Pi * d * d / 4
+		if q <= designVelocity*area {
+			return d
+		}
+	}
+	return standardDiameters[len(standardDiameters)-1]
+}
+
+// designFlows estimates a design flow for every selected pipe by routing
+// each junction's base demand up a BFS tree toward the nearest seed
+// (source). Tree edges accumulate their whole subtree's demand; loop edges
+// (not on the tree) get a nominal local flow. This mirrors how real
+// distribution systems are sized: trunk mains near sources, small
+// distribution pipes at the periphery.
+func designFlows(n *Network, pipes []gridEdge, seeds []int) []float64 {
+	adj := make(map[int][]int, len(n.Nodes)) // node → incident pipe indices
+	for pi, e := range pipes {
+		adj[e.a] = append(adj[e.a], pi)
+		adj[e.b] = append(adj[e.b], pi)
+	}
+	parentEdge := make([]int, len(n.Nodes))
+	depth := make([]int, len(n.Nodes))
+	for i := range parentEdge {
+		parentEdge[i] = -1
+		depth[i] = -1
+	}
+	var order []int
+	queue := make([]int, 0, len(n.Nodes))
+	for _, s := range seeds {
+		if depth[s] < 0 {
+			depth[s] = 0
+			queue = append(queue, s)
+		}
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, pi := range adj[u] {
+			e := pipes[pi]
+			v := e.a
+			if v == u {
+				v = e.b
+			}
+			if depth[v] < 0 {
+				depth[v] = depth[u] + 1
+				parentEdge[v] = pi
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	flow := make([]float64, len(pipes))
+	subtree := make([]float64, len(n.Nodes))
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == Junction {
+			subtree[i] = n.Nodes[i].BaseDemand * 1.6 // peak factor
+		}
+	}
+	// Deepest-first accumulation up the tree.
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		pe := parentEdge[u]
+		if pe < 0 {
+			continue
+		}
+		flow[pe] += subtree[u]
+		e := pipes[pe]
+		parent := e.a
+		if parent == u {
+			parent = e.b
+		}
+		subtree[parent] += subtree[u]
+	}
+	// Loop edges: nominal local distribution flow.
+	for pi := range flow {
+		if flow[pi] == 0 {
+			flow[pi] = 0.004
+		}
+	}
+	return flow
+}
+
+// BuildEPANet constructs the canonical EPA-NET evaluation network: 96 nodes
+// (91 junctions laid out on a jittered 13×7 grid, 3 elevated tanks, 2
+// source reservoirs), 118 pipes, 2 pumps and 1 valve. The network is
+// deterministic and passes Validate.
+func BuildEPANet() *Network {
+	const (
+		cols, rows = 13, 7
+		spacingM   = 200.0
+		seed       = 20170605 // fixed: networks must be reproducible
+	)
+	rng := rand.New(rand.NewSource(seed))
+	n := New("EPA-NET")
+	n.PatternStep = time.Hour
+	n.Patterns["diurnal"] = Pattern{ID: "diurnal", Multipliers: diurnalPattern()}
+
+	// Terrain: gentle slope with low-frequency undulation, 2–22 m.
+	terrain := func(x, y float64) float64 {
+		return 10 +
+			6*math.Sin(x/900)*math.Cos(y/700) +
+			4*math.Sin((x+y)/1200) +
+			x/1500
+	}
+
+	// Junction grid.
+	junc := make([]int, 0, cols*rows)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := float64(c)*spacingM + (rng.Float64()-0.5)*40
+			y := float64(r)*spacingM + (rng.Float64()-0.5)*40
+			demand := (0.2 + rng.Float64()*1.1) / 1000.0 // 0.2 – 1.3 L/s
+			idx, err := n.AddNode(Node{
+				ID:         fmt.Sprintf("J%d", r*cols+c+1),
+				Type:       Junction,
+				Elevation:  terrain(x, y),
+				X:          x,
+				Y:          y,
+				BaseDemand: demand,
+				PatternID:  "diurnal",
+			})
+			if err != nil {
+				panic(err) // unreachable: ids are unique by construction
+			}
+			junc = append(junc, idx)
+		}
+	}
+
+	at := func(r, c int) int { return junc[r*cols+c] }
+
+	// Candidate grid edges (horizontal + vertical neighbors).
+	var candidates []gridEdge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				candidates = append(candidates, gridEdge{at(r, c), at(r, c+1)})
+			}
+			if r+1 < rows {
+				candidates = append(candidates, gridEdge{at(r, c), at(r+1, c)})
+			}
+		}
+	}
+
+	// 115 grid pipes + 3 tank risers = 118 pipes.
+	gridPipes := selectPipes(rng, cols*rows, candidates, 115)
+
+	// Sources: two reservoirs on the west and east edges. The network is
+	// pump-fed from low reservoirs (treatment-plant clearwells).
+	westJ := at(rows/2, 0)
+	eastJ := at(rows/2, cols-1)
+	resWest, _ := n.AddNode(Node{
+		ID: "RES-W", Type: Reservoir,
+		Elevation: 8,
+		X:         n.Nodes[westJ].X - 300, Y: n.Nodes[westJ].Y,
+	})
+	resEast, _ := n.AddNode(Node{
+		ID: "RES-E", Type: Reservoir,
+		Elevation: 6,
+		X:         n.Nodes[eastJ].X + 300, Y: n.Nodes[eastJ].Y,
+	})
+
+	// Tanks: three elevated storage tanks spread across the grid. Their
+	// fixed grade (elevation + level) floats near the pumped HGL so they
+	// neither drain nor overflow over a day.
+	tankSpots := []struct {
+		r, c int
+		id   string
+	}{
+		{1, 3, "TANK-1"}, {5, 6, "TANK-2"}, {2, 10, "TANK-3"},
+	}
+	tankIdx := make([]int, 0, len(tankSpots))
+	tankJ := make([]int, 0, len(tankSpots))
+	for _, ts := range tankSpots {
+		j := at(ts.r, ts.c)
+		idx, _ := n.AddNode(Node{
+			ID:           ts.id,
+			Type:         Tank,
+			Elevation:    52,
+			X:            n.Nodes[j].X + 80,
+			Y:            n.Nodes[j].Y + 80,
+			TankDiameter: 18,
+			InitLevel:    4.0,
+			MinLevel:     0.5,
+			MaxLevel:     8.0,
+		})
+		tankIdx = append(tankIdx, idx)
+		tankJ = append(tankJ, j)
+	}
+
+	// Size pipes by accumulated downstream demand from the supply points
+	// (pump discharge junctions and tank connections).
+	flows := designFlows(n, gridPipes, append([]int{westJ, eastJ}, tankJ...))
+
+	pipeSeq := 0
+	addPipe := func(a, b int, diam float64) {
+		pipeSeq++
+		length := n.Distance(a, b) * 1.1 // routing slack over plan distance
+		if length < 10 {
+			length = 10
+		}
+		if _, err := n.AddLink(Link{
+			ID:        fmt.Sprintf("P%d", pipeSeq),
+			Type:      Pipe,
+			From:      a,
+			To:        b,
+			Length:    length,
+			Diameter:  diam,
+			Roughness: 95 + rng.Float64()*35, // Hazen-Williams C: aged cast iron to newer PVC
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	for pi, e := range gridPipes {
+		addPipe(e.a, e.b, diameterForFlow(flows[pi], 0.7))
+	}
+	for i, tIdx := range tankIdx {
+		addPipe(tIdx, tankJ[i], 0.350)
+	}
+
+	// Pumps: reservoir → adjacent junction. Curve H = H0 − R·Q².
+	// Sized so each pump carries about half the total demand (~0.03 m³/s)
+	// at ~52 m of lift.
+	addPump := func(id string, from, to int) {
+		if _, err := n.AddLink(Link{
+			ID: id, Type: Pump, From: from, To: to,
+			PumpH0: 66, PumpR: 9000, PumpN: 2,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	addPump("PU-W", resWest, westJ)
+	addPump("PU-E", resEast, eastJ)
+
+	// Valve: an isolation valve between two central junctions.
+	if _, err := n.AddLink(Link{
+		ID: "V1", Type: Valve,
+		From: at(3, 5), To: at(3, 6),
+		Diameter: 0.300, MinorLoss: 2.5, Length: 5,
+	}); err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// BuildWSSCSubnet constructs the WSSC-SUBNET evaluation network: 299 nodes
+// (298 junctions, 1 source reservoir), 316 pipes and 2 valves. Topology is
+// a mostly dendritic suburban layout (loop ratio matches the paper's
+// 316 pipes over 299 nodes) fed by gravity from a high reservoir.
+func BuildWSSCSubnet() *Network {
+	const (
+		cols, rows = 23, 13 // 299 grid sites; one becomes the reservoir
+		spacingM   = 150.0
+		seed       = 20170606
+	)
+	rng := rand.New(rand.NewSource(seed))
+	n := New("WSSC-SUBNET")
+	n.PatternStep = time.Hour
+	n.Patterns["diurnal"] = Pattern{ID: "diurnal", Multipliers: diurnalPattern()}
+
+	// Terrain: ridge at the reservoir corner sloping down across the zone,
+	// 20–90 m, so gravity feed sustains positive pressures.
+	terrain := func(x, y float64) float64 {
+		dx := x - 0
+		dy := y - 0
+		dist := math.Hypot(dx, dy)
+		return 78 - dist/75 + 5*math.Sin(x/600)*math.Cos(y/500)
+	}
+
+	total := cols * rows // 299
+	// Site (0,0) is the reservoir; remaining 298 sites are junctions.
+	ids := make([]int, total)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			site := r*cols + c
+			x := float64(c)*spacingM + (rng.Float64()-0.5)*50
+			y := float64(r)*spacingM + (rng.Float64()-0.5)*50
+			if site == 0 {
+				idx, _ := n.AddNode(Node{
+					ID:        "SRC",
+					Type:      Reservoir,
+					Elevation: 105, // hilltop storage feeding the zone
+					X:         x, Y: y,
+				})
+				ids[site] = idx
+				continue
+			}
+			demand := (0.15 + rng.Float64()*0.85) / 1000.0 // 0.15 – 1.0 L/s
+			idx, err := n.AddNode(Node{
+				ID:         fmt.Sprintf("W%d", site),
+				Type:       Junction,
+				Elevation:  terrain(x, y),
+				X:          x,
+				Y:          y,
+				BaseDemand: demand,
+				PatternID:  "diurnal",
+			})
+			if err != nil {
+				panic(err)
+			}
+			ids[site] = idx
+		}
+	}
+
+	at := func(r, c int) int { return ids[r*cols+c] }
+	var candidates []gridEdge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				candidates = append(candidates, gridEdge{at(r, c), at(r, c+1)})
+			}
+			if r+1 < rows {
+				candidates = append(candidates, gridEdge{at(r, c), at(r+1, c)})
+			}
+		}
+	}
+
+	// 316 pipes over 299 nodes: spanning tree (298) + 18 loops. Mostly
+	// dendritic, so sizing must follow accumulated downstream demand.
+	pipes := selectPipes(rng, total, candidates, 316)
+	flows := designFlows(n, pipes, []int{ids[0]})
+
+	pipeSeq := 0
+	for pi, e := range pipes {
+		pipeSeq++
+		length := n.Distance(e.a, e.b) * 1.15
+		if length < 10 {
+			length = 10
+		}
+		if _, err := n.AddLink(Link{
+			ID:        fmt.Sprintf("WP%d", pipeSeq),
+			Type:      Pipe,
+			From:      e.a,
+			To:        e.b,
+			Length:    length,
+			Diameter:  diameterForFlow(flows[pi], 0.6),
+			Roughness: 85 + rng.Float64()*40,
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Two isolation valves on central corridors.
+	for i, spot := range []struct{ r1, c1, r2, c2 int }{
+		{6, 7, 6, 8}, {4, 15, 5, 15},
+	} {
+		if _, err := n.AddLink(Link{
+			ID:   fmt.Sprintf("WV%d", i+1),
+			Type: Valve,
+			From: at(spot.r1, spot.c1), To: at(spot.r2, spot.c2),
+			Diameter: 0.250, MinorLoss: 2.0, Length: 5,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return n
+}
+
+// BuildTestNet constructs a small 7-junction looped network with one
+// gravity reservoir, suitable for fast unit tests of the hydraulic engine.
+//
+//	R ── J1 ── J2 ── J3
+//	      │     │     │
+//	     J4 ── J5 ── J6
+//	                  │
+//	                 J7
+func BuildTestNet() *Network {
+	n := New("TESTNET")
+	n.PatternStep = time.Hour
+	res, _ := n.AddNode(Node{ID: "R", Type: Reservoir, Elevation: 60, X: -500, Y: 0})
+	coords := []struct{ x, y float64 }{
+		{0, 0}, {500, 0}, {1000, 0},
+		{0, -500}, {500, -500}, {1000, -500},
+		{1000, -1000},
+	}
+	idx := make([]int, 7)
+	for i, c := range coords {
+		idx[i], _ = n.AddNode(Node{
+			ID:         fmt.Sprintf("J%d", i+1),
+			Type:       Junction,
+			Elevation:  5 + float64(i),
+			X:          c.x,
+			Y:          c.y,
+			BaseDemand: 0.005, // 5 L/s
+		})
+	}
+	pipes := []struct {
+		a, b int
+		d    float64
+	}{
+		{0, 1, 0.400}, {1, 2, 0.300},
+		{0, 3, 0.300}, {1, 4, 0.250}, {2, 5, 0.250},
+		{3, 4, 0.250}, {4, 5, 0.250}, {5, 6, 0.200},
+	}
+	for i, p := range pipes {
+		if _, err := n.AddLink(Link{
+			ID:        fmt.Sprintf("P%d", i+1),
+			Type:      Pipe,
+			From:      idx[p.a],
+			To:        idx[p.b],
+			Length:    500,
+			Diameter:  p.d,
+			Roughness: 110,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	if _, err := n.AddLink(Link{
+		ID: "PR", Type: Pipe, From: res, To: idx[0],
+		Length: 500, Diameter: 0.500, Roughness: 120,
+	}); err != nil {
+		panic(err)
+	}
+	return n
+}

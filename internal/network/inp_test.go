@@ -1,0 +1,232 @@
+package network
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+const sampleINP = `
+[TITLE]
+Sample Network
+
+[JUNCTIONS]
+;ID  Elev  Demand  Pattern
+J1   10.0  1.5     diurnal
+J2   12.0  0.8
+J3   8.0   0.0
+
+[RESERVOIRS]
+R1   60.0
+
+[TANKS]
+T1   50.0  3.0  0.5  6.0  15.0
+
+[PIPES]
+;ID  N1  N2  Len  Dia-mm  Rough
+P1   R1  J1  500  400     110
+P2   J1  J2  300  250     100  0.5
+P3   J2  J3  300  200     95   0.0  Closed
+P4   T1  J2  100  300     120
+
+[PUMPS]
+PU1  R1  J3  H0 50 R 1000 N 2
+
+[VALVES]
+V1   J1  J3  250  TCV  2.5
+
+[PATTERNS]
+diurnal 0.5 1.0
+diurnal 1.5 1.0
+
+[STATUS]
+P2 Closed
+
+[COORDINATES]
+J1  0    0
+J2  300  0
+J3  600  0
+R1  -500 0
+T1  300  300
+
+[TIMES]
+PATTERN TIMESTEP 2:00
+
+[OPTIONS]
+UNITS LPS
+
+[END]
+`
+
+func TestReadINP(t *testing.T) {
+	n, err := ReadINP(strings.NewReader(sampleINP))
+	if err != nil {
+		t.Fatalf("ReadINP: %v", err)
+	}
+	if n.Name != "Sample Network" {
+		t.Fatalf("name = %q", n.Name)
+	}
+	if n.JunctionCount() != 3 || n.ReservoirCount() != 1 || n.TankCount() != 1 {
+		t.Fatalf("node counts wrong: %d/%d/%d", n.JunctionCount(), n.ReservoirCount(), n.TankCount())
+	}
+	if n.PipeCount() != 4 || n.PumpCount() != 1 || n.ValveCount() != 1 {
+		t.Fatalf("link counts wrong: %d/%d/%d", n.PipeCount(), n.PumpCount(), n.ValveCount())
+	}
+
+	j1, _ := n.NodeIndex("J1")
+	if got := n.Nodes[j1].BaseDemand; math.Abs(got-0.0015) > 1e-12 {
+		t.Fatalf("J1 demand = %v, want 0.0015 (1.5 LPS)", got)
+	}
+	if n.Nodes[j1].PatternID != "diurnal" {
+		t.Fatalf("J1 pattern = %q", n.Nodes[j1].PatternID)
+	}
+	if n.Nodes[j1].X != 0 || n.Nodes[j1].Y != 0 {
+		t.Fatalf("J1 coords = %v,%v", n.Nodes[j1].X, n.Nodes[j1].Y)
+	}
+
+	p2, _ := n.LinkIndex("P2")
+	if n.Links[p2].Status != Closed {
+		t.Fatal("P2 should be closed via [STATUS]")
+	}
+	if math.Abs(n.Links[p2].Diameter-0.250) > 1e-12 {
+		t.Fatalf("P2 diameter = %v, want 0.250", n.Links[p2].Diameter)
+	}
+	if n.Links[p2].MinorLoss != 0.5 {
+		t.Fatalf("P2 minor loss = %v", n.Links[p2].MinorLoss)
+	}
+	p3, _ := n.LinkIndex("P3")
+	if n.Links[p3].Status != Closed {
+		t.Fatal("P3 should be closed via inline status")
+	}
+
+	pu, _ := n.LinkIndex("PU1")
+	l := n.Links[pu]
+	if l.PumpH0 != 50 || l.PumpR != 1000 || l.PumpN != 2 {
+		t.Fatalf("pump curve = %v/%v/%v", l.PumpH0, l.PumpR, l.PumpN)
+	}
+
+	pat, ok := n.Patterns["diurnal"]
+	if !ok || len(pat.Multipliers) != 4 {
+		t.Fatalf("pattern = %+v", pat)
+	}
+	if n.PatternStep != 2*time.Hour {
+		t.Fatalf("pattern step = %v, want 2h", n.PatternStep)
+	}
+
+	t1, _ := n.NodeIndex("T1")
+	tank := n.Nodes[t1]
+	if tank.InitLevel != 3 || tank.MinLevel != 0.5 || tank.MaxLevel != 6 || tank.TankDiameter != 15 {
+		t.Fatalf("tank fields = %+v", tank)
+	}
+}
+
+func TestReadINPErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		inp  string
+	}{
+		{"unterminated section", "[JUNCTIONS\nJ1 1\n"},
+		{"bad number", "[JUNCTIONS]\nJ1 abc\n"},
+		{"junction too short", "[JUNCTIONS]\nJ1\n"},
+		{"unknown node ref", "[PIPES]\nP1 A B 10 100 100\n"},
+		{"unknown pump keyword", "[JUNCTIONS]\nJ1 1\nJ2 2\n[PUMPS]\nPU J1 J2 XX 5\n"},
+		{"bad status", "[JUNCTIONS]\nJ1 1\n[STATUS]\nP1 half\n"},
+		{"bad units", "[OPTIONS]\nUNITS GPM\n"},
+		{"tank too short", "[TANKS]\nT1 10 1 0\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadINP(strings.NewReader(c.inp)); err == nil {
+				t.Fatalf("expected error for %s", c.name)
+			}
+		})
+	}
+}
+
+func TestParseINPErrorHasLine(t *testing.T) {
+	_, err := ReadINP(strings.NewReader("[JUNCTIONS]\nJ1 notanumber\n"))
+	var pe *ParseINPError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *ParseINPError", err)
+	}
+	if pe.Line != 2 {
+		t.Fatalf("line = %d, want 2", pe.Line)
+	}
+	if !strings.Contains(pe.Error(), "line 2") {
+		t.Fatalf("Error() = %q", pe.Error())
+	}
+}
+
+func TestINPRoundTrip(t *testing.T) {
+	for _, build := range []func() *Network{BuildTestNet, BuildEPANet, BuildWSSCSubnet} {
+		orig := build()
+		var buf bytes.Buffer
+		if err := WriteINP(&buf, orig); err != nil {
+			t.Fatalf("WriteINP: %v", err)
+		}
+		got, err := ReadINP(&buf)
+		if err != nil {
+			t.Fatalf("ReadINP(%s): %v", orig.Name, err)
+		}
+		if got.Name != orig.Name {
+			t.Fatalf("name = %q, want %q", got.Name, orig.Name)
+		}
+		if len(got.Nodes) != len(orig.Nodes) || len(got.Links) != len(orig.Links) {
+			t.Fatalf("%s: sizes %d/%d, want %d/%d", orig.Name,
+				len(got.Nodes), len(got.Links), len(orig.Nodes), len(orig.Links))
+		}
+		for id := range orig.Patterns {
+			gp, ok := got.Patterns[id]
+			if !ok {
+				t.Fatalf("%s: lost pattern %q", orig.Name, id)
+			}
+			if len(gp.Multipliers) != len(orig.Patterns[id].Multipliers) {
+				t.Fatalf("%s: pattern %q length changed", orig.Name, id)
+			}
+		}
+		if got.PatternStep != orig.PatternStep {
+			t.Fatalf("%s: pattern step %v, want %v", orig.Name, got.PatternStep, orig.PatternStep)
+		}
+		// Every original node survives with its type and near-equal elevation.
+		for i := range orig.Nodes {
+			on := &orig.Nodes[i]
+			gi, ok := got.NodeIndex(on.ID)
+			if !ok {
+				t.Fatalf("%s: lost node %q", orig.Name, on.ID)
+			}
+			gn := &got.Nodes[gi]
+			if gn.Type != on.Type {
+				t.Fatalf("%s: node %q type %v, want %v", orig.Name, on.ID, gn.Type, on.Type)
+			}
+			if math.Abs(gn.Elevation-on.Elevation) > 1e-3 {
+				t.Fatalf("%s: node %q elevation drifted: %v vs %v", orig.Name, on.ID, gn.Elevation, on.Elevation)
+			}
+			if math.Abs(gn.BaseDemand-on.BaseDemand) > 1e-9 {
+				t.Fatalf("%s: node %q demand drifted", orig.Name, on.ID)
+			}
+		}
+		for i := range orig.Links {
+			ol := &orig.Links[i]
+			gi, ok := got.LinkIndex(ol.ID)
+			if !ok {
+				t.Fatalf("%s: lost link %q", orig.Name, ol.ID)
+			}
+			gl := &got.Links[gi]
+			if gl.Type != ol.Type || gl.Status != ol.Status {
+				t.Fatalf("%s: link %q type/status changed", orig.Name, ol.ID)
+			}
+			if got.Nodes[gl.From].ID != orig.Nodes[ol.From].ID || got.Nodes[gl.To].ID != orig.Nodes[ol.To].ID {
+				t.Fatalf("%s: link %q endpoints changed", orig.Name, ol.ID)
+			}
+			if ol.Type == Pipe && math.Abs(gl.Diameter-ol.Diameter) > 1e-6 {
+				t.Fatalf("%s: pipe %q diameter drifted", orig.Name, ol.ID)
+			}
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("%s: round-tripped network invalid: %v", orig.Name, err)
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package network models community water distribution networks: junctions,
+// reservoirs and tanks connected by pipes, pumps and valves, with diurnal
+// demand patterns and pump head curves.
+//
+// The package also ships deterministic builders for the two networks the
+// paper evaluates on — the canonical EPA-NET network (96 nodes, 118 pipes,
+// 2 pumps, 1 valve, 3 tanks, 2 sources) and WSSC-SUBNET (299 nodes, 316
+// pipes, 2 valves, 1 source) — plus a reader/writer for a practical subset
+// of the EPANET INP file format.
+//
+// All quantities are SI: meters, cubic meters per second, meters of head.
+package network
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/graph"
+)
+
+// NodeType distinguishes junctions from fixed-grade nodes.
+type NodeType int
+
+// Node types. Junction heads are unknowns solved by the hydraulic engine;
+// reservoirs are fixed-grade; tanks are fixed-grade within a hydraulic step
+// with levels integrated between steps.
+const (
+	Junction NodeType = iota + 1
+	Reservoir
+	Tank
+)
+
+// String implements fmt.Stringer.
+func (t NodeType) String() string {
+	switch t {
+	case Junction:
+		return "junction"
+	case Reservoir:
+		return "reservoir"
+	case Tank:
+		return "tank"
+	default:
+		return fmt.Sprintf("NodeType(%d)", int(t))
+	}
+}
+
+// LinkType distinguishes pipes, pumps and valves.
+type LinkType int
+
+// Link types.
+const (
+	Pipe LinkType = iota + 1
+	Pump
+	Valve
+)
+
+// String implements fmt.Stringer.
+func (t LinkType) String() string {
+	switch t {
+	case Pipe:
+		return "pipe"
+	case Pump:
+		return "pump"
+	case Valve:
+		return "valve"
+	default:
+		return fmt.Sprintf("LinkType(%d)", int(t))
+	}
+}
+
+// LinkStatus is the operational status of a link.
+type LinkStatus int
+
+// Link statuses.
+const (
+	Open LinkStatus = iota + 1
+	Closed
+)
+
+// String implements fmt.Stringer.
+func (s LinkStatus) String() string {
+	if s == Closed {
+		return "closed"
+	}
+	return "open"
+}
+
+// Node is a vertex of the water network.
+type Node struct {
+	ID   string
+	Type NodeType
+
+	// Elevation of the node invert in meters. For reservoirs this is the
+	// fixed hydraulic grade line.
+	Elevation float64
+
+	// X, Y are plan coordinates in meters, used for sensor-clique geometry
+	// and DEM interpolation.
+	X, Y float64
+
+	// BaseDemand is the average consumption at a junction in m³/s,
+	// modulated by the demand pattern.
+	BaseDemand float64
+
+	// PatternID names the demand pattern; empty means constant demand.
+	PatternID string
+
+	// Tank geometry (cylindrical). Levels are measured above Elevation.
+	TankDiameter float64
+	InitLevel    float64
+	MinLevel     float64
+	MaxLevel     float64
+}
+
+// Link is an edge of the water network.
+type Link struct {
+	ID     string
+	Type   LinkType
+	From   int // index into Network.Nodes
+	To     int
+	Status LinkStatus
+
+	// Pipe attributes.
+	Length    float64 // m
+	Diameter  float64 // m
+	Roughness float64 // Hazen-Williams C
+	MinorLoss float64 // dimensionless minor-loss coefficient
+
+	// Pump head curve H = H0 − R·Q^N (H in m, Q in m³/s), valid for Q ≥ 0.
+	PumpH0 float64
+	PumpR  float64
+	PumpN  float64
+}
+
+// Pattern is a repeating multiplier sequence applied to base demand.
+type Pattern struct {
+	ID          string
+	Multipliers []float64
+}
+
+// At returns the multiplier at elapsed time t for the given pattern step.
+// Patterns repeat cyclically; an empty pattern yields 1.0.
+func (p Pattern) At(t, step time.Duration) float64 {
+	if len(p.Multipliers) == 0 || step <= 0 {
+		return 1.0
+	}
+	idx := int(t/step) % len(p.Multipliers)
+	if idx < 0 {
+		idx += len(p.Multipliers)
+	}
+	return p.Multipliers[idx]
+}
+
+// Network is a complete water distribution network.
+type Network struct {
+	Name  string
+	Nodes []Node
+	Links []Link
+
+	// Patterns maps pattern id to its multiplier sequence.
+	Patterns map[string]Pattern
+
+	// PatternStep is the duration each pattern multiplier spans.
+	PatternStep time.Duration
+
+	nodeIndex map[string]int
+	linkIndex map[string]int
+}
+
+// New creates an empty network.
+func New(name string) *Network {
+	return &Network{
+		Name:        name,
+		Patterns:    make(map[string]Pattern),
+		PatternStep: time.Hour,
+		nodeIndex:   make(map[string]int),
+		linkIndex:   make(map[string]int),
+	}
+}
+
+// AddNode appends a node and returns its index. Duplicate ids are rejected.
+func (n *Network) AddNode(node Node) (int, error) {
+	if node.ID == "" {
+		return 0, fmt.Errorf("network: node with empty id")
+	}
+	if _, dup := n.nodeIndex[node.ID]; dup {
+		return 0, fmt.Errorf("network: duplicate node id %q", node.ID)
+	}
+	idx := len(n.Nodes)
+	n.Nodes = append(n.Nodes, node)
+	n.nodeIndex[node.ID] = idx
+	return idx, nil
+}
+
+// AddLink appends a link and returns its index. Endpoints must exist.
+func (n *Network) AddLink(link Link) (int, error) {
+	if link.ID == "" {
+		return 0, fmt.Errorf("network: link with empty id")
+	}
+	if _, dup := n.linkIndex[link.ID]; dup {
+		return 0, fmt.Errorf("network: duplicate link id %q", link.ID)
+	}
+	if link.From < 0 || link.From >= len(n.Nodes) || link.To < 0 || link.To >= len(n.Nodes) {
+		return 0, fmt.Errorf("network: link %q endpoints (%d,%d) out of range", link.ID, link.From, link.To)
+	}
+	if link.From == link.To {
+		return 0, fmt.Errorf("network: link %q is a self-loop at node %d", link.ID, link.From)
+	}
+	if link.Status == 0 {
+		link.Status = Open
+	}
+	idx := len(n.Links)
+	n.Links = append(n.Links, link)
+	n.linkIndex[link.ID] = idx
+	return idx, nil
+}
+
+// NodeIndex returns the index of the node with the given id.
+func (n *Network) NodeIndex(id string) (int, bool) {
+	idx, ok := n.nodeIndex[id]
+	return idx, ok
+}
+
+// LinkIndex returns the index of the link with the given id.
+func (n *Network) LinkIndex(id string) (int, bool) {
+	idx, ok := n.linkIndex[id]
+	return idx, ok
+}
+
+// PatternMultiplier returns the demand multiplier for the given pattern id
+// at elapsed time t (1.0 when the id is empty or unknown).
+func (n *Network) PatternMultiplier(id string, t time.Duration) float64 {
+	if id == "" {
+		return 1.0
+	}
+	p, ok := n.Patterns[id]
+	if !ok {
+		return 1.0
+	}
+	return p.At(t, n.PatternStep)
+}
+
+// DemandAt returns node i's consumption in m³/s at elapsed time t.
+func (n *Network) DemandAt(i int, t time.Duration) float64 {
+	node := &n.Nodes[i]
+	if node.Type != Junction {
+		return 0
+	}
+	return node.BaseDemand * n.PatternMultiplier(node.PatternID, t)
+}
+
+// JunctionCount returns the number of junction nodes.
+func (n *Network) JunctionCount() int { return n.countNodes(Junction) }
+
+// ReservoirCount returns the number of reservoir nodes.
+func (n *Network) ReservoirCount() int { return n.countNodes(Reservoir) }
+
+// TankCount returns the number of tank nodes.
+func (n *Network) TankCount() int { return n.countNodes(Tank) }
+
+func (n *Network) countNodes(t NodeType) int {
+	c := 0
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == t {
+			c++
+		}
+	}
+	return c
+}
+
+// PipeCount returns the number of pipe links.
+func (n *Network) PipeCount() int { return n.countLinks(Pipe) }
+
+// PumpCount returns the number of pump links.
+func (n *Network) PumpCount() int { return n.countLinks(Pump) }
+
+// ValveCount returns the number of valve links.
+func (n *Network) ValveCount() int { return n.countLinks(Valve) }
+
+func (n *Network) countLinks(t LinkType) int {
+	c := 0
+	for i := range n.Links {
+		if n.Links[i].Type == t {
+			c++
+		}
+	}
+	return c
+}
+
+// Graph converts the network to a weighted undirected graph over node
+// indices, with pipe length as the edge weight (pumps and valves get a
+// nominal short length so they do not distort path distances). Closed
+// links are excluded.
+func (n *Network) Graph() *graph.Graph {
+	g := graph.New(len(n.Nodes))
+	for i := range n.Links {
+		l := &n.Links[i]
+		if l.Status == Closed {
+			continue
+		}
+		w := l.Length
+		if l.Type != Pipe || w <= 0 {
+			w = 1 // nominal device length in meters
+		}
+		// Endpoints were validated at AddLink time.
+		_ = g.AddEdge(l.From, l.To, w)
+	}
+	return g
+}
+
+// Distance returns the Euclidean plan distance between nodes i and j.
+func (n *Network) Distance(i, j int) float64 {
+	dx := n.Nodes[i].X - n.Nodes[j].X
+	dy := n.Nodes[i].Y - n.Nodes[j].Y
+	return math.Hypot(dx, dy)
+}
+
+// TotalBaseDemand sums all junction base demands (m³/s).
+func (n *Network) TotalBaseDemand() float64 {
+	total := 0.0
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == Junction {
+			total += n.Nodes[i].BaseDemand
+		}
+	}
+	return total
+}
+
+// Clone returns a deep copy of the network. The copy can be mutated (e.g.
+// injecting leak emitters, closing valves) without affecting the original.
+func (n *Network) Clone() *Network {
+	out := New(n.Name)
+	out.PatternStep = n.PatternStep
+	out.Nodes = make([]Node, len(n.Nodes))
+	copy(out.Nodes, n.Nodes)
+	out.Links = make([]Link, len(n.Links))
+	copy(out.Links, n.Links)
+	for id, p := range n.Patterns {
+		mult := make([]float64, len(p.Multipliers))
+		copy(mult, p.Multipliers)
+		out.Patterns[id] = Pattern{ID: p.ID, Multipliers: mult}
+	}
+	for id, idx := range n.nodeIndex {
+		out.nodeIndex[id] = idx
+	}
+	for id, idx := range n.linkIndex {
+		out.linkIndex[id] = idx
+	}
+	return out
+}
+
+// JunctionIndices returns the indices of all junction nodes in order.
+func (n *Network) JunctionIndices() []int {
+	out := make([]int, 0, len(n.Nodes))
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == Junction {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,307 @@
+package network
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestAddNodeDuplicate(t *testing.T) {
+	n := New("t")
+	if _, err := n.AddNode(Node{ID: "A", Type: Junction}); err != nil {
+		t.Fatalf("AddNode: %v", err)
+	}
+	if _, err := n.AddNode(Node{ID: "A", Type: Junction}); err == nil {
+		t.Fatal("duplicate node id should error")
+	}
+	if _, err := n.AddNode(Node{Type: Junction}); err == nil {
+		t.Fatal("empty node id should error")
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	n := New("t")
+	a, _ := n.AddNode(Node{ID: "A", Type: Junction})
+	b, _ := n.AddNode(Node{ID: "B", Type: Junction})
+	if _, err := n.AddLink(Link{ID: "L", Type: Pipe, From: a, To: b, Length: 1, Diameter: 0.1, Roughness: 100}); err != nil {
+		t.Fatalf("AddLink: %v", err)
+	}
+	if _, err := n.AddLink(Link{ID: "L", Type: Pipe, From: a, To: b}); err == nil {
+		t.Fatal("duplicate link id should error")
+	}
+	if _, err := n.AddLink(Link{ID: "L2", Type: Pipe, From: a, To: a}); err == nil {
+		t.Fatal("self-loop should error")
+	}
+	if _, err := n.AddLink(Link{ID: "L3", Type: Pipe, From: a, To: 99}); err == nil {
+		t.Fatal("out-of-range endpoint should error")
+	}
+	// Default status becomes Open.
+	idx, _ := n.LinkIndex("L")
+	if n.Links[idx].Status != Open {
+		t.Fatalf("default status = %v, want Open", n.Links[idx].Status)
+	}
+}
+
+func TestPatternAt(t *testing.T) {
+	p := Pattern{ID: "x", Multipliers: []float64{1, 2, 3}}
+	step := time.Hour
+	cases := []struct {
+		t    time.Duration
+		want float64
+	}{
+		{0, 1}, {30 * time.Minute, 1}, {time.Hour, 2}, {2 * time.Hour, 3},
+		{3 * time.Hour, 1}, // wraps
+	}
+	for _, c := range cases {
+		if got := p.At(c.t, step); got != c.want {
+			t.Fatalf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	empty := Pattern{}
+	if empty.At(time.Hour, step) != 1.0 {
+		t.Fatal("empty pattern should yield 1.0")
+	}
+	if p.At(time.Hour, 0) != 1.0 {
+		t.Fatal("zero step should yield 1.0")
+	}
+}
+
+func TestDemandAt(t *testing.T) {
+	n := New("t")
+	n.Patterns["pk"] = Pattern{ID: "pk", Multipliers: []float64{0.5, 2.0}}
+	j, _ := n.AddNode(Node{ID: "J", Type: Junction, BaseDemand: 0.01, PatternID: "pk"})
+	r, _ := n.AddNode(Node{ID: "R", Type: Reservoir})
+	if got := n.DemandAt(j, 0); got != 0.005 {
+		t.Fatalf("DemandAt(0) = %v, want 0.005", got)
+	}
+	if got := n.DemandAt(j, time.Hour); got != 0.02 {
+		t.Fatalf("DemandAt(1h) = %v, want 0.02", got)
+	}
+	if got := n.DemandAt(r, 0); got != 0 {
+		t.Fatalf("reservoir demand = %v, want 0", got)
+	}
+	// Unknown pattern id falls back to multiplier 1.
+	j2, _ := n.AddNode(Node{ID: "J2", Type: Junction, BaseDemand: 0.01, PatternID: "nope"})
+	if got := n.DemandAt(j2, 0); got != 0.01 {
+		t.Fatalf("unknown pattern demand = %v, want 0.01", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	n := BuildTestNet()
+	c := n.Clone()
+	c.Nodes[1].BaseDemand = 42
+	c.Links[0].Status = Closed
+	if n.Nodes[1].BaseDemand == 42 {
+		t.Fatal("Clone shares node storage")
+	}
+	if n.Links[0].Status == Closed {
+		t.Fatal("Clone shares link storage")
+	}
+	if idx, ok := c.NodeIndex("J1"); !ok || c.Nodes[idx].ID != "J1" {
+		t.Fatal("Clone lost node index")
+	}
+}
+
+func TestBuildEPANetCounts(t *testing.T) {
+	n := BuildEPANet()
+	if got := len(n.Nodes); got != 96 {
+		t.Fatalf("|V| = %d, want 96", got)
+	}
+	if got := n.PipeCount(); got != 118 {
+		t.Fatalf("pipes = %d, want 118", got)
+	}
+	if got := n.PumpCount(); got != 2 {
+		t.Fatalf("pumps = %d, want 2", got)
+	}
+	if got := n.ValveCount(); got != 1 {
+		t.Fatalf("valves = %d, want 1", got)
+	}
+	if got := n.TankCount(); got != 3 {
+		t.Fatalf("tanks = %d, want 3", got)
+	}
+	if got := n.ReservoirCount(); got != 2 {
+		t.Fatalf("reservoirs = %d, want 2", got)
+	}
+	if got := n.JunctionCount(); got != 91 {
+		t.Fatalf("junctions = %d, want 91", got)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuildEPANetDeterministic(t *testing.T) {
+	a, b := BuildEPANet(), BuildEPANet()
+	if len(a.Nodes) != len(b.Nodes) || len(a.Links) != len(b.Links) {
+		t.Fatal("non-deterministic sizes")
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs between builds", i)
+		}
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs between builds", i)
+		}
+	}
+}
+
+func TestBuildWSSCSubnetCounts(t *testing.T) {
+	n := BuildWSSCSubnet()
+	if got := len(n.Nodes); got != 299 {
+		t.Fatalf("|V| = %d, want 299", got)
+	}
+	if got := n.PipeCount(); got != 316 {
+		t.Fatalf("pipes = %d, want 316", got)
+	}
+	if got := n.ValveCount(); got != 2 {
+		t.Fatalf("valves = %d, want 2", got)
+	}
+	if got := n.ReservoirCount(); got != 1 {
+		t.Fatalf("reservoirs = %d, want 1", got)
+	}
+	if got := n.PumpCount(); got != 0 {
+		t.Fatalf("pumps = %d, want 0", got)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	// No source.
+	n := New("bad")
+	_, _ = n.AddNode(Node{ID: "J", Type: Junction})
+	if err := n.Validate(); err != ErrNoSource {
+		t.Fatalf("err = %v, want ErrNoSource", err)
+	}
+
+	// Disconnected junction.
+	n = New("bad2")
+	_, _ = n.AddNode(Node{ID: "R", Type: Reservoir})
+	_, _ = n.AddNode(Node{ID: "J", Type: Junction})
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "disconnected") {
+		t.Fatalf("err = %v, want disconnected", err)
+	}
+
+	// Bad pipe geometry.
+	n = New("bad3")
+	r, _ := n.AddNode(Node{ID: "R", Type: Reservoir})
+	j, _ := n.AddNode(Node{ID: "J", Type: Junction})
+	_, _ = n.AddLink(Link{ID: "P", Type: Pipe, From: r, To: j, Length: -5, Diameter: 0.1, Roughness: 100})
+	if err := n.Validate(); err == nil {
+		t.Fatal("negative pipe length should fail validation")
+	}
+
+	// Bad tank levels.
+	n = New("bad4")
+	_, _ = n.AddNode(Node{ID: "T", Type: Tank, TankDiameter: 10, MinLevel: 5, MaxLevel: 1, InitLevel: 3})
+	if err := n.Validate(); err == nil {
+		t.Fatal("inverted tank levels should fail validation")
+	}
+
+	// Unknown pattern reference.
+	n = New("bad5")
+	r, _ = n.AddNode(Node{ID: "R", Type: Reservoir})
+	j, _ = n.AddNode(Node{ID: "J", Type: Junction, PatternID: "ghost"})
+	_, _ = n.AddLink(Link{ID: "P", Type: Pipe, From: r, To: j, Length: 10, Diameter: 0.1, Roughness: 100})
+	if err := n.Validate(); err == nil || !strings.Contains(err.Error(), "pattern") {
+		t.Fatalf("err = %v, want unknown-pattern error", err)
+	}
+}
+
+func TestGraphExcludesClosedLinks(t *testing.T) {
+	n := BuildTestNet()
+	g := n.Graph()
+	if !g.Connected() {
+		t.Fatal("test net graph should be connected")
+	}
+	// Close the only reservoir pipe: graph splits.
+	idx, ok := n.LinkIndex("PR")
+	if !ok {
+		t.Fatal("missing link PR")
+	}
+	n.Links[idx].Status = Closed
+	if n.Graph().Connected() {
+		t.Fatal("graph should be disconnected after closing PR")
+	}
+}
+
+func TestTotalBaseDemand(t *testing.T) {
+	n := BuildTestNet()
+	want := 7 * 0.005
+	if got := n.TotalBaseDemand(); got < want-1e-12 || got > want+1e-12 {
+		t.Fatalf("TotalBaseDemand = %v, want %v", got, want)
+	}
+}
+
+func TestJunctionIndices(t *testing.T) {
+	n := BuildTestNet()
+	idx := n.JunctionIndices()
+	if len(idx) != 7 {
+		t.Fatalf("len = %d, want 7", len(idx))
+	}
+	for _, i := range idx {
+		if n.Nodes[i].Type != Junction {
+			t.Fatalf("index %d is %v, not junction", i, n.Nodes[i].Type)
+		}
+	}
+}
+
+func TestBuildersSizeTrunksByDemand(t *testing.T) {
+	// Pipes touching the supply points must be sized as trunk mains,
+	// well above the smallest distribution size.
+	for _, build := range []func() *Network{BuildEPANet, BuildWSSCSubnet} {
+		n := build()
+		largest := 0.0
+		smallest := 1e9
+		for i := range n.Links {
+			l := &n.Links[i]
+			if l.Type != Pipe {
+				continue
+			}
+			if l.Diameter > largest {
+				largest = l.Diameter
+			}
+			if l.Diameter < smallest {
+				smallest = l.Diameter
+			}
+		}
+		if largest < 2*smallest {
+			t.Fatalf("%s: no trunk/distribution hierarchy: %v vs %v", n.Name, largest, smallest)
+		}
+	}
+}
+
+func TestBuildWSSCSubnetDeterministic(t *testing.T) {
+	a, b := BuildWSSCSubnet(), BuildWSSCSubnet()
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Fatalf("node %d differs between builds", i)
+		}
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs between builds", i)
+		}
+	}
+}
+
+func TestNetworksAreDistinct(t *testing.T) {
+	// EPA-NET is pump-fed with tanks; WSSC is gravity-fed without.
+	epa, wssc := BuildEPANet(), BuildWSSCSubnet()
+	if epa.PumpCount() == 0 || epa.TankCount() == 0 {
+		t.Fatal("EPA-NET must have pumps and tanks")
+	}
+	if wssc.PumpCount() != 0 || wssc.TankCount() != 0 {
+		t.Fatal("WSSC-SUBNET must be gravity fed without tanks")
+	}
+	// WSSC is mostly dendritic: far fewer loops per node than EPA-NET.
+	epaLoops := float64(len(epa.Links)-(len(epa.Nodes)-1)) / float64(len(epa.Nodes))
+	wsscLoops := float64(len(wssc.Links)-(len(wssc.Nodes)-1)) / float64(len(wssc.Nodes))
+	if wsscLoops >= epaLoops {
+		t.Fatalf("WSSC loop density %v should be below EPA-NET's %v", wsscLoops, epaLoops)
+	}
+}

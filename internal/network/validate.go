@@ -1,0 +1,116 @@
+package network
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors that callers may want to match.
+var (
+	// ErrNoSource indicates the network has no reservoir or tank, so the
+	// hydraulic problem has no fixed-grade boundary and is unsolvable.
+	ErrNoSource = errors.New("network: no reservoir or tank")
+
+	// ErrDisconnected indicates some node cannot reach any fixed-grade
+	// node through open links.
+	ErrDisconnected = errors.New("network: disconnected from all sources")
+)
+
+// Validate checks structural and physical consistency: at least one source,
+// full hydraulic connectivity through open links, positive pipe geometry,
+// sane tank levels and non-negative demands. It returns the first problem
+// found.
+func (n *Network) Validate() error {
+	if len(n.Nodes) == 0 {
+		return errors.New("network: no nodes")
+	}
+	hasSource := false
+	for i := range n.Nodes {
+		node := &n.Nodes[i]
+		switch node.Type {
+		case Reservoir:
+			hasSource = true
+		case Tank:
+			hasSource = true
+			if node.TankDiameter <= 0 {
+				return fmt.Errorf("network: tank %q has non-positive diameter %v", node.ID, node.TankDiameter)
+			}
+			if node.MaxLevel < node.MinLevel {
+				return fmt.Errorf("network: tank %q has max level %v below min level %v",
+					node.ID, node.MaxLevel, node.MinLevel)
+			}
+			if node.InitLevel < node.MinLevel || node.InitLevel > node.MaxLevel {
+				return fmt.Errorf("network: tank %q initial level %v outside [%v, %v]",
+					node.ID, node.InitLevel, node.MinLevel, node.MaxLevel)
+			}
+		case Junction:
+			if node.BaseDemand < 0 {
+				return fmt.Errorf("network: junction %q has negative base demand %v", node.ID, node.BaseDemand)
+			}
+		default:
+			return fmt.Errorf("network: node %q has invalid type %v", node.ID, node.Type)
+		}
+	}
+	if !hasSource {
+		return ErrNoSource
+	}
+
+	for i := range n.Links {
+		l := &n.Links[i]
+		switch l.Type {
+		case Pipe:
+			if l.Length <= 0 {
+				return fmt.Errorf("network: pipe %q has non-positive length %v", l.ID, l.Length)
+			}
+			if l.Diameter <= 0 {
+				return fmt.Errorf("network: pipe %q has non-positive diameter %v", l.ID, l.Diameter)
+			}
+			if l.Roughness <= 0 {
+				return fmt.Errorf("network: pipe %q has non-positive roughness %v", l.ID, l.Roughness)
+			}
+		case Pump:
+			if l.PumpH0 <= 0 {
+				return fmt.Errorf("network: pump %q has non-positive shutoff head %v", l.ID, l.PumpH0)
+			}
+			if l.PumpR < 0 || l.PumpN <= 0 {
+				return fmt.Errorf("network: pump %q has invalid curve (R=%v, N=%v)", l.ID, l.PumpR, l.PumpN)
+			}
+		case Valve:
+			if l.Diameter <= 0 {
+				return fmt.Errorf("network: valve %q has non-positive diameter %v", l.ID, l.Diameter)
+			}
+		default:
+			return fmt.Errorf("network: link %q has invalid type %v", l.ID, l.Type)
+		}
+	}
+
+	// Hydraulic connectivity: every junction must reach a fixed-grade node
+	// through open links.
+	g := n.Graph()
+	reached := make([]bool, len(n.Nodes))
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == Junction {
+			continue
+		}
+		for _, v := range g.BFSOrder(i) {
+			reached[v] = true
+		}
+	}
+	for i := range n.Nodes {
+		if !reached[i] {
+			return fmt.Errorf("node %q: %w", n.Nodes[i].ID, ErrDisconnected)
+		}
+	}
+
+	// Demand patterns must exist.
+	for i := range n.Nodes {
+		node := &n.Nodes[i]
+		if node.PatternID == "" {
+			continue
+		}
+		if _, ok := n.Patterns[node.PatternID]; !ok {
+			return fmt.Errorf("network: node %q references unknown pattern %q", node.ID, node.PatternID)
+		}
+	}
+	return nil
+}

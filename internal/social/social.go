@@ -1,0 +1,239 @@
+// Package social models the human information source: leak-related social
+// media reports (the TAS tweet-stream substitute), their arrival process,
+// their geolocation noise and false positives, and the geo-clique
+// extraction that turns raw reports into subzone-level leak evidence.
+//
+// The paper's model (Sec. III-D): reports arrive as a Poisson process with
+// rate λ per IoT sampling interval (their corpus statistics give λ = 1 per
+// 15 minutes); each collected tweet is a false positive with probability
+// p_e (0.3); the confidence that a subzone has a leak after k reports is
+// p_t = 1 − p_e^k (eq. 3). A clique c is the set of nodes within distance
+// γ of a report location l_c.
+package social
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/stats"
+)
+
+// Report is one leak-related social media post.
+type Report struct {
+	// X, Y is the post's geotag (m, network plan coordinates).
+	X, Y float64
+
+	// Slot is the IoT sampling interval in which the report arrived.
+	Slot int
+
+	// Relevant marks ground truth: false means the report is a false
+	// positive (collected but unrelated to any leak). Exposed for test
+	// and diagnostic use; the inference pipeline must not read it.
+	Relevant bool
+}
+
+// Config parameterizes the report generator.
+type Config struct {
+	// ArrivalRate is λ: expected reports per sampling interval. Zero
+	// means the paper's 1.0.
+	ArrivalRate float64
+
+	// FalsePositiveRate is p_e. Zero means the paper's 0.3.
+	FalsePositiveRate float64
+
+	// ScatterM is the standard deviation of a relevant report's geotag
+	// around the true leak (people post from the sidewalk next to the
+	// visible water, not at the pipe itself). Zero means 20 m, consistent
+	// with the paper's γ = 30 m clique radius.
+	ScatterM float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.ArrivalRate <= 0 {
+		c.ArrivalRate = 1.0
+	}
+	if c.FalsePositiveRate <= 0 {
+		c.FalsePositiveRate = 0.3
+	}
+	if c.ScatterM <= 0 {
+		c.ScatterM = 20
+	}
+	return c
+}
+
+// Confidence is eq. 3: the confidence that a region has a leak after k
+// collected reports, p_t = 1 − p_e^k.
+func Confidence(pe float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if pe <= 0 {
+		return 1
+	}
+	if pe >= 1 {
+		return 0
+	}
+	return 1 - math.Pow(pe, float64(k))
+}
+
+// Generator draws synthetic report streams for a network.
+type Generator struct {
+	cfg  Config
+	net  *network.Network
+	rng  *rand.Rand
+	minX float64
+	maxX float64
+	minY float64
+	maxY float64
+}
+
+// NewGenerator builds a report generator over the network's bounding box.
+func NewGenerator(net *network.Network, cfg Config, rng *rand.Rand) (*Generator, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("social: nil rng")
+	}
+	if len(net.Nodes) == 0 {
+		return nil, fmt.Errorf("social: empty network")
+	}
+	g := &Generator{
+		cfg: cfg.withDefaults(), net: net, rng: rng,
+		minX: math.Inf(1), maxX: math.Inf(-1),
+		minY: math.Inf(1), maxY: math.Inf(-1),
+	}
+	for i := range net.Nodes {
+		n := &net.Nodes[i]
+		g.minX = math.Min(g.minX, n.X)
+		g.maxX = math.Max(g.maxX, n.X)
+		g.minY = math.Min(g.minY, n.Y)
+		g.maxY = math.Max(g.maxY, n.Y)
+	}
+	return g, nil
+}
+
+// Reports draws the report stream for `slots` elapsed sampling intervals
+// given the true leak locations. Arrival count per slot is
+// Poisson(λ); each report is a false positive with probability p_e
+// (uniform geotag over the service area) and otherwise a relevant report
+// geotagged near a uniformly chosen true leak.
+//
+// With no true leaks, every arrival is a false positive regardless of p_e:
+// there is nothing relevant to report.
+func (g *Generator) Reports(leakNodes []int, slots int) ([]Report, error) {
+	for _, v := range leakNodes {
+		if v < 0 || v >= len(g.net.Nodes) {
+			return nil, fmt.Errorf("social: leak node %d out of range", v)
+		}
+	}
+	var out []Report
+	for slot := 0; slot < slots; slot++ {
+		k := stats.SamplePoisson(g.cfg.ArrivalRate, g.rng)
+		for i := 0; i < k; i++ {
+			relevant := len(leakNodes) > 0 && g.rng.Float64() >= g.cfg.FalsePositiveRate
+			var r Report
+			r.Slot = slot
+			if relevant {
+				leak := g.net.Nodes[leakNodes[g.rng.Intn(len(leakNodes))]]
+				r.X = leak.X + g.rng.NormFloat64()*g.cfg.ScatterM
+				r.Y = leak.Y + g.rng.NormFloat64()*g.cfg.ScatterM
+				r.Relevant = true
+			} else {
+				r.X = g.minX + g.rng.Float64()*(g.maxX-g.minX)
+				r.Y = g.minY + g.rng.Float64()*(g.maxY-g.minY)
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// Clique is the paper's c = {v : |l_c − l_v| < γ}: the nodes within γ of a
+// report cluster, with the eq.-3 confidence from the cluster's report
+// count.
+type Clique struct {
+	// CenterX, CenterY is the report-cluster centroid l_c.
+	CenterX, CenterY float64
+
+	// Nodes are the network node indices within γ of the centroid.
+	Nodes []int
+
+	// Reports is k, the number of reports in the cluster.
+	Reports int
+
+	// Confidence is p_t = 1 − p_e^k.
+	Confidence float64
+}
+
+// BuildCliques groups reports into clusters (greedy: a report joins the
+// first cluster whose centroid lies within γ, else starts a new one) and
+// attaches the nodes within γ of each cluster centroid. γ is the paper's
+// coarseness parameter: larger γ means coarser localization.
+func BuildCliques(net *network.Network, reports []Report, gammaM, pe float64) []Clique {
+	if gammaM <= 0 || len(reports) == 0 {
+		return nil
+	}
+	type cluster struct {
+		sumX, sumY float64
+		count      int
+	}
+	var clusters []*cluster
+	for _, r := range reports {
+		placed := false
+		for _, c := range clusters {
+			cx, cy := c.sumX/float64(c.count), c.sumY/float64(c.count)
+			if math.Hypot(r.X-cx, r.Y-cy) < gammaM {
+				c.sumX += r.X
+				c.sumY += r.Y
+				c.count++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			clusters = append(clusters, &cluster{sumX: r.X, sumY: r.Y, count: 1})
+		}
+	}
+
+	out := make([]Clique, 0, len(clusters))
+	for _, c := range clusters {
+		cx, cy := c.sumX/float64(c.count), c.sumY/float64(c.count)
+		cl := Clique{
+			CenterX:    cx,
+			CenterY:    cy,
+			Reports:    c.count,
+			Confidence: Confidence(pe, c.count),
+		}
+		for i := range net.Nodes {
+			if math.Hypot(net.Nodes[i].X-cx, net.Nodes[i].Y-cy) < gammaM {
+				cl.Nodes = append(cl.Nodes, i)
+			}
+		}
+		if len(cl.Nodes) > 0 {
+			out = append(out, cl)
+		}
+	}
+	return out
+}
+
+// ReportPMF is eq. 4 as the paper applies it ("we use Poisson
+// distribution"): the probability of receiving k reports in n elapsed
+// sampling intervals, Poisson with mean n·λ. (The formula as typeset in
+// the paper has (n+1)^k where the Poisson k! belongs — a typo, since that
+// expression does not normalize; we implement the distribution the text
+// names.)
+func ReportPMF(k, n int, lambda float64) float64 {
+	if n < 0 {
+		return 0
+	}
+	return stats.PoissonPMF(k, float64(n)*lambda)
+}
+
+// SlotOf converts elapsed time to a sampling-interval index.
+func SlotOf(t, step time.Duration) int {
+	if step <= 0 {
+		return 0
+	}
+	return int(t / step)
+}

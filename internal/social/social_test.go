@@ -1,0 +1,232 @@
+package social
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+func TestConfidence(t *testing.T) {
+	// Paper eq. 3 with p_e = 0.3.
+	if got := Confidence(0.3, 1); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("k=1: %v, want 0.7", got)
+	}
+	if got := Confidence(0.3, 2); math.Abs(got-0.91) > 1e-12 {
+		t.Fatalf("k=2: %v, want 0.91", got)
+	}
+	if Confidence(0.3, 0) != 0 {
+		t.Fatal("k=0 should have zero confidence")
+	}
+	// Monotone in k.
+	prev := 0.0
+	for k := 1; k < 10; k++ {
+		c := Confidence(0.3, k)
+		if c <= prev {
+			t.Fatalf("confidence not increasing at k=%d", k)
+		}
+		prev = c
+	}
+	if Confidence(0, 3) != 1 {
+		t.Fatal("pe=0 should be certain")
+	}
+	if Confidence(1, 3) != 0 {
+		t.Fatal("pe=1 should be useless")
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	net := network.BuildTestNet()
+	if _, err := NewGenerator(net, Config{}, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+	if _, err := NewGenerator(network.New("x"), Config{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("empty network should error")
+	}
+	g, err := NewGenerator(net, Config{}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatalf("NewGenerator: %v", err)
+	}
+	if _, err := g.Reports([]int{999}, 2); err == nil {
+		t.Fatal("out-of-range leak node should error")
+	}
+}
+
+func TestReportsArrivalRate(t *testing.T) {
+	net := network.BuildEPANet()
+	g, _ := NewGenerator(net, Config{ArrivalRate: 2.0}, rand.New(rand.NewSource(3)))
+	leak, _ := net.NodeIndex("J40")
+	const slots = 4000
+	reports, err := g.Reports([]int{leak}, slots)
+	if err != nil {
+		t.Fatalf("Reports: %v", err)
+	}
+	perSlot := float64(len(reports)) / slots
+	if math.Abs(perSlot-2.0) > 0.1 {
+		t.Fatalf("arrival rate = %v, want ~2.0", perSlot)
+	}
+	for _, r := range reports {
+		if r.Slot < 0 || r.Slot >= slots {
+			t.Fatalf("report slot %d out of range", r.Slot)
+		}
+	}
+}
+
+func TestReportsFalsePositiveRate(t *testing.T) {
+	net := network.BuildEPANet()
+	g, _ := NewGenerator(net, Config{FalsePositiveRate: 0.3}, rand.New(rand.NewSource(4)))
+	leak, _ := net.NodeIndex("J40")
+	reports, _ := g.Reports([]int{leak}, 5000)
+	fp := 0
+	for _, r := range reports {
+		if !r.Relevant {
+			fp++
+		}
+	}
+	rate := float64(fp) / float64(len(reports))
+	if math.Abs(rate-0.3) > 0.03 {
+		t.Fatalf("false positive rate = %v, want ~0.3", rate)
+	}
+}
+
+func TestReportsRelevantNearLeak(t *testing.T) {
+	net := network.BuildEPANet()
+	g, _ := NewGenerator(net, Config{ScatterM: 50}, rand.New(rand.NewSource(5)))
+	leakIdx, _ := net.NodeIndex("J40")
+	leak := net.Nodes[leakIdx]
+	reports, _ := g.Reports([]int{leakIdx}, 2000)
+	for _, r := range reports {
+		if !r.Relevant {
+			continue
+		}
+		if d := math.Hypot(r.X-leak.X, r.Y-leak.Y); d > 50*6 {
+			t.Fatalf("relevant report %v m from leak, beyond 6σ", d)
+		}
+	}
+}
+
+func TestReportsNoLeaksAllFalsePositives(t *testing.T) {
+	net := network.BuildEPANet()
+	g, _ := NewGenerator(net, Config{}, rand.New(rand.NewSource(6)))
+	reports, err := g.Reports(nil, 500)
+	if err != nil {
+		t.Fatalf("Reports: %v", err)
+	}
+	for _, r := range reports {
+		if r.Relevant {
+			t.Fatal("relevant report with no leaks")
+		}
+	}
+}
+
+func TestBuildCliques(t *testing.T) {
+	net := network.BuildEPANet()
+	leakIdx, _ := net.NodeIndex("J40")
+	leak := net.Nodes[leakIdx]
+	// Three reports tightly around the leak.
+	reports := []Report{
+		{X: leak.X + 10, Y: leak.Y - 5},
+		{X: leak.X - 8, Y: leak.Y + 12},
+		{X: leak.X + 3, Y: leak.Y + 2},
+	}
+	cliques := BuildCliques(net, reports, 150, 0.3)
+	if len(cliques) != 1 {
+		t.Fatalf("cliques = %d, want 1", len(cliques))
+	}
+	c := cliques[0]
+	if c.Reports != 3 {
+		t.Fatalf("clique reports = %d, want 3", c.Reports)
+	}
+	if math.Abs(c.Confidence-Confidence(0.3, 3)) > 1e-12 {
+		t.Fatalf("confidence = %v", c.Confidence)
+	}
+	found := false
+	for _, v := range c.Nodes {
+		if v == leakIdx {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("leak node not in its clique")
+	}
+	// Every clique member must be within γ of the centroid.
+	for _, v := range c.Nodes {
+		if d := math.Hypot(net.Nodes[v].X-c.CenterX, net.Nodes[v].Y-c.CenterY); d >= 150 {
+			t.Fatalf("node %d at %v m, outside γ", v, d)
+		}
+	}
+}
+
+func TestBuildCliquesSeparatesDistantReports(t *testing.T) {
+	net := network.BuildEPANet()
+	a := net.Nodes[0]
+	b := net.Nodes[len(net.Nodes)-10]
+	if math.Hypot(a.X-b.X, a.Y-b.Y) < 500 {
+		t.Skip("chosen nodes too close for this test")
+	}
+	reports := []Report{{X: a.X, Y: a.Y}, {X: b.X, Y: b.Y}}
+	cliques := BuildCliques(net, reports, 200, 0.3)
+	if len(cliques) != 2 {
+		t.Fatalf("cliques = %d, want 2", len(cliques))
+	}
+}
+
+func TestBuildCliquesGammaCoarseness(t *testing.T) {
+	// Larger γ yields cliques with at least as many member nodes.
+	net := network.BuildEPANet()
+	leakIdx, _ := net.NodeIndex("J40")
+	leak := net.Nodes[leakIdx]
+	reports := []Report{{X: leak.X, Y: leak.Y}}
+	small := BuildCliques(net, reports, 100, 0.3)
+	big := BuildCliques(net, reports, 800, 0.3)
+	if len(small) != 1 || len(big) != 1 {
+		t.Fatalf("clique counts = %d/%d", len(small), len(big))
+	}
+	if len(big[0].Nodes) <= len(small[0].Nodes) {
+		t.Fatalf("coarser γ should include more nodes: %d vs %d",
+			len(big[0].Nodes), len(small[0].Nodes))
+	}
+}
+
+func TestBuildCliquesEdgeCases(t *testing.T) {
+	net := network.BuildTestNet()
+	if got := BuildCliques(net, nil, 100, 0.3); got != nil {
+		t.Fatal("no reports should yield no cliques")
+	}
+	if got := BuildCliques(net, []Report{{X: 0, Y: 0}}, 0, 0.3); got != nil {
+		t.Fatal("zero gamma should yield no cliques")
+	}
+	// A report in the middle of nowhere attaches no nodes → dropped.
+	far := []Report{{X: 1e7, Y: 1e7}}
+	if got := BuildCliques(net, far, 100, 0.3); len(got) != 0 {
+		t.Fatalf("unattached clique should be dropped, got %v", got)
+	}
+}
+
+func TestReportPMF(t *testing.T) {
+	// Mean n·λ Poisson; k=0 at n=0 is certain.
+	if got := ReportPMF(0, 0, 1); got != 1 {
+		t.Fatalf("PMF(0;0) = %v", got)
+	}
+	if got := ReportPMF(1, -1, 1); got != 0 {
+		t.Fatalf("negative n should yield 0")
+	}
+	total := 0.0
+	for k := 0; k < 100; k++ {
+		total += ReportPMF(k, 4, 1.0)
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("PMF sums to %v", total)
+	}
+}
+
+func TestSlotOf(t *testing.T) {
+	if SlotOf(31*time.Minute, 15*time.Minute) != 2 {
+		t.Fatal("SlotOf failed")
+	}
+	if SlotOf(time.Hour, 0) != 0 {
+		t.Fatal("zero step should yield slot 0")
+	}
+}

@@ -1,0 +1,107 @@
+// Package stats provides the probability utilities shared by the weather
+// and human-input models: Poisson sampling and mass functions, and
+// Clemen–Winkler Bayesian odds aggregation for combining probability
+// assessments from multiple information sources (paper eqs. 5–6).
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// PoissonPMF returns P(K = k) for a Poisson distribution with the given
+// mean (0 for invalid arguments).
+func PoissonPMF(k int, mean float64) float64 {
+	if k < 0 || mean < 0 {
+		return 0
+	}
+	if mean == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	// exp(k·ln m − m − ln k!) for numerical stability.
+	lg, _ := math.Lgamma(float64(k) + 1)
+	return math.Exp(float64(k)*math.Log(mean) - mean - lg)
+}
+
+// PoissonCDF returns P(K ≤ k).
+func PoissonCDF(k int, mean float64) float64 {
+	if k < 0 {
+		return 0
+	}
+	total := 0.0
+	for i := 0; i <= k; i++ {
+		total += PoissonPMF(i, mean)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// SamplePoisson draws a Poisson variate. Knuth's method is used for small
+// means; a normal approximation (rounded, clamped at zero) for large ones.
+func SamplePoisson(mean float64, rng *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := mean + math.Sqrt(mean)*rng.NormFloat64()
+		if v < 0 {
+			return 0
+		}
+		return int(math.Round(v))
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// FuseOdds combines independent probability assessments of the same binary
+// event by multiplying posterior odds (Clemen–Winkler expert aggregation,
+// the paper's eqs. 5–6): q* = Π pⱼ/(1−pⱼ), fused p = q*/(1+q*).
+//
+// Probabilities at 0 or 1 are decisive: any source reporting 1 forces the
+// fused value toward 1 (and symmetrically for 0, with 1 winning ties).
+// An empty input returns 0.5 (no information).
+func FuseOdds(probs ...float64) float64 {
+	if len(probs) == 0 {
+		return 0.5
+	}
+	logOdds := 0.0
+	for _, p := range probs {
+		switch {
+		case p >= 1:
+			return 1
+		case p <= 0:
+			return 0
+		default:
+			logOdds += math.Log(p / (1 - p))
+		}
+	}
+	// Convert back through the numerically stable sigmoid.
+	if logOdds >= 0 {
+		return 1 / (1 + math.Exp(-logOdds))
+	}
+	e := math.Exp(logOdds)
+	return e / (1 + e)
+}
+
+// BinaryEntropy returns H(p) = −p·log p − (1−p)·log(1−p) in nats — the
+// paper's per-node uncertainty measure (eq. 7). Degenerate probabilities
+// yield 0.
+func BinaryEntropy(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		return 0
+	}
+	return -p*math.Log(p) - (1-p)*math.Log(1-p)
+}

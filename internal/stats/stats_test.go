@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPoissonPMF(t *testing.T) {
+	// Hand values for mean 2: P(0)=e⁻², P(1)=2e⁻², P(2)=2e⁻².
+	e2 := math.Exp(-2)
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{0, e2}, {1, 2 * e2}, {2, 2 * e2}, {3, 4.0 / 3.0 * e2},
+	}
+	for _, c := range cases {
+		if got := PoissonPMF(c.k, 2); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("PMF(%d;2) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if PoissonPMF(-1, 2) != 0 || PoissonPMF(1, -1) != 0 {
+		t.Fatal("invalid arguments should yield 0")
+	}
+	if PoissonPMF(0, 0) != 1 || PoissonPMF(3, 0) != 0 {
+		t.Fatal("zero-mean PMF wrong")
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, mean := range []float64{0.1, 1, 4, 15} {
+		total := 0.0
+		for k := 0; k < 200; k++ {
+			total += PoissonPMF(k, mean)
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("mean %v: PMF sums to %v", mean, total)
+		}
+	}
+}
+
+func TestPoissonCDF(t *testing.T) {
+	if got := PoissonCDF(-1, 2); got != 0 {
+		t.Fatalf("CDF(-1) = %v", got)
+	}
+	if got := PoissonCDF(1000, 3); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("CDF(large) = %v", got)
+	}
+	// Monotone non-decreasing.
+	prev := 0.0
+	for k := 0; k < 20; k++ {
+		c := PoissonCDF(k, 4)
+		if c < prev {
+			t.Fatalf("CDF decreasing at k=%d", k)
+		}
+		prev = c
+	}
+}
+
+func TestSamplePoissonMoments(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, mean := range []float64{0.5, 3, 50} {
+		const trials = 20000
+		sum, sumSq := 0.0, 0.0
+		for i := 0; i < trials; i++ {
+			v := float64(SamplePoisson(mean, rng))
+			sum += v
+			sumSq += v * v
+		}
+		m := sum / trials
+		variance := sumSq/trials - m*m
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Fatalf("mean %v: sample mean %v", mean, m)
+		}
+		if math.Abs(variance-mean) > 0.15*mean+0.1 {
+			t.Fatalf("mean %v: sample variance %v", mean, variance)
+		}
+	}
+	if SamplePoisson(0, rng) != 0 || SamplePoisson(-3, rng) != 0 {
+		t.Fatal("non-positive mean should sample 0")
+	}
+}
+
+func TestFuseOdds(t *testing.T) {
+	// Two agreeing sources at 0.6 reinforce above 0.6 (paper's example).
+	fused := FuseOdds(0.6, 0.6)
+	if fused <= 0.6 {
+		t.Fatalf("fused = %v, want > 0.6", fused)
+	}
+	want := (0.6 / 0.4 * 0.6 / 0.4) / (1 + 0.6/0.4*0.6/0.4)
+	if math.Abs(fused-want) > 1e-12 {
+		t.Fatalf("fused = %v, want %v", fused, want)
+	}
+	// A single source passes through unchanged.
+	if got := FuseOdds(0.3); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("single source = %v", got)
+	}
+	// Conflicting sources cancel.
+	if got := FuseOdds(0.8, 0.2); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("conflicting = %v", got)
+	}
+	// Decisive inputs.
+	if FuseOdds(1.0, 0.1) != 1 {
+		t.Fatal("certain-positive should dominate")
+	}
+	if FuseOdds(0.0, 0.9) != 0 {
+		t.Fatal("certain-negative should dominate")
+	}
+	if FuseOdds() != 0.5 {
+		t.Fatal("no sources should be uninformative")
+	}
+}
+
+func TestFuseOddsProperties(t *testing.T) {
+	// Result bounded; agreeing evidence ≥ max single source when both > .5.
+	f := func(a, b float64) bool {
+		pa := 0.5 + math.Mod(math.Abs(a), 0.49)
+		pb := 0.5 + math.Mod(math.Abs(b), 0.49)
+		fused := FuseOdds(pa, pb)
+		if fused < 0 || fused > 1 {
+			return false
+		}
+		return fused >= math.Max(pa, pb)-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryEntropy(t *testing.T) {
+	if got := BinaryEntropy(0.5); math.Abs(got-math.Ln2) > 1e-12 {
+		t.Fatalf("H(0.5) = %v, want ln 2", got)
+	}
+	if BinaryEntropy(0) != 0 || BinaryEntropy(1) != 0 || BinaryEntropy(-0.1) != 0 {
+		t.Fatal("degenerate entropy should be 0")
+	}
+	// Symmetric and maximized at 0.5.
+	for _, p := range []float64{0.1, 0.25, 0.4} {
+		if math.Abs(BinaryEntropy(p)-BinaryEntropy(1-p)) > 1e-12 {
+			t.Fatalf("entropy asymmetric at %v", p)
+		}
+		if BinaryEntropy(p) >= BinaryEntropy(0.5) {
+			t.Fatalf("entropy at %v not below max", p)
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package weather
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// The paper's Sec. III-C closes with "Markov chain will be studied for the
+// modeling of weather information in the future." This file implements
+// that extension: a two-state (mild/cold-snap) Markov regime model whose
+// emissions drive the temperature series, capturing the multi-day
+// persistence of cold spells that the plain sinusoid-plus-noise model
+// lacks.
+
+// Regime is a weather state of the Markov model.
+type Regime int
+
+// Weather regimes.
+const (
+	Mild Regime = iota + 1
+	ColdSnap
+)
+
+// String implements fmt.Stringer.
+func (r Regime) String() string {
+	switch r {
+	case Mild:
+		return "mild"
+	case ColdSnap:
+		return "cold-snap"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// MarkovConfig parameterizes the regime-switching weather model.
+type MarkovConfig struct {
+	// Step between samples. Zero means 1 hour.
+	Step time.Duration
+
+	// Duration of the series. Zero means 7 days.
+	Duration time.Duration
+
+	// MildMeanF and SnapMeanF are the regime temperature means (°F).
+	// Zeros mean 38 and 14 (a mid-Atlantic winter and a polar outbreak).
+	MildMeanF float64
+	SnapMeanF float64
+
+	// DiurnalAmpF is the day/night swing (°F). Zero means 8.
+	DiurnalAmpF float64
+
+	// NoiseStdF is Gaussian weather noise (°F). Zero means 1.5.
+	NoiseStdF float64
+
+	// PEnterSnap is the per-step probability of Mild → ColdSnap.
+	// Zero means 0.01 (about one snap per 4 days at 1-hour steps).
+	PEnterSnap float64
+
+	// PExitSnap is the per-step probability of ColdSnap → Mild.
+	// Zero means 0.03 (snaps last ~33 hours on average).
+	PExitSnap float64
+}
+
+func (c MarkovConfig) withDefaults() MarkovConfig {
+	if c.Step <= 0 {
+		c.Step = time.Hour
+	}
+	if c.Duration <= 0 {
+		c.Duration = 7 * 24 * time.Hour
+	}
+	if c.MildMeanF == 0 {
+		c.MildMeanF = 38
+	}
+	if c.SnapMeanF == 0 {
+		c.SnapMeanF = 14
+	}
+	if c.DiurnalAmpF == 0 {
+		c.DiurnalAmpF = 8
+	}
+	if c.NoiseStdF == 0 {
+		c.NoiseStdF = 1.5
+	}
+	if c.PEnterSnap <= 0 {
+		c.PEnterSnap = 0.01
+	}
+	if c.PExitSnap <= 0 {
+		c.PExitSnap = 0.03
+	}
+	return c
+}
+
+// MarkovSeries is a temperature series with its hidden regime path.
+type MarkovSeries struct {
+	Series
+	Regimes []Regime
+}
+
+// SnapFraction returns the fraction of samples spent in the cold-snap
+// regime.
+func (m *MarkovSeries) SnapFraction() float64 {
+	if len(m.Regimes) == 0 {
+		return 0
+	}
+	count := 0
+	for _, r := range m.Regimes {
+		if r == ColdSnap {
+			count++
+		}
+	}
+	return float64(count) / float64(len(m.Regimes))
+}
+
+// GenerateMarkovSeries synthesizes a regime-switching temperature series:
+// the hidden state follows a two-state Markov chain; each sample's
+// temperature is the regime mean plus the diurnal cycle and noise. The
+// regime mean blends over a few steps at transitions so snaps set in over
+// hours, not instantaneously.
+func GenerateMarkovSeries(cfg MarkovConfig, rng *rand.Rand) (*MarkovSeries, error) {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		return nil, fmt.Errorf("weather: nil rng")
+	}
+	if cfg.PEnterSnap >= 1 || cfg.PExitSnap >= 1 {
+		return nil, fmt.Errorf("weather: transition probabilities must be below 1")
+	}
+	steps := int(cfg.Duration/cfg.Step) + 1
+	out := &MarkovSeries{
+		Series:  Series{Step: cfg.Step, TempF: make([]float64, steps)},
+		Regimes: make([]Regime, steps),
+	}
+	state := Mild
+	level := cfg.MildMeanF // smoothed regime mean
+	const blend = 0.25     // per-step approach toward the regime mean
+	for k := 0; k < steps; k++ {
+		// Transition.
+		switch state {
+		case Mild:
+			if rng.Float64() < cfg.PEnterSnap {
+				state = ColdSnap
+			}
+		case ColdSnap:
+			if rng.Float64() < cfg.PExitSnap {
+				state = Mild
+			}
+		}
+		target := cfg.MildMeanF
+		if state == ColdSnap {
+			target = cfg.SnapMeanF
+		}
+		level += blend * (target - level)
+
+		t := time.Duration(k) * cfg.Step
+		hours := t.Hours()
+		diurnal := cfg.DiurnalAmpF * cosDiurnal(hours)
+		out.TempF[k] = level + diurnal + rng.NormFloat64()*cfg.NoiseStdF
+		out.Regimes[k] = state
+	}
+	return out, nil
+}
+
+// cosDiurnal peaks at 17:00 and bottoms at 05:00 like GenerateSeries.
+func cosDiurnal(hours float64) float64 {
+	return math.Cos(2 * math.Pi * (hours - 17) / 24)
+}

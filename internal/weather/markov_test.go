@@ -1,0 +1,100 @@
+package weather
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGenerateMarkovSeriesBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m, err := GenerateMarkovSeries(MarkovConfig{}, rng)
+	if err != nil {
+		t.Fatalf("GenerateMarkovSeries: %v", err)
+	}
+	wantSteps := 7*24 + 1
+	if len(m.TempF) != wantSteps || len(m.Regimes) != wantSteps {
+		t.Fatalf("steps = %d/%d, want %d", len(m.TempF), len(m.Regimes), wantSteps)
+	}
+	for k, r := range m.Regimes {
+		if r != Mild && r != ColdSnap {
+			t.Fatalf("invalid regime %v at step %d", r, k)
+		}
+	}
+}
+
+func TestGenerateMarkovSeriesValidation(t *testing.T) {
+	if _, err := GenerateMarkovSeries(MarkovConfig{}, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenerateMarkovSeries(MarkovConfig{PEnterSnap: 1.5}, rng); err == nil {
+		t.Fatal("invalid transition probability should error")
+	}
+}
+
+func TestMarkovSnapsAreColdAndPersistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m, err := GenerateMarkovSeries(MarkovConfig{
+		Duration:   60 * 24 * time.Hour, // two months for stable statistics
+		PEnterSnap: 0.02,
+		PExitSnap:  0.04,
+	}, rng)
+	if err != nil {
+		t.Fatalf("GenerateMarkovSeries: %v", err)
+	}
+	frac := m.SnapFraction()
+	// Stationary fraction ≈ pEnter/(pEnter+pExit) = 1/3.
+	if frac < 0.15 || frac > 0.55 {
+		t.Fatalf("snap fraction = %v, want near 1/3", frac)
+	}
+	// Snap samples are colder on average than mild samples.
+	var snapSum, mildSum float64
+	var snapN, mildN int
+	for k, r := range m.Regimes {
+		if r == ColdSnap {
+			snapSum += m.TempF[k]
+			snapN++
+		} else {
+			mildSum += m.TempF[k]
+			mildN++
+		}
+	}
+	if snapN == 0 || mildN == 0 {
+		t.Fatal("expected both regimes to occur over two months")
+	}
+	if snapSum/float64(snapN) >= mildSum/float64(mildN)-8 {
+		t.Fatalf("snap mean %v not clearly colder than mild mean %v",
+			snapSum/float64(snapN), mildSum/float64(mildN))
+	}
+	// Persistence: transitions should be far fewer than a coin-flip chain.
+	transitions := 0
+	for k := 1; k < len(m.Regimes); k++ {
+		if m.Regimes[k] != m.Regimes[k-1] {
+			transitions++
+		}
+	}
+	if transitions > len(m.Regimes)/5 {
+		t.Fatalf("regimes not persistent: %d transitions over %d steps", transitions, len(m.Regimes))
+	}
+	// Snaps reach the freeze-risk regime.
+	sawFreeze := false
+	for k, r := range m.Regimes {
+		if r == ColdSnap && Freezing(m.TempF[k]) {
+			sawFreeze = true
+			break
+		}
+	}
+	if !sawFreeze {
+		t.Fatal("no cold-snap sample reached the freeze threshold")
+	}
+}
+
+func TestRegimeString(t *testing.T) {
+	if Mild.String() != "mild" || ColdSnap.String() != "cold-snap" {
+		t.Fatal("regime names wrong")
+	}
+	if Regime(99).String() == "" {
+		t.Fatal("unknown regime should stringify")
+	}
+}

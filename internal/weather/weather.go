@@ -1,0 +1,198 @@
+// Package weather models the environmental information source: ambient
+// temperature series (the NOAA-report substitute), the freeze→burst pipe
+// failure model, and the cold-weather break-rate relationship behind the
+// paper's Fig. 3.
+//
+// The paper's model: when ambient temperature falls to 20 °F or below, a
+// pipe may freeze with probability p(freeze); a frozen pipe then leaks with
+// probability p(leak|freeze) because continued freezing and expansion
+// raises internal pressure until the pipe cracks. The paper sets
+// p(freeze) = 0.8 and p(leak|freeze) = 0.9 uniformly.
+package weather
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/stats"
+)
+
+// FreezeThresholdF is the paper's freezing-risk temperature (°F).
+const FreezeThresholdF = 20.0
+
+// SeriesConfig configures synthetic ambient-temperature generation.
+type SeriesConfig struct {
+	// Step between samples. Zero means 15 minutes (the IoT period).
+	Step time.Duration
+
+	// Duration of the series. Zero means 24 hours.
+	Duration time.Duration
+
+	// MeanF is the mean temperature (°F). Zero means 35 — a cold-season
+	// mid-Atlantic default (the paper's Jan–Apr 2016 window).
+	MeanF float64
+
+	// DiurnalAmpF is the day/night swing amplitude (°F). Zero means 8.
+	DiurnalAmpF float64
+
+	// NoiseStdF is Gaussian weather noise (°F). Zero means 1.5.
+	NoiseStdF float64
+
+	// ColdSnap forces a cold spell: temperature is depressed by
+	// ColdSnapDropF between ColdSnapStart and ColdSnapEnd.
+	ColdSnapStart time.Duration
+	ColdSnapEnd   time.Duration
+	ColdSnapDropF float64
+}
+
+func (c SeriesConfig) withDefaults() SeriesConfig {
+	if c.Step <= 0 {
+		c.Step = 15 * time.Minute
+	}
+	if c.Duration <= 0 {
+		c.Duration = 24 * time.Hour
+	}
+	if c.MeanF == 0 {
+		c.MeanF = 35
+	}
+	if c.DiurnalAmpF == 0 {
+		c.DiurnalAmpF = 8
+	}
+	if c.NoiseStdF == 0 {
+		c.NoiseStdF = 1.5
+	}
+	return c
+}
+
+// Series is a sampled ambient temperature record (°F).
+type Series struct {
+	Step  time.Duration
+	TempF []float64
+}
+
+// GenerateSeries synthesizes a temperature series: diurnal sinusoid around
+// the mean, Gaussian noise, and an optional cold-snap depression window.
+func GenerateSeries(cfg SeriesConfig, rng *rand.Rand) (*Series, error) {
+	cfg = cfg.withDefaults()
+	if rng == nil {
+		return nil, fmt.Errorf("weather: nil rng")
+	}
+	steps := int(cfg.Duration/cfg.Step) + 1
+	s := &Series{Step: cfg.Step, TempF: make([]float64, steps)}
+	for k := 0; k < steps; k++ {
+		t := time.Duration(k) * cfg.Step
+		hours := t.Hours()
+		// Coldest around 05:00, warmest around 17:00.
+		diurnal := cfg.DiurnalAmpF * math.Cos(2*math.Pi*(hours-17)/24)
+		v := cfg.MeanF + diurnal + rng.NormFloat64()*cfg.NoiseStdF
+		if cfg.ColdSnapDropF > 0 && t >= cfg.ColdSnapStart && t <= cfg.ColdSnapEnd {
+			v -= cfg.ColdSnapDropF
+		}
+		s.TempF[k] = v
+	}
+	return s, nil
+}
+
+// At returns the temperature at elapsed time t (nearest earlier sample,
+// clamped to the series range).
+func (s *Series) At(t time.Duration) float64 {
+	if len(s.TempF) == 0 {
+		return math.NaN()
+	}
+	k := int(t / s.Step)
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(s.TempF) {
+		k = len(s.TempF) - 1
+	}
+	return s.TempF[k]
+}
+
+// Duration returns the time span covered by the series.
+func (s *Series) Duration() time.Duration {
+	if len(s.TempF) == 0 {
+		return 0
+	}
+	return time.Duration(len(s.TempF)-1) * s.Step
+}
+
+// FreezeModel holds the paper's freeze probabilities.
+type FreezeModel struct {
+	// PFreeze is p_v(freeze): probability a pipe is frozen given the
+	// temperature is at or below FreezeThresholdF. Paper value 0.8.
+	PFreeze float64
+
+	// PLeakGivenFreeze is p_v(leak|freeze). Paper value 0.9.
+	PLeakGivenFreeze float64
+}
+
+// DefaultFreezeModel uses the paper's parameters.
+var DefaultFreezeModel = FreezeModel{PFreeze: 0.8, PLeakGivenFreeze: 0.9}
+
+// Freezing reports whether the temperature is in the freeze-risk regime.
+func Freezing(tempF float64) bool { return tempF <= FreezeThresholdF }
+
+// SampleFrozen draws whether a given pipe is frozen at this temperature
+// (the paper's per-simulation-run uniform draw against p(freeze)).
+func (m FreezeModel) SampleFrozen(tempF float64, rng *rand.Rand) bool {
+	if !Freezing(tempF) {
+		return false
+	}
+	return rng.Float64() < m.PFreeze
+}
+
+// FuseLeakEvidence updates an IoT-predicted leak probability with freeze
+// evidence by Bayesian odds aggregation — Algorithm 2 lines 7–11: the
+// posterior odds are the product of the IoT odds and the freeze-leak odds.
+func (m FreezeModel) FuseLeakEvidence(pLeakIoT float64) float64 {
+	return stats.FuseOdds(pLeakIoT, m.PLeakGivenFreeze)
+}
+
+// BreakRateModel regenerates the Fig-3 relationship between ambient
+// temperature and observed pipe breaks per day: a baseline break rate that
+// amplifies exponentially as temperature falls below the reference.
+type BreakRateModel struct {
+	// BasePerDay is the warm-weather break rate. Zero means 1.2 breaks/day
+	// (the WSSC service-area scale).
+	BasePerDay float64
+
+	// ReferenceF is the temperature below which breaks accelerate.
+	// Zero means 45 °F.
+	ReferenceF float64
+
+	// AmplificationPerDeg is the exponential growth per °F below the
+	// reference. Zero means 0.045 (≈ 3.8× at 15 °F below freezing).
+	AmplificationPerDeg float64
+}
+
+func (m BreakRateModel) withDefaults() BreakRateModel {
+	if m.BasePerDay <= 0 {
+		m.BasePerDay = 1.2
+	}
+	if m.ReferenceF == 0 {
+		m.ReferenceF = 45
+	}
+	if m.AmplificationPerDeg <= 0 {
+		m.AmplificationPerDeg = 0.045
+	}
+	return m
+}
+
+// Rate returns the expected breaks/day at the given temperature.
+func (m BreakRateModel) Rate(tempF float64) float64 {
+	m = m.withDefaults()
+	cold := m.ReferenceF - tempF
+	if cold < 0 {
+		cold = 0
+	}
+	return m.BasePerDay * math.Exp(m.AmplificationPerDeg*cold)
+}
+
+// SampleDailyBreaks draws the day's break count from a Poisson with the
+// temperature-dependent rate.
+func (m BreakRateModel) SampleDailyBreaks(tempF float64, rng *rand.Rand) int {
+	return stats.SamplePoisson(m.Rate(tempF), rng)
+}

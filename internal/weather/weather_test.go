@@ -1,0 +1,160 @@
+package weather
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGenerateSeriesShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s, err := GenerateSeries(SeriesConfig{Duration: 24 * time.Hour, Step: 15 * time.Minute}, rng)
+	if err != nil {
+		t.Fatalf("GenerateSeries: %v", err)
+	}
+	if len(s.TempF) != 97 {
+		t.Fatalf("samples = %d, want 97", len(s.TempF))
+	}
+	if s.Duration() != 24*time.Hour {
+		t.Fatalf("Duration = %v", s.Duration())
+	}
+	// Afternoon should be warmer than pre-dawn (diurnal cycle).
+	if s.At(17*time.Hour) <= s.At(5*time.Hour) {
+		t.Fatalf("no diurnal cycle: 17h=%v, 5h=%v", s.At(17*time.Hour), s.At(5*time.Hour))
+	}
+}
+
+func TestGenerateSeriesColdSnap(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	s, err := GenerateSeries(SeriesConfig{
+		Duration:      24 * time.Hour,
+		MeanF:         30,
+		ColdSnapStart: 6 * time.Hour,
+		ColdSnapEnd:   12 * time.Hour,
+		ColdSnapDropF: 25,
+	}, rng)
+	if err != nil {
+		t.Fatalf("GenerateSeries: %v", err)
+	}
+	inSnap := s.At(9 * time.Hour)
+	outSnap := s.At(20 * time.Hour)
+	if inSnap >= outSnap-10 {
+		t.Fatalf("cold snap not visible: in=%v out=%v", inSnap, outSnap)
+	}
+	if !Freezing(inSnap) {
+		t.Fatalf("snap temperature %v should be in freeze regime", inSnap)
+	}
+}
+
+func TestGenerateSeriesNilRNG(t *testing.T) {
+	if _, err := GenerateSeries(SeriesConfig{}, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+}
+
+func TestSeriesAtClamps(t *testing.T) {
+	s := &Series{Step: time.Hour, TempF: []float64{10, 20, 30}}
+	if s.At(-time.Hour) != 10 {
+		t.Fatal("negative time should clamp to first sample")
+	}
+	if s.At(100*time.Hour) != 30 {
+		t.Fatal("overlong time should clamp to last sample")
+	}
+	if s.At(time.Hour) != 20 {
+		t.Fatal("exact sample lookup failed")
+	}
+	empty := &Series{Step: time.Hour}
+	if !math.IsNaN(empty.At(0)) {
+		t.Fatal("empty series should return NaN")
+	}
+	if empty.Duration() != 0 {
+		t.Fatal("empty series duration should be 0")
+	}
+}
+
+func TestFreezing(t *testing.T) {
+	if Freezing(25) {
+		t.Fatal("25°F should not be freeze-risk")
+	}
+	if !Freezing(20) || !Freezing(-5) {
+		t.Fatal("≤20°F should be freeze-risk")
+	}
+}
+
+func TestSampleFrozen(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := DefaultFreezeModel
+	// Warm: never frozen.
+	for i := 0; i < 100; i++ {
+		if m.SampleFrozen(40, rng) {
+			t.Fatal("frozen above threshold")
+		}
+	}
+	// Cold: frequency ≈ 0.8.
+	count := 0
+	const trials = 10000
+	for i := 0; i < trials; i++ {
+		if m.SampleFrozen(10, rng) {
+			count++
+		}
+	}
+	freq := float64(count) / trials
+	if math.Abs(freq-0.8) > 0.02 {
+		t.Fatalf("freeze frequency = %v, want ~0.8", freq)
+	}
+}
+
+func TestFuseLeakEvidence(t *testing.T) {
+	m := DefaultFreezeModel
+	// Paper Algorithm 2 line 8: q* = (p/(1−p))·(0.9/0.1); p* = q*/(1+q*).
+	p := 0.4
+	q := (p / (1 - p)) * (0.9 / 0.1)
+	want := q / (1 + q)
+	if got := m.FuseLeakEvidence(p); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("fused = %v, want %v", got, want)
+	}
+	// Freeze evidence should raise any non-degenerate probability.
+	for _, p := range []float64{0.1, 0.3, 0.5, 0.9} {
+		if got := m.FuseLeakEvidence(p); got <= p {
+			t.Fatalf("fusing freeze evidence lowered %v to %v", p, got)
+		}
+	}
+}
+
+func TestBreakRateModel(t *testing.T) {
+	var m BreakRateModel // defaults
+	warm := m.Rate(70)
+	mild := m.Rate(45)
+	cold := m.Rate(15)
+	if warm != mild {
+		t.Fatalf("rates above reference should equal base: %v vs %v", warm, mild)
+	}
+	if cold <= 2*warm {
+		t.Fatalf("cold rate %v should be well above warm rate %v", cold, warm)
+	}
+	// The Fig-3 shape: monotone non-increasing in temperature.
+	prev := math.Inf(1)
+	for f := -10.0; f <= 80; f += 5 {
+		r := m.Rate(f)
+		if r > prev+1e-12 {
+			t.Fatalf("rate increased with temperature at %v°F", f)
+		}
+		prev = r
+	}
+}
+
+func TestSampleDailyBreaksMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var m BreakRateModel
+	const trials = 8000
+	sum := 0
+	for i := 0; i < trials; i++ {
+		sum += m.SampleDailyBreaks(10, rng)
+	}
+	mean := float64(sum) / trials
+	want := m.Rate(10)
+	if math.Abs(mean-want) > 0.1*want {
+		t.Fatalf("sampled mean %v, want ~%v", mean, want)
+	}
+}
