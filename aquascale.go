@@ -202,6 +202,10 @@ type (
 	DataSample = dataset.Sample
 	// Factory generates datasets from leak scenarios.
 	Factory = dataset.Factory
+	// FactorySession reuses one hydraulic solver across many samples —
+	// open one per goroutine for hot loops (Factory.FromScenario is the
+	// construct-a-solver-per-call slow path).
+	FactorySession = dataset.Session
 	// Profile is the trained per-node classifier bank.
 	Profile = core.Profile
 	// ProfileConfig selects the Phase-I technique.
@@ -225,8 +229,15 @@ func LoadProfile(r io.Reader) (*Profile, error) { return core.LoadProfile(r) }
 // ClassifierNames lists the registered plug-and-play techniques.
 func ClassifierNames() []string { return mlearn.Names() }
 
-// HammingScore is the paper's evaluation metric (Jaccard of leak sets).
+// HammingScore is the paper's evaluation metric (Jaccard of leak sets) —
+// the one canonical implementation every layer scores with.
 func HammingScore(pred, truth []int) float64 { return mlearn.HammingScore(pred, truth) }
+
+// HammingScoreProba is HammingScore with the prediction given as
+// probabilities, thresholded at 0.5.
+func HammingScoreProba(proba []float64, truth []int) float64 {
+	return mlearn.HammingScoreProba(proba, truth)
+}
 
 // The AquaSCALE system (two-phase workflow).
 type (

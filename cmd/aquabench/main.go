@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -37,6 +38,7 @@ func run() error {
 		test      = flag.Int("test", 0, "test scenarios (0 = default 60; paper 2000)")
 		seed      = flag.Int64("seed", 1, "random seed")
 		technique = flag.String("technique", "hybrid-rsl", "profile classifier for fusion experiments")
+		workers   = flag.Int("workers", 0, "evaluation worker goroutines (0 = all CPUs, 1 = serial; figures are identical for any value at a fixed seed)")
 		outPath   = flag.String("out", "", "also write results to this file")
 	)
 	flag.Parse()
@@ -66,6 +68,11 @@ func run() error {
 		TestScenarios: *test,
 		Seed:          *seed,
 		Technique:     *technique,
+		Workers:       *workers,
+	}
+	effectiveWorkers := *workers
+	if effectiveWorkers <= 0 {
+		effectiveWorkers = runtime.NumCPU()
 	}
 	experiments := aquascale.Experiments()
 
@@ -91,7 +98,8 @@ func run() error {
 		if err := fig.Render(out); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "[%s completed in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "[%s completed in %v, workers=%d]\n\n",
+			id, time.Since(start).Round(time.Millisecond), effectiveWorkers)
 	}
 	return nil
 }

@@ -113,10 +113,14 @@ func run() error {
 		return err
 	}
 	evalRng := rand.New(rand.NewSource(*seed + 103))
+	sess, err := factory.NewSession()
+	if err != nil {
+		return err
+	}
 	total, detectLatency := 0.0, time.Duration(0)
 	for i := 0; i < *testN; i++ {
 		sc := gen.Next()
-		sample, err := factory.FromScenario(sc, evalRng)
+		sample, err := sess.FromScenario(sc, evalRng)
 		if err != nil {
 			return err
 		}

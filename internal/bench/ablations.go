@@ -8,6 +8,7 @@ import (
 	"github.com/aquascale/aquascale/internal/core"
 	"github.com/aquascale/aquascale/internal/fusion"
 	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/mlearn"
 	"github.com/aquascale/aquascale/internal/network"
 	"github.com/aquascale/aquascale/internal/sensor"
 	"github.com/aquascale/aquascale/internal/stats"
@@ -76,7 +77,7 @@ func placementScore(tb *testbed, sensors []sensor.Sensor, scale Scale) (float64,
 		return 0, err
 	}
 	return evalProfile(factory, profile, tb.net, epanetSingleLeak,
-		scale.TestScenarios, rand.New(rand.NewSource(scale.Seed+101)))
+		scale.TestScenarios, scale.Workers, rand.New(rand.NewSource(scale.Seed+101)))
 }
 
 // AblationBayesFusion compares the paper's Bayesian odds aggregation of
@@ -135,9 +136,9 @@ func AblationBayesFusion(scale Scale) (*Figure, error) {
 			fused[v] = stats.FuseOdds(fused[v], pLeak)
 			avg[v] = (avg[v] + pLeak) / 2
 		}
-		noFuse += hammingFromProba(proba, truth)
-		bayes += hammingFromProba(fused, truth)
-		naive += hammingFromProba(avg, truth)
+		noFuse += mlearn.HammingScoreProba(proba, truth)
+		bayes += mlearn.HammingScoreProba(fused, truth)
+		naive += mlearn.HammingScoreProba(avg, truth)
 		noFuseBrier += brier(proba, truth)
 		bayesBrier += brier(fused, truth)
 		naiveBrier += brier(avg, truth)
@@ -173,24 +174,6 @@ func brier(proba []float64, truth []int) float64 {
 		total += d * d
 	}
 	return total / float64(len(proba))
-}
-
-func hammingFromProba(proba []float64, truth []int) float64 {
-	inter, union := 0, 0
-	for v, p := range proba {
-		pred := p > 0.5
-		tr := truth[v] == 1
-		if pred && tr {
-			inter++
-		}
-		if pred || tr {
-			union++
-		}
-	}
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
 }
 
 // AblationGammaThreshold sweeps the Γ entropy threshold of the
@@ -244,7 +227,7 @@ func AblationGammaThreshold(scale Scale) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			total += hammingFromProba(pred.Proba, sc.Labels(len(tb.net.Nodes)))
+			total += mlearn.HammingScoreProba(pred.Proba, sc.Labels(len(tb.net.Nodes)))
 		}
 		s.Points = append(s.Points, Point{X: gammaT, Y: total / float64(scale.TestScenarios)})
 	}

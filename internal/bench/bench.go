@@ -34,6 +34,11 @@ type Scale struct {
 	// Technique is the profile classifier for fusion experiments.
 	// Empty means "hybrid-rsl" (the paper's choice after Fig 7).
 	Technique string
+
+	// Workers caps the parallel-evaluation worker pool. Zero means
+	// runtime.NumCPU(); 1 forces serial evaluation. For a fixed Seed the
+	// figures are identical at every worker count.
+	Workers int
 }
 
 func (s Scale) withDefaults() Scale {

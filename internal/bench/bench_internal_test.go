@@ -2,8 +2,11 @@ package bench
 
 import (
 	"bytes"
+	"math/rand"
 	"strings"
 	"testing"
+
+	"github.com/aquascale/aquascale/internal/network"
 )
 
 // tinyScale keeps training-backed experiments fast enough for unit tests.
@@ -157,5 +160,47 @@ func TestScaleDefaults(t *testing.T) {
 	s := Scale{}.withDefaults()
 	if s.TrainSamples != 600 || s.TestScenarios != 60 || s.Technique != "hybrid-rsl" || s.Seed != 1 {
 		t.Fatalf("defaults = %+v", s)
+	}
+	if s.Workers != 0 {
+		t.Fatalf("workers default = %d, want 0 (NumCPU at point of use)", s.Workers)
+	}
+}
+
+// TestEvalProfileParallelDeterministic checks the profile-only evaluation
+// path gives bit-identical scores for every worker count at a fixed seed.
+func TestEvalProfileParallelDeterministic(t *testing.T) {
+	tb, err := newTestbed(network.BuildEPANet)
+	if err != nil {
+		t.Fatalf("newTestbed: %v", err)
+	}
+	sensors, err := tb.sensorsAtPercent(10, tinyScale.Seed+3)
+	if err != nil {
+		t.Fatalf("sensorsAtPercent: %v", err)
+	}
+	factory, err := tb.factoryFor(sensors, epanetSingleLeak)
+	if err != nil {
+		t.Fatalf("factoryFor: %v", err)
+	}
+	ds, err := factory.Generate(tinyScale.TrainSamples, rand.New(rand.NewSource(tinyScale.Seed+11)))
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	profile, err := trainProfileOnly(ds, len(tb.net.Nodes), "linear", tinyScale.Seed+77)
+	if err != nil {
+		t.Fatalf("trainProfileOnly: %v", err)
+	}
+	run := func(workers int) float64 {
+		score, err := evalProfile(factory, profile, tb.net, epanetSingleLeak,
+			16, workers, rand.New(rand.NewSource(tinyScale.Seed+101)))
+		if err != nil {
+			t.Fatalf("evalProfile(workers=%d): %v", workers, err)
+		}
+		return score
+	}
+	serial := run(1)
+	for _, workers := range []int{2, 7, 0} {
+		if par := run(workers); par != serial {
+			t.Fatalf("workers=%d diverged: serial=%v parallel=%v", workers, serial, par)
+		}
 	}
 }

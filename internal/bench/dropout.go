@@ -4,6 +4,7 @@ import (
 	"math/rand"
 
 	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/mlearn"
 	"github.com/aquascale/aquascale/internal/network"
 )
 
@@ -45,6 +46,12 @@ func AblationSensorDropout(scale Scale) (*Figure, error) {
 	}
 	var s Series
 	s.Name = scale.Technique
+	// The dropout mask couples consecutive rng draws, so this sweep stays
+	// serial; the session still amortizes solver construction per curve.
+	sess, err := factory.NewSession()
+	if err != nil {
+		return nil, err
+	}
 	for _, failPct := range []float64{0, 10, 20, 30, 50} {
 		rng := rand.New(rand.NewSource(scale.Seed + 101))
 		gen, err := leak.NewGenerator(tb.net, epanetMultiLeak, rng)
@@ -54,7 +61,7 @@ func AblationSensorDropout(scale Scale) (*Figure, error) {
 		total := 0.0
 		for i := 0; i < scale.TestScenarios; i++ {
 			sc := gen.Next()
-			sample, err := factory.FromScenario(sc, rng)
+			sample, err := sess.FromScenario(sc, rng)
 			if err != nil {
 				return nil, err
 			}
@@ -67,7 +74,7 @@ func AblationSensorDropout(scale Scale) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			total += hammingInts(pred, sc.Labels(len(tb.net.Nodes)))
+			total += mlearn.HammingScore(pred, sc.Labels(len(tb.net.Nodes)))
 		}
 		s.Points = append(s.Points, Point{X: failPct, Y: total / float64(scale.TestScenarios)})
 	}
@@ -76,22 +83,4 @@ func AblationSensorDropout(scale Scale) (*Figure, error) {
 		"a dead sensor reporting its expected baseline silently removes evidence; degradation should be gradual, not a cliff",
 	)
 	return fig, nil
-}
-
-func hammingInts(pred, truth []int) float64 {
-	inter, union := 0, 0
-	for i := range pred {
-		p := pred[i] == 1
-		t := i < len(truth) && truth[i] == 1
-		if p && t {
-			inter++
-		}
-		if p || t {
-			union++
-		}
-	}
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
 }

@@ -47,17 +47,19 @@ func Fig10MaxEvents(scale Scale) (*Figure, error) {
 	allS.Name = "IoT + human + temp"
 	for _, maxEv := range fig10MaxEvents {
 		evalCfg := leak.GeneratorConfig{MinEvents: 1, MaxEvents: maxEv}
-		iot, err := sys.Evaluate(scale.TestScenarios, evalCfg,
+		iot, err := sys.EvaluateParallel(scale.TestScenarios, evalCfg,
 			core.ObserveOptions{ElapsedSlots: 4},
+			scale.Workers,
 			rand.New(rand.NewSource(scale.Seed+int64(100+maxEv))))
 		if err != nil {
 			return nil, err
 		}
-		all, err := sys.Evaluate(scale.TestScenarios, evalCfg,
+		all, err := sys.EvaluateParallel(scale.TestScenarios, evalCfg,
 			core.ObserveOptions{
 				Sources:      core.Sources{Weather: true, Human: true},
 				ElapsedSlots: 4,
 			},
+			scale.Workers,
 			rand.New(rand.NewSource(scale.Seed+int64(100+maxEv))))
 		if err != nil {
 			return nil, err

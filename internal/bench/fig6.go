@@ -48,7 +48,7 @@ func Fig6MLComparison(scale Scale) (*Figure, error) {
 				return nil, fmt.Errorf("bench: fig6 %s at %.0f%%: %w", tech, pct, err)
 			}
 			score, err := evalProfile(factory, profile, tb.net, epanetSingleLeak,
-				scale.TestScenarios, rand.New(rand.NewSource(scale.Seed+101)))
+				scale.TestScenarios, scale.Workers, rand.New(rand.NewSource(scale.Seed+101)))
 			if err != nil {
 				return nil, err
 			}

@@ -58,7 +58,7 @@ func Fig7HybridSweep(scale Scale) (*Figure, error) {
 					return nil, fmt.Errorf("bench: fig7 %s/%s at %.0f%%: %w", fam.name, tech, pct, err)
 				}
 				score, err := evalProfile(factory, profile, tb.net, fam.cfg,
-					scale.TestScenarios, rand.New(rand.NewSource(scale.Seed+101)))
+					scale.TestScenarios, scale.Workers, rand.New(rand.NewSource(scale.Seed+101)))
 				if err != nil {
 					return nil, err
 				}
@@ -109,17 +109,19 @@ func Fig7cFusionIncrement(scale Scale) (*Figure, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: fig7c at %.0f%%: %w", pct, err)
 		}
-		iot, err := sys.Evaluate(scale.TestScenarios, leakCfg,
+		iot, err := sys.EvaluateParallel(scale.TestScenarios, leakCfg,
 			core.ObserveOptions{ElapsedSlots: 4},
+			scale.Workers,
 			rand.New(rand.NewSource(scale.Seed+101)))
 		if err != nil {
 			return nil, err
 		}
-		all, err := sys.Evaluate(scale.TestScenarios, leakCfg,
+		all, err := sys.EvaluateParallel(scale.TestScenarios, leakCfg,
 			core.ObserveOptions{
 				Sources:      core.Sources{Weather: true, Human: true},
 				ElapsedSlots: 4,
 			},
+			scale.Workers,
 			rand.New(rand.NewSource(scale.Seed+101)))
 		if err != nil {
 			return nil, err

@@ -55,17 +55,19 @@ func Fig8WSSCSurface(scale Scale) (*Figure, error) {
 		allRow := []string{fmt.Sprintf("%.0f", pct)}
 		incRow := []string{fmt.Sprintf("%.0f", pct)}
 		for _, n := range fig8Slots {
-			iot, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+			iot, err := sys.EvaluateParallel(scale.TestScenarios, wsscMultiLeak,
 				core.ObserveOptions{ElapsedSlots: n},
+				scale.Workers,
 				rand.New(rand.NewSource(scale.Seed+int64(1000+n))))
 			if err != nil {
 				return nil, err
 			}
-			all, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+			all, err := sys.EvaluateParallel(scale.TestScenarios, wsscMultiLeak,
 				core.ObserveOptions{
 					Sources:      core.Sources{Weather: true, Human: true},
 					ElapsedSlots: n,
 				},
+				scale.Workers,
 				rand.New(rand.NewSource(scale.Seed+int64(1000+n))))
 			if err != nil {
 				return nil, err

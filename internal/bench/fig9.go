@@ -40,8 +40,9 @@ func Fig9Coarseness(scale Scale) (*Figure, error) {
 		YLabel: "Hamming score",
 	}
 
-	iotOnly, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+	iotOnly, err := sys.EvaluateParallel(scale.TestScenarios, wsscMultiLeak,
 		core.ObserveOptions{ElapsedSlots: 4},
+		scale.Workers,
 		rand.New(rand.NewSource(scale.Seed+101)))
 	if err != nil {
 		return nil, err
@@ -52,22 +53,24 @@ func Fig9Coarseness(scale Scale) (*Figure, error) {
 	human.Name = "IoT + human"
 	humanTemp.Name = "IoT + human + temp"
 	for _, gamma := range fig9Gammas {
-		h, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+		h, err := sys.EvaluateParallel(scale.TestScenarios, wsscMultiLeak,
 			core.ObserveOptions{
 				Sources:      core.Sources{Human: true},
 				ElapsedSlots: 4,
 				GammaM:       gamma,
 			},
+			scale.Workers,
 			rand.New(rand.NewSource(scale.Seed+101)))
 		if err != nil {
 			return nil, err
 		}
-		ht, err := sys.Evaluate(scale.TestScenarios, wsscMultiLeak,
+		ht, err := sys.EvaluateParallel(scale.TestScenarios, wsscMultiLeak,
 			core.ObserveOptions{
 				Sources:      core.Sources{Weather: true, Human: true},
 				ElapsedSlots: 4,
 				GammaM:       gamma,
 			},
+			scale.Workers,
 			rand.New(rand.NewSource(scale.Seed+101)))
 		if err != nil {
 			return nil, err

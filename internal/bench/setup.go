@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 	"time"
 
 	"github.com/aquascale/aquascale/internal/core"
@@ -70,25 +72,72 @@ func (tb *testbed) trainedSystem(sensors []sensor.Sensor, leakCfg leak.Generator
 
 // evalProfile measures the profile-only (IoT data only, no fusion) mean
 // Hamming score over fresh plain scenarios — the Fig 6/7 setting.
+//
+// Scenarios and one noise seed per scenario are pre-drawn from rng, then
+// fanned out over workers (0 means runtime.NumCPU(), 1 forces serial),
+// each worker reusing one dataset session; the score is identical for
+// every worker count at a fixed seed.
 func evalProfile(factory *dataset.Factory, profile *core.Profile, net *network.Network,
-	leakCfg leak.GeneratorConfig, count int, rng *rand.Rand) (float64, error) {
+	leakCfg leak.GeneratorConfig, count, workers int, rng *rand.Rand) (float64, error) {
 	gen, err := leak.NewGenerator(net, leakCfg, rng)
 	if err != nil {
 		return 0, err
 	}
-	var preds, truths [][]int
+	scenarios := gen.Batch(count)
+	seeds := make([]int64, count)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > count {
+		workers = count
+	}
+	sessions := make([]*dataset.Session, workers)
+	for w := range sessions {
+		sess, err := factory.NewSession()
+		if err != nil {
+			return 0, err
+		}
+		sessions[w] = sess
+	}
+
+	preds := make([][]int, count)
+	truths := make([][]int, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(sess *dataset.Session) {
+			defer wg.Done()
+			for i := range work {
+				sample, err := sess.FromScenario(scenarios[i], rand.New(rand.NewSource(seeds[i])))
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				pred, err := profile.Predict(sample.Features)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				preds[i] = pred
+				truths[i] = scenarios[i].Labels(len(net.Nodes))
+			}
+		}(sessions[w])
+	}
 	for i := 0; i < count; i++ {
-		sc := gen.Next()
-		sample, err := factory.FromScenario(sc, rng)
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return 0, err
 		}
-		pred, err := profile.Predict(sample.Features)
-		if err != nil {
-			return 0, err
-		}
-		preds = append(preds, pred)
-		truths = append(truths, sc.Labels(len(net.Nodes)))
 	}
 	return mlearn.MeanHammingScore(preds, truths), nil
 }

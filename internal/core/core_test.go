@@ -252,13 +252,4 @@ func TestLocalizeRequiresTraining(t *testing.T) {
 	}
 }
 
-func TestHammingNodes(t *testing.T) {
-	if got := hammingNodes([]int{1, 0, 1}, []int{1, 0, 0}); got != 0.5 {
-		t.Fatalf("hamming = %v, want 0.5", got)
-	}
-	if got := hammingNodes([]int{0, 0}, []int{0, 0}); got != 1 {
-		t.Fatalf("empty = %v, want 1", got)
-	}
-}
-
 var _ = social.Clique{} // keep the import for Observation documentation

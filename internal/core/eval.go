@@ -1,0 +1,202 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/mlearn"
+	"github.com/aquascale/aquascale/internal/social"
+)
+
+// observer bundles the per-worker state of the Phase-II evaluation engine:
+// a dataset session (one reused hydraulic solver) and one reused tweet
+// generator. Construction is the expensive part Observe pays per call; an
+// observer pays it once and is then driven with per-scenario rngs. Not
+// safe for concurrent use — the evaluator builds one per worker.
+type observer struct {
+	session *dataset.Session
+	reports *social.Generator
+}
+
+// newObserver builds the reusable per-worker observation state.
+func (s *System) newObserver() (*observer, error) {
+	sess, err := s.factory.NewSession()
+	if err != nil {
+		return nil, err
+	}
+	// The generator's own rng is never used: every draw goes through
+	// ReportsWith with an explicit per-scenario stream. NewGenerator only
+	// needs a non-nil rng to satisfy its contract.
+	gen, err := social.NewGenerator(s.net, s.social, rand.New(rand.NewSource(1)))
+	if err != nil {
+		return nil, err
+	}
+	return &observer{session: sess, reports: gen}, nil
+}
+
+// observeWith simulates one observation using an observer's reused solver
+// and tweet generator. All randomness is drawn from rng in a fixed order
+// (sensor noise, freeze detection, reports), so the observation depends
+// only on (scenario, options, rng state) — never on which worker runs it.
+func (s *System) observeWith(o *observer, sc ColdScenario, opt ObserveOptions, rng *rand.Rand) (Observation, error) {
+	if opt.ElapsedSlots <= 0 {
+		opt.ElapsedSlots = 1
+	}
+	if opt.GammaM <= 0 {
+		opt.GammaM = 30
+	}
+	sample, err := o.session.FromScenarioAt(sc.Scenario, opt.ElapsedSlots, rng)
+	if err != nil {
+		return Observation{}, err
+	}
+	obs := Observation{Features: sample.Features}
+	if opt.Sources.Weather {
+		leaking := make(map[int]bool, len(sc.Events))
+		for _, e := range sc.Events {
+			leaking[e.Node] = true
+		}
+		detected := make([]bool, len(sc.Frozen))
+		for v, frozen := range sc.Frozen {
+			if !frozen {
+				continue
+			}
+			if leaking[v] {
+				detected[v] = rng.Float64() < freezeDetectRate
+			} else {
+				detected[v] = rng.Float64() < freezeFalseFireRate
+			}
+		}
+		obs.Frozen = detected
+	}
+	if opt.Sources.Human {
+		reports, err := o.reports.ReportsWith(rng, sc.LeakNodes(), opt.ElapsedSlots)
+		if err != nil {
+			return Observation{}, err
+		}
+		pe := s.social.FalsePositiveRate
+		if pe <= 0 {
+			pe = 0.3
+		}
+		obs.Cliques = social.BuildCliques(s.net, reports, opt.GammaM, pe)
+	}
+	return obs, nil
+}
+
+// evaluateScenario runs the full Phase-II pipeline on one pre-drawn cold
+// scenario with its own rng and returns (Hamming score, human-added count).
+func (s *System) evaluateScenario(o *observer, sc ColdScenario, opt ObserveOptions, rng *rand.Rand) (float64, int, error) {
+	obs, err := s.observeWith(o, sc, opt, rng)
+	if err != nil {
+		return 0, 0, err
+	}
+	pred, added, err := s.Localize(obs)
+	if err != nil {
+		return 0, 0, err
+	}
+	return mlearn.HammingScore(pred.Set(), sc.Labels(len(s.net.Nodes))), len(added), nil
+}
+
+// Evaluate runs Phase II over count cold scenarios and returns the mean
+// Hamming score against ground truth. Scenarios are evaluated in parallel
+// across runtime.NumCPU() workers; see EvaluateParallel for the
+// determinism guarantee and worker-count control.
+func (s *System) Evaluate(count int, leakCfg leak.GeneratorConfig, opt ObserveOptions, rng *rand.Rand) (EvalResult, error) {
+	return s.EvaluateParallel(count, leakCfg, opt, 0, rng)
+}
+
+// EvaluateParallel is Evaluate with an explicit worker count: 0 means
+// runtime.NumCPU(), 1 forces the serial path.
+//
+// The result is bit-identical for every worker count and GOMAXPROCS
+// setting at a fixed rng seed — the same guarantee dataset.Factory.Generate
+// documents, and by the same construction: scenarios and one noise seed
+// per scenario are drawn sequentially from the caller's rng up front, each
+// scenario is then evaluated against its own rand.New(seed) stream by a
+// worker holding a reused hydraulic solver and tweet generator, and the
+// per-scenario scores are reduced in scenario order.
+func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt ObserveOptions, workers int, rng *rand.Rand) (EvalResult, error) {
+	if s.profile == nil {
+		return EvalResult{}, fmt.Errorf("core: system not trained")
+	}
+	if count <= 0 {
+		return EvalResult{}, fmt.Errorf("core: non-positive scenario count")
+	}
+	if rng == nil {
+		return EvalResult{}, fmt.Errorf("core: nil rng")
+	}
+
+	// Serial phase: pre-draw every random decision that spans scenarios so
+	// the outcome cannot depend on worker scheduling.
+	scenarios := make([]ColdScenario, count)
+	for i := range scenarios {
+		sc, err := s.GenerateColdScenario(leakCfg, rng)
+		if err != nil {
+			return EvalResult{}, err
+		}
+		scenarios[i] = sc
+	}
+	seeds := make([]int64, count)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > count {
+		workers = count
+	}
+	// Per-worker observers are built before spawning so a solver or
+	// generator construction failure is one deterministic error.
+	observers := make([]*observer, workers)
+	for w := range observers {
+		o, err := s.newObserver()
+		if err != nil {
+			return EvalResult{}, err
+		}
+		observers[w] = o
+	}
+
+	scores := make([]float64, count)
+	added := make([]int, count)
+	errs := make([]error, count)
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(o *observer) {
+			defer wg.Done()
+			for i := range work {
+				scores[i], added[i], errs[i] =
+					s.evaluateScenario(o, scenarios[i], opt, rand.New(rand.NewSource(seeds[i])))
+			}
+		}(observers[w])
+	}
+	for i := 0; i < count; i++ {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	// Reduce in scenario order: first error wins deterministically and the
+	// float sum is order-stable.
+	for _, err := range errs {
+		if err != nil {
+			return EvalResult{}, err
+		}
+	}
+	total, humanAdded := 0.0, 0
+	for i := range scores {
+		total += scores[i]
+		humanAdded += added[i]
+	}
+	return EvalResult{
+		MeanHamming: total / float64(count),
+		Scenarios:   count,
+		HumanAdded:  humanAdded,
+	}, nil
+}

@@ -1,0 +1,144 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+)
+
+// smallTrainedSystem builds a cheap trained system (linear profile, few
+// samples) for determinism tests that must run even in -short mode.
+func smallTrainedSystem(t *testing.T) *System {
+	t.Helper()
+	net := network.BuildEPANet()
+	base, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{Duration: 4 * time.Hour, Step: time.Hour}, nil)
+	if err != nil {
+		t.Fatalf("baseline EPS: %v", err)
+	}
+	placer, err := sensor.NewPlacer(net, base)
+	if err != nil {
+		t.Fatalf("NewPlacer: %v", err)
+	}
+	sensors, err := placer.KMedoids(12, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatalf("KMedoids: %v", err)
+	}
+	factory, err := dataset.NewFactory(net, sensors, dataset.Config{
+		Noise: sensor.DefaultNoise,
+		Leaks: leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	sys := NewSystem(factory, net, SystemConfig{})
+	if err := sys.Train(60, ProfileConfig{Technique: "linear", Seed: 5}, rand.New(rand.NewSource(3))); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	return sys
+}
+
+// TestEvaluateParallelDeterministic pins the tentpole guarantee: for a
+// fixed seed, EvaluateParallel returns bit-identical results whether it
+// runs serially or fanned out over any worker count.
+func TestEvaluateParallelDeterministic(t *testing.T) {
+	sys := smallTrainedSystem(t)
+	leakCfg := leak.GeneratorConfig{MinEvents: 1, MaxEvents: 3}
+	opt := ObserveOptions{
+		Sources:      Sources{Weather: true, Human: true},
+		ElapsedSlots: 2,
+		GammaM:       60,
+	}
+	run := func(workers int) EvalResult {
+		res, err := sys.EvaluateParallel(18, leakCfg, opt, workers, rand.New(rand.NewSource(5)))
+		if err != nil {
+			t.Fatalf("EvaluateParallel(workers=%d): %v", workers, err)
+		}
+		return res
+	}
+	serial := run(1)
+	if serial.Scenarios != 18 {
+		t.Fatalf("scenarios = %d, want 18", serial.Scenarios)
+	}
+	for _, workers := range []int{2, 5, 8, 0} {
+		if par := run(workers); !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d diverged: serial=%+v parallel=%+v", workers, serial, par)
+		}
+	}
+}
+
+// TestEvaluateGOMAXPROCSInvariant checks that the same-seed result does not
+// depend on how many OS threads the runtime schedules goroutines onto.
+func TestEvaluateGOMAXPROCSInvariant(t *testing.T) {
+	sys := smallTrainedSystem(t)
+	leakCfg := leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2}
+	opt := ObserveOptions{Sources: Sources{Weather: true, Human: true}, ElapsedSlots: 2}
+	run := func() EvalResult {
+		res, err := sys.EvaluateParallel(12, leakCfg, opt, 4, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatalf("EvaluateParallel: %v", err)
+		}
+		return res
+	}
+	wide := run()
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+	if narrow := run(); !reflect.DeepEqual(wide, narrow) {
+		t.Fatalf("GOMAXPROCS changed the result: %+v vs %+v", wide, narrow)
+	}
+}
+
+// TestObserveMatchesObserveWith pins the slow path to the engine path: for
+// the same scenario and rng state, Observe and a reused observer must
+// produce the same observation.
+func TestObserveMatchesObserveWith(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := NewSystem(testFactory(t, net), net, SystemConfig{})
+	sc, err := sys.GenerateColdScenario(leak.GeneratorConfig{MinEvents: 2, MaxEvents: 2}, rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatalf("GenerateColdScenario: %v", err)
+	}
+	opt := ObserveOptions{Sources: Sources{Weather: true, Human: true}, ElapsedSlots: 6, GammaM: 80}
+
+	slow, err := sys.Observe(sc, opt, rand.New(rand.NewSource(33)))
+	if err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	o, err := sys.newObserver()
+	if err != nil {
+		t.Fatalf("newObserver: %v", err)
+	}
+	// Drive the same observer twice to prove reuse does not drift.
+	for trial := 0; trial < 2; trial++ {
+		fast, err := sys.observeWith(o, sc, opt, rand.New(rand.NewSource(33)))
+		if err != nil {
+			t.Fatalf("observeWith (trial %d): %v", trial, err)
+		}
+		if !reflect.DeepEqual(slow, fast) {
+			t.Fatalf("observer reuse diverged from Observe (trial %d)", trial)
+		}
+	}
+}
+
+func TestEvaluateParallelValidation(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := NewSystem(testFactory(t, net), net, SystemConfig{})
+	// Untrained system must fail before doing any work.
+	if _, err := sys.EvaluateParallel(4, leak.GeneratorConfig{}, ObserveOptions{}, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("untrained EvaluateParallel should error")
+	}
+	sys = smallTrainedSystem(t)
+	if _, err := sys.EvaluateParallel(0, leak.GeneratorConfig{}, ObserveOptions{}, 2, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("non-positive count should error")
+	}
+	if _, err := sys.EvaluateParallel(4, leak.GeneratorConfig{}, ObserveOptions{}, 2, nil); err == nil {
+		t.Fatal("nil rng should error")
+	}
+}

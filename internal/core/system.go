@@ -218,52 +218,18 @@ const (
 // Observe simulates the live data a deployed AquaSCALE would see for a
 // scenario: noisy IoT reading deltas, the detected-frozen mask (if weather
 // is enabled), and tweet-derived cliques (if human input is enabled).
+//
+// This is the documented slow path: every call constructs a fresh
+// hydraulic solver session and tweet generator. Loops over many scenarios
+// should go through Evaluate/EvaluateParallel, which amortize that setup
+// across scenarios via per-worker observers. For a given rng state the
+// observation is identical either way.
 func (s *System) Observe(sc ColdScenario, opt ObserveOptions, rng *rand.Rand) (Observation, error) {
-	if opt.ElapsedSlots <= 0 {
-		opt.ElapsedSlots = 1
-	}
-	if opt.GammaM <= 0 {
-		opt.GammaM = 30
-	}
-	sample, err := s.factory.FromScenarioAt(sc.Scenario, opt.ElapsedSlots, rng)
+	o, err := s.newObserver()
 	if err != nil {
 		return Observation{}, err
 	}
-	obs := Observation{Features: sample.Features}
-	if opt.Sources.Weather {
-		leaking := make(map[int]bool, len(sc.Events))
-		for _, e := range sc.Events {
-			leaking[e.Node] = true
-		}
-		detected := make([]bool, len(sc.Frozen))
-		for v, frozen := range sc.Frozen {
-			if !frozen {
-				continue
-			}
-			if leaking[v] {
-				detected[v] = rng.Float64() < freezeDetectRate
-			} else {
-				detected[v] = rng.Float64() < freezeFalseFireRate
-			}
-		}
-		obs.Frozen = detected
-	}
-	if opt.Sources.Human {
-		gen, err := social.NewGenerator(s.net, s.social, rng)
-		if err != nil {
-			return Observation{}, err
-		}
-		reports, err := gen.Reports(sc.LeakNodes(), opt.ElapsedSlots)
-		if err != nil {
-			return Observation{}, err
-		}
-		pe := s.social.FalsePositiveRate
-		if pe <= 0 {
-			pe = 0.3
-		}
-		obs.Cliques = social.BuildCliques(s.net, reports, opt.GammaM, pe)
-	}
-	return obs, nil
+	return s.observeWith(o, sc, opt, rng)
 }
 
 // EvalResult summarizes an evaluation run.
@@ -278,55 +244,3 @@ type EvalResult struct {
 	HumanAdded int
 }
 
-// Evaluate runs Phase II over count cold scenarios and returns the mean
-// Hamming score against ground truth.
-func (s *System) Evaluate(count int, leakCfg leak.GeneratorConfig, opt ObserveOptions, rng *rand.Rand) (EvalResult, error) {
-	if s.profile == nil {
-		return EvalResult{}, fmt.Errorf("core: system not trained")
-	}
-	if count <= 0 {
-		return EvalResult{}, fmt.Errorf("core: non-positive scenario count")
-	}
-	total := 0.0
-	humanAdded := 0
-	for i := 0; i < count; i++ {
-		sc, err := s.GenerateColdScenario(leakCfg, rng)
-		if err != nil {
-			return EvalResult{}, err
-		}
-		obs, err := s.Observe(sc, opt, rng)
-		if err != nil {
-			return EvalResult{}, err
-		}
-		pred, added, err := s.Localize(obs)
-		if err != nil {
-			return EvalResult{}, err
-		}
-		humanAdded += len(added)
-		total += hammingNodes(pred.Set(), sc.Labels(len(s.net.Nodes)))
-	}
-	return EvalResult{
-		MeanHamming: total / float64(count),
-		Scenarios:   count,
-		HumanAdded:  humanAdded,
-	}, nil
-}
-
-// hammingNodes is the paper's Hamming score over full node vectors.
-func hammingNodes(pred, truth []int) float64 {
-	inter, union := 0, 0
-	for i := range pred {
-		p := pred[i] == 1
-		t := i < len(truth) && truth[i] == 1
-		if p && t {
-			inter++
-		}
-		if p || t {
-			union++
-		}
-	}
-	if union == 0 {
-		return 1
-	}
-	return float64(inter) / float64(union)
-}

@@ -196,12 +196,52 @@ func (f *Factory) FromScenario(sc leak.Scenario, rng *rand.Rand) (Sample, error)
 // the post-leak reading is taken at e.t + n·Step. Used by online
 // evaluation to model observations arriving later than the training
 // configuration.
+//
+// This is the documented slow path: it constructs a throwaway
+// hydraulic.Solver on every call. Code that builds many samples (dataset
+// generation, Phase-II evaluation sweeps) should open a Session once and
+// call Session.FromScenarioAt instead, amortizing solver construction
+// across scenarios.
 func (f *Factory) FromScenarioAt(sc leak.Scenario, elapsedSlots int, rng *rand.Rand) (Sample, error) {
-	solver, err := hydraulic.NewSolver(f.net, f.cfg.Solver)
+	sess, err := f.NewSession()
 	if err != nil {
 		return Sample{}, err
 	}
-	return f.fromScenario(solver, sc, elapsedSlots, rng)
+	return sess.FromScenarioAt(sc, elapsedSlots, rng)
+}
+
+// Session carries a dedicated hydraulic solver for repeated sample
+// construction, so hot loops pay for solver construction once instead of
+// once per scenario. The underlying factory (junction geometry, baseline
+// cache) is shared and safe to use from many sessions concurrently; a
+// Session itself is NOT safe for concurrent use — open one per goroutine.
+//
+// Solves are cold-started from fixed initial guesses, so a reused session
+// produces bit-identical samples to a fresh solver per call.
+type Session struct {
+	f      *Factory
+	solver *hydraulic.Solver
+}
+
+// NewSession opens a sample-building session with its own solver.
+func (f *Factory) NewSession() (*Session, error) {
+	solver, err := hydraulic.NewSolver(f.net, f.cfg.Solver)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: session solver: %w", err)
+	}
+	return &Session{f: f, solver: solver}, nil
+}
+
+// FromScenario builds one sample at the factory's configured elapsed-slot
+// count, reusing the session's solver.
+func (s *Session) FromScenario(sc leak.Scenario, rng *rand.Rand) (Sample, error) {
+	return s.f.fromScenario(s.solver, sc, s.f.cfg.ElapsedSlots, rng)
+}
+
+// FromScenarioAt builds one sample with an explicit elapsed-slot count,
+// reusing the session's solver.
+func (s *Session) FromScenarioAt(sc leak.Scenario, elapsedSlots int, rng *rand.Rand) (Sample, error) {
+	return s.f.fromScenario(s.solver, sc, elapsedSlots, rng)
 }
 
 func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elapsedSlots int, rng *rand.Rand) (Sample, error) {
@@ -233,21 +273,13 @@ func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elaps
 }
 
 // noisyBaseline perturbs noise-free baseline readings with fresh
-// measurement noise, simulating the independent pre-leak reading.
+// measurement noise, simulating the independent pre-leak reading. The
+// per-kind noise model is sensor.ApplyNoise — the same switch Read uses —
+// so both reading paths stay in lockstep.
 func (f *Factory) noisyBaseline(baseTruth []float64, rng *rand.Rand) []float64 {
 	out := make([]float64, len(baseTruth))
 	copy(out, baseTruth)
-	if rng == nil {
-		return out
-	}
-	for i, s := range f.sensors {
-		switch s.Kind {
-		case sensor.Pressure:
-			out[i] += rng.NormFloat64() * f.cfg.Noise.PressureStd
-		case sensor.Flow:
-			out[i] += rng.NormFloat64() * f.cfg.Noise.FlowStd
-		}
-	}
+	sensor.ApplyNoise(f.sensors, out, f.cfg.Noise, rng)
 	return out
 }
 
@@ -275,25 +307,29 @@ func (f *Factory) Generate(count int, rng *rand.Rand) (*Dataset, error) {
 	if workers > count {
 		workers = count
 	}
+	// Per-worker sessions are constructed up front so a solver-construction
+	// failure surfaces here as one deterministic error, instead of being
+	// smeared over whichever work items the broken worker happened to drain
+	// (which made error attribution scheduling-dependent).
+	sessions := make([]*Session, workers)
+	for w := range sessions {
+		sess, err := f.NewSession()
+		if err != nil {
+			return nil, err
+		}
+		sessions[w] = sess
+	}
 	var wg sync.WaitGroup
 	work := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(sess *Session) {
 			defer wg.Done()
-			solver, err := hydraulic.NewSolver(f.net, f.cfg.Solver)
-			if err != nil {
-				// Surfaced via the first work item this worker drains.
-				for i := range work {
-					errs[i] = err
-				}
-				return
-			}
 			for i := range work {
 				noiseRng := rand.New(rand.NewSource(seeds[i]))
-				samples[i], errs[i] = f.fromScenario(solver, scenarios[i], f.cfg.ElapsedSlots, noiseRng)
+				samples[i], errs[i] = sess.FromScenarioAt(scenarios[i], f.cfg.ElapsedSlots, noiseRng)
 			}
-		}()
+		}(sessions[w])
 	}
 	for i := 0; i < count; i++ {
 		work <- i

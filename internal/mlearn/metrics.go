@@ -4,15 +4,47 @@ package mlearn
 // correctly predicted leak events divided by the union of predicted and
 // true leak events — the Jaccard index of the two leak sets. A scenario
 // with no true and no predicted leaks scores 1.
+//
+// This is the canonical implementation, shared by Phase-I profile
+// evaluation, Phase-II system evaluation and the fusion-side experiment
+// scoring; score any 0/1 node vectors through it (or HammingScoreProba)
+// rather than re-deriving the set arithmetic. Vectors of unequal length
+// are compared over the longer one, with missing entries treated as 0, so
+// the metric stays symmetric.
 func HammingScore(pred, truth []int) float64 {
 	inter, union := 0, 0
 	n := len(pred)
-	if len(truth) < n {
+	if len(truth) > n {
 		n = len(truth)
 	}
 	for i := 0; i < n; i++ {
-		p := pred[i] == 1
-		t := truth[i] == 1
+		p := i < len(pred) && pred[i] == 1
+		t := i < len(truth) && truth[i] == 1
+		if p && t {
+			inter++
+		}
+		if p || t {
+			union++
+		}
+	}
+	if union == 0 {
+		return 1
+	}
+	return float64(inter) / float64(union)
+}
+
+// HammingScoreProba is HammingScore with the prediction given as per-node
+// probabilities, thresholded at the paper's 0.5 decision boundary (the
+// same S = {v : p_v(1) > 0.5} rule fusion.Prediction.Set applies).
+func HammingScoreProba(proba []float64, truth []int) float64 {
+	n := len(proba)
+	if len(truth) > n {
+		n = len(truth)
+	}
+	inter, union := 0, 0
+	for i := 0; i < n; i++ {
+		p := i < len(proba) && proba[i] > 0.5
+		t := i < len(truth) && truth[i] == 1
 		if p && t {
 			inter++
 		}

@@ -26,6 +26,70 @@ func TestHammingScore(t *testing.T) {
 	}
 }
 
+// TestHammingScoreCrossCheck pins the canonical metric against an
+// independent set-based Jaccard reference, and pins HammingScoreProba to
+// HammingScore under the 0.5 threshold — the cross-check that keeps the
+// formerly triplicated implementations (core, mlearn, fusion-side scoring)
+// from drifting apart now that they share this one.
+func TestHammingScoreCrossCheck(t *testing.T) {
+	setJaccard := func(pred, truth []int) float64 {
+		predSet := make(map[int]bool)
+		truthSet := make(map[int]bool)
+		for i, v := range pred {
+			if v == 1 {
+				predSet[i] = true
+			}
+		}
+		for i, v := range truth {
+			if v == 1 {
+				truthSet[i] = true
+			}
+		}
+		union := make(map[int]bool)
+		inter := 0
+		for i := range predSet {
+			union[i] = true
+			if truthSet[i] {
+				inter++
+			}
+		}
+		for i := range truthSet {
+			union[i] = true
+		}
+		if len(union) == 0 {
+			return 1
+		}
+		return float64(inter) / float64(len(union))
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 500; trial++ {
+		// Unequal lengths included: the canonical metric treats missing
+		// trailing entries as 0.
+		pred := make([]int, rng.Intn(12))
+		truth := make([]int, rng.Intn(12))
+		proba := make([]float64, len(pred))
+		for i := range pred {
+			pred[i] = rng.Intn(2)
+			// A probability strictly on pred's side of the 0.5 threshold.
+			if pred[i] == 1 {
+				proba[i] = 0.5 + 0.5*rng.Float64() + 1e-9
+			} else {
+				proba[i] = 0.5 * rng.Float64()
+			}
+		}
+		for i := range truth {
+			truth[i] = rng.Intn(2)
+		}
+		want := setJaccard(pred, truth)
+		if got := HammingScore(pred, truth); got != want {
+			t.Fatalf("trial %d: HammingScore(%v, %v) = %v, reference = %v", trial, pred, truth, got, want)
+		}
+		if got := HammingScoreProba(proba, truth); got != want {
+			t.Fatalf("trial %d: HammingScoreProba(%v, %v) = %v, reference = %v", trial, proba, truth, got, want)
+		}
+	}
+}
+
 func TestMeanHammingScore(t *testing.T) {
 	preds := [][]int{{1, 0}, {0, 0}}
 	truths := [][]int{{1, 0}, {0, 1}}

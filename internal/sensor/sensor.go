@@ -64,19 +64,44 @@ var DefaultNoise = Noise{PressureStd: 0.02, FlowStd: 2e-4}
 func Read(sensors []Sensor, res *hydraulic.Result, noise Noise, rng *rand.Rand) []float64 {
 	out := make([]float64, len(sensors))
 	for i, s := range sensors {
-		var v, sd float64
 		switch s.Kind {
 		case Pressure:
-			v, sd = res.Pressure[s.Index], noise.PressureStd
+			out[i] = res.Pressure[s.Index]
 		case Flow:
-			v, sd = res.Flow[s.Index], noise.FlowStd
+			out[i] = res.Flow[s.Index]
 		}
-		if rng != nil && sd > 0 {
-			v += rng.NormFloat64() * sd
-		}
-		out[i] = v
 	}
+	ApplyNoise(sensors, out, noise, rng)
 	return out
+}
+
+// ApplyNoise perturbs noise-free readings in place with one fresh Gaussian
+// measurement-noise draw per sensor, selecting each sensor's standard
+// deviation by kind. It is the single source of truth for the per-kind
+// noise model: Read and every simulated re-reading (e.g. the independent
+// pre-leak baseline sample) share it, so a new sensor kind gets noise in
+// every path or none. A nil rng or a zero standard deviation leaves the
+// affected readings untouched (and draws nothing, keeping rng streams
+// independent of zero-noise channels).
+func ApplyNoise(sensors []Sensor, vals []float64, noise Noise, rng *rand.Rand) {
+	if rng == nil {
+		return
+	}
+	if len(vals) != len(sensors) {
+		panic(fmt.Sprintf("sensor: ApplyNoise length mismatch %d vs %d", len(vals), len(sensors)))
+	}
+	for i, s := range sensors {
+		var sd float64
+		switch s.Kind {
+		case Pressure:
+			sd = noise.PressureStd
+		case Flow:
+			sd = noise.FlowStd
+		}
+		if sd > 0 {
+			vals[i] += rng.NormFloat64() * sd
+		}
+	}
 }
 
 // Delta returns after−before element-wise — the paper's feature: the change

@@ -122,6 +122,17 @@ func NewGenerator(net *network.Network, cfg Config, rng *rand.Rand) (*Generator,
 // With no true leaks, every arrival is a false positive regardless of p_e:
 // there is nothing relevant to report.
 func (g *Generator) Reports(leakNodes []int, slots int) ([]Report, error) {
+	return g.ReportsWith(g.rng, leakNodes, slots)
+}
+
+// ReportsWith is Reports with an explicit rng, so one Generator (and its
+// precomputed service-area bounding box) can be reused across many
+// scenarios that each carry their own deterministic random stream — the
+// pattern the parallel Phase-II evaluator relies on.
+func (g *Generator) ReportsWith(rng *rand.Rand, leakNodes []int, slots int) ([]Report, error) {
+	if rng == nil {
+		return nil, fmt.Errorf("social: nil rng")
+	}
 	for _, v := range leakNodes {
 		if v < 0 || v >= len(g.net.Nodes) {
 			return nil, fmt.Errorf("social: leak node %d out of range", v)
@@ -129,19 +140,19 @@ func (g *Generator) Reports(leakNodes []int, slots int) ([]Report, error) {
 	}
 	var out []Report
 	for slot := 0; slot < slots; slot++ {
-		k := stats.SamplePoisson(g.cfg.ArrivalRate, g.rng)
+		k := stats.SamplePoisson(g.cfg.ArrivalRate, rng)
 		for i := 0; i < k; i++ {
-			relevant := len(leakNodes) > 0 && g.rng.Float64() >= g.cfg.FalsePositiveRate
+			relevant := len(leakNodes) > 0 && rng.Float64() >= g.cfg.FalsePositiveRate
 			var r Report
 			r.Slot = slot
 			if relevant {
-				leak := g.net.Nodes[leakNodes[g.rng.Intn(len(leakNodes))]]
-				r.X = leak.X + g.rng.NormFloat64()*g.cfg.ScatterM
-				r.Y = leak.Y + g.rng.NormFloat64()*g.cfg.ScatterM
+				leak := g.net.Nodes[leakNodes[rng.Intn(len(leakNodes))]]
+				r.X = leak.X + rng.NormFloat64()*g.cfg.ScatterM
+				r.Y = leak.Y + rng.NormFloat64()*g.cfg.ScatterM
 				r.Relevant = true
 			} else {
-				r.X = g.minX + g.rng.Float64()*(g.maxX-g.minX)
-				r.Y = g.minY + g.rng.Float64()*(g.maxY-g.minY)
+				r.X = g.minX + rng.Float64()*(g.maxX-g.minX)
+				r.Y = g.minY + rng.Float64()*(g.maxY-g.minY)
 			}
 			out = append(out, r)
 		}
