@@ -44,6 +44,7 @@ import (
 	"github.com/aquascale/aquascale/internal/sensor"
 	"github.com/aquascale/aquascale/internal/social"
 	"github.com/aquascale/aquascale/internal/stats"
+	"github.com/aquascale/aquascale/internal/telemetry"
 	"github.com/aquascale/aquascale/internal/weather"
 )
 
@@ -143,6 +144,11 @@ func RunQuality(n *Network, ts *TimeSeries, injections []Injection, opts Quality
 
 // ErrNotConverged is returned when the hydraulic solver fails to converge.
 var ErrNotConverged = hydraulic.ErrNotConverged
+
+// ConvergenceError is the concrete non-convergence error, carrying the
+// iteration count, last residual and simulation time of the failing solve.
+// It wraps ErrNotConverged (errors.Is compatible).
+type ConvergenceError = hydraulic.ConvergenceError
 
 // Leak events and scenarios.
 type (
@@ -411,6 +417,35 @@ func Experiments() map[string]func(ExperimentScale) (*ExperimentFigure, error) {
 
 // ExperimentIDs lists experiment ids in presentation order.
 func ExperimentIDs() []string { return bench.ExperimentIDs() }
+
+// ExperimentSpanName is the telemetry span an experiment runs under —
+// read it back (TelemetryDefault().SpanStats) to report the same timing
+// the metrics exporters serialize.
+func ExperimentSpanName(id string) string { return bench.FigureSpanName(id) }
+
+// Telemetry (metrics, spans, profiling hooks).
+//
+// The layer is off by default and free when off: instrumented components
+// bind no-op handles. Call EnableTelemetry before constructing solvers,
+// factories and systems; enabling it never changes results at a fixed
+// seed.
+type (
+	// TelemetryRegistry holds named counters, gauges, histograms and spans,
+	// with Prometheus/JSON exporters and an HTTP observability endpoint.
+	TelemetryRegistry = telemetry.Registry
+	// TelemetrySnapshot is a point-in-time JSON-serializable metrics copy.
+	TelemetrySnapshot = telemetry.Snapshot
+)
+
+// EnableTelemetry installs a fresh global telemetry registry.
+func EnableTelemetry() *TelemetryRegistry { return telemetry.Enable() }
+
+// DisableTelemetry removes the global telemetry registry.
+func DisableTelemetry() { telemetry.Disable() }
+
+// TelemetryDefault returns the global registry, or nil when disabled
+// (every method on the nil registry is a safe no-op).
+func TelemetryDefault() *TelemetryRegistry { return telemetry.Default() }
 
 // Rand is the random source used across the API.
 type Rand = *rand.Rand

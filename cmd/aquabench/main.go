@@ -32,14 +32,17 @@ func main() {
 
 func run() error {
 	var (
-		list      = flag.Bool("list", false, "list experiment ids and exit")
-		runID     = flag.String("run", "", "experiment id to run, or 'all'")
-		train     = flag.Int("train", 0, "training scenarios (0 = default 600; paper 20000)")
-		test      = flag.Int("test", 0, "test scenarios (0 = default 60; paper 2000)")
-		seed      = flag.Int64("seed", 1, "random seed")
-		technique = flag.String("technique", "hybrid-rsl", "profile classifier for fusion experiments")
-		workers   = flag.Int("workers", 0, "evaluation worker goroutines (0 = all CPUs, 1 = serial; figures are identical for any value at a fixed seed)")
-		outPath   = flag.String("out", "", "also write results to this file")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		runID      = flag.String("run", "", "experiment id to run, or 'all'")
+		train      = flag.Int("train", 0, "training scenarios (0 = default 600; paper 20000)")
+		test       = flag.Int("test", 0, "test scenarios (0 = default 60; paper 2000)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		technique  = flag.String("technique", "hybrid-rsl", "profile classifier for fusion experiments")
+		workers    = flag.Int("workers", 0, "evaluation worker goroutines (0 = all CPUs, 1 = serial; figures are identical for any value at a fixed seed)")
+		outPath    = flag.String("out", "", "also write results to this file")
+		metricsOut = flag.String("metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
+		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		progress   = flag.Duration("progress", 0, "print a telemetry heartbeat to stderr at this interval (e.g. 10s; 0 = off)")
 	)
 	flag.Parse()
 
@@ -51,6 +54,31 @@ func run() error {
 	}
 	if *runID == "" {
 		return fmt.Errorf("nothing to do: pass -run <id> or -list")
+	}
+
+	// Telemetry is always on in the harness: the per-figure timing lines
+	// are read from its spans, so console output and -metrics-out report
+	// the same numbers. Enabling it does not change figure values (pinned
+	// by TestTelemetryDoesNotChangeScores).
+	reg := aquascale.EnableTelemetry()
+	if *httpAddr != "" {
+		srv, addr, err := reg.StartServer(*httpAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+	if *progress > 0 {
+		stop := reg.StartHeartbeat(os.Stderr, *progress)
+		defer stop()
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := reg.WriteJSONFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "aquabench: metrics-out:", err)
+			}
+		}()
 	}
 
 	var out io.Writer = os.Stdout
@@ -90,7 +118,6 @@ func run() error {
 	}
 
 	for _, id := range ids {
-		start := time.Now()
 		fig, err := experiments[id](scale)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", id, err)
@@ -98,8 +125,11 @@ func run() error {
 		if err := fig.Render(out); err != nil {
 			return err
 		}
+		// The figure ran inside its telemetry span; report that span's
+		// measurement so this line and the metrics JSON agree exactly.
+		elapsed := reg.SpanStats(aquascale.ExperimentSpanName(id)).Last()
 		fmt.Fprintf(out, "[%s completed in %v, workers=%d]\n\n",
-			id, time.Since(start).Round(time.Millisecond), effectiveWorkers)
+			id, elapsed.Round(time.Millisecond), effectiveWorkers)
 	}
 	return nil
 }

@@ -29,17 +29,44 @@ func main() {
 
 func run() error {
 	var (
-		netName   = flag.String("net", "epanet", "network: epanet, wssc or test")
-		iotPct    = flag.Float64("iot", 30, "IoT deployment percentage of |V|+|E| candidate locations")
-		samples   = flag.Int("samples", 1000, "training scenarios (paper: 20000)")
-		testN     = flag.Int("test", 100, "held-out test scenarios (paper: 2000)")
-		technique = flag.String("technique", "hybrid-rsl", "classifier: "+strings.Join(aquascale.ClassifierNames(), ", "))
-		minLeaks  = flag.Int("min-leaks", 1, "minimum concurrent leak events")
-		maxLeaks  = flag.Int("max-leaks", 5, "maximum concurrent leak events")
-		seed      = flag.Int64("seed", 1, "random seed")
-		savePath  = flag.String("save", "", "write the trained profile to this file (gob)")
+		netName    = flag.String("net", "epanet", "network: epanet, wssc or test")
+		iotPct     = flag.Float64("iot", 30, "IoT deployment percentage of |V|+|E| candidate locations")
+		samples    = flag.Int("samples", 1000, "training scenarios (paper: 20000)")
+		testN      = flag.Int("test", 100, "held-out test scenarios (paper: 2000)")
+		technique  = flag.String("technique", "hybrid-rsl", "classifier: "+strings.Join(aquascale.ClassifierNames(), ", "))
+		minLeaks   = flag.Int("min-leaks", 1, "minimum concurrent leak events")
+		maxLeaks   = flag.Int("max-leaks", 5, "maximum concurrent leak events")
+		seed       = flag.Int64("seed", 1, "random seed")
+		savePath   = flag.String("save", "", "write the trained profile to this file (gob)")
+		metricsOut = flag.String("metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
+		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		progress   = flag.Duration("progress", 0, "print a telemetry heartbeat to stderr at this interval (e.g. 10s; 0 = off)")
 	)
 	flag.Parse()
+
+	// Enable instrumentation before any solver or factory is built, so
+	// their telemetry handles bind to this registry. Enabling never
+	// changes results at a fixed seed.
+	reg := aquascale.EnableTelemetry()
+	if *httpAddr != "" {
+		srv, addr, err := reg.StartServer(*httpAddr)
+		if err != nil {
+			return fmt.Errorf("telemetry endpoint: %w", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics and /debug/pprof on http://%s\n", addr)
+	}
+	if *progress > 0 {
+		stop := reg.StartHeartbeat(os.Stderr, *progress)
+		defer stop()
+	}
+	if *metricsOut != "" {
+		defer func() {
+			if err := reg.WriteJSONFile(*metricsOut); err != nil {
+				fmt.Fprintln(os.Stderr, "aquatrain: metrics-out:", err)
+			}
+		}()
+	}
 
 	net, err := buildNetwork(*netName)
 	if err != nil {

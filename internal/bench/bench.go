@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"io"
 	"strings"
+
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // Scale sets the experiment size.
@@ -183,8 +185,32 @@ func renderTable(w io.Writer, t Table) error {
 // Runner maps experiment ids to their generators.
 type Runner func(Scale) (*Figure, error)
 
+// FigureSpanName is the telemetry span each experiment runs under; the
+// aquabench per-figure timing lines and the metrics exporters both read
+// this span, so the console and -metrics-out report the same measurement.
+func FigureSpanName(id string) string { return "bench_figure_" + id }
+
+// withSpan wraps a figure generator in its telemetry span. The span also
+// completes on error, so failed experiments still leave a timing record.
+func withSpan(id string, run Runner) Runner {
+	return func(s Scale) (*Figure, error) {
+		span := telemetry.Default().StartSpan(FigureSpanName(id))
+		defer span.End()
+		return run(s)
+	}
+}
+
 // Experiments lists every reproduced figure by id.
 func Experiments() map[string]Runner {
+	raw := experiments()
+	out := make(map[string]Runner, len(raw))
+	for id, run := range raw {
+		out[id] = withSpan(id, run)
+	}
+	return out
+}
+
+func experiments() map[string]Runner {
 	return map[string]Runner{
 		"fig2":               Fig2PressureDistance,
 		"fig3":               Fig3BreaksVsTemperature,

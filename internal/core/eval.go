@@ -5,12 +5,34 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"github.com/aquascale/aquascale/internal/dataset"
 	"github.com/aquascale/aquascale/internal/leak"
 	"github.com/aquascale/aquascale/internal/mlearn"
 	"github.com/aquascale/aquascale/internal/social"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
+
+// evalMetrics are the Phase-II engine's telemetry handles, bound per
+// EvaluateParallel call (so they follow Enable/Disable); all nil no-ops
+// when telemetry is off.
+type evalMetrics struct {
+	scenarios      *telemetry.Counter   // scenarios evaluated
+	observeSeconds *telemetry.Histogram // per-scenario observation latency
+	workerBusy     *telemetry.Gauge     // summed worker busy seconds
+	rate           *telemetry.Gauge     // scenarios/sec of the last run
+}
+
+func bindEvalMetrics() evalMetrics {
+	reg := telemetry.Default()
+	return evalMetrics{
+		scenarios:      reg.Counter("core_eval_scenarios_total"),
+		observeSeconds: reg.Histogram("core_observe_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
+		workerBusy:     reg.Gauge("core_eval_worker_busy_seconds_total"),
+		rate:           reg.Gauge("core_eval_scenarios_per_second"),
+	}
+}
 
 // observer bundles the per-worker state of the Phase-II evaluation engine:
 // a dataset session (one reused hydraulic solver) and one reused tweet
@@ -88,8 +110,15 @@ func (s *System) observeWith(o *observer, sc ColdScenario, opt ObserveOptions, r
 
 // evaluateScenario runs the full Phase-II pipeline on one pre-drawn cold
 // scenario with its own rng and returns (Hamming score, human-added count).
-func (s *System) evaluateScenario(o *observer, sc ColdScenario, opt ObserveOptions, rng *rand.Rand) (float64, int, error) {
+func (s *System) evaluateScenario(o *observer, sc ColdScenario, opt ObserveOptions, met evalMetrics, rng *rand.Rand) (float64, int, error) {
+	var t0 time.Time
+	if met.observeSeconds != nil {
+		t0 = time.Now()
+	}
 	obs, err := s.observeWith(o, sc, opt, rng)
+	if met.observeSeconds != nil {
+		met.observeSeconds.ObserveDuration(time.Since(t0))
+	}
 	if err != nil {
 		return 0, 0, err
 	}
@@ -128,6 +157,9 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 	if rng == nil {
 		return EvalResult{}, fmt.Errorf("core: nil rng")
 	}
+	met := bindEvalMetrics()
+	span := telemetry.Default().StartSpan("core_evaluate_parallel")
+	wallStart := time.Now()
 
 	// Serial phase: pre-draw every random decision that spans scenarios so
 	// the outcome cannot depend on worker scheduling.
@@ -170,10 +202,21 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 		wg.Add(1)
 		go func(o *observer) {
 			defer wg.Done()
+			var busy time.Duration
+			timed := met.workerBusy != nil
 			for i := range work {
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+				}
 				scores[i], added[i], errs[i] =
-					s.evaluateScenario(o, scenarios[i], opt, rand.New(rand.NewSource(seeds[i])))
+					s.evaluateScenario(o, scenarios[i], opt, met, rand.New(rand.NewSource(seeds[i])))
+				if timed {
+					busy += time.Since(t0)
+				}
+				met.scenarios.Inc()
 			}
+			met.workerBusy.Add(busy.Seconds())
 		}(observers[w])
 	}
 	for i := 0; i < count; i++ {
@@ -194,6 +237,10 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 		total += scores[i]
 		humanAdded += added[i]
 	}
+	if elapsed := time.Since(wallStart); elapsed > 0 {
+		met.rate.Set(float64(count) / elapsed.Seconds())
+	}
+	span.End()
 	return EvalResult{
 		MeanHamming: total / float64(count),
 		Scenarios:   count,

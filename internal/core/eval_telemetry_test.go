@@ -1,0 +1,97 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+// TestTelemetryDoesNotChangeScores pins the telemetry layer's determinism
+// contract: enabling instrumentation must not move a single bit of the
+// EvaluateParallel result at a fixed seed. The system (and its solvers)
+// is rebuilt under each telemetry state, since handles bind at
+// construction — the strictest version of the guarantee.
+func TestTelemetryDoesNotChangeScores(t *testing.T) {
+	telemetry.Disable()
+	leakCfg := leak.GeneratorConfig{MinEvents: 1, MaxEvents: 3}
+	opt := ObserveOptions{
+		Sources:      Sources{Weather: true, Human: true},
+		ElapsedSlots: 2,
+		GammaM:       60,
+	}
+	run := func(workers int) EvalResult {
+		t.Helper()
+		sys := smallTrainedSystem(t)
+		res, err := sys.EvaluateParallel(14, leakCfg, opt, workers, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatalf("EvaluateParallel: %v", err)
+		}
+		return res
+	}
+
+	plain := run(3)
+
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	instrumented := run(3)
+
+	if !reflect.DeepEqual(plain, instrumented) {
+		t.Fatalf("telemetry changed the result: off=%+v on=%+v", plain, instrumented)
+	}
+
+	// And the instrumented run must actually have recorded something.
+	if got := reg.Counter("core_eval_scenarios_total").Value(); got != 14 {
+		t.Fatalf("scenarios counter = %d, want 14", got)
+	}
+	if reg.Counter("hydraulic_solves_total").Value() == 0 {
+		t.Fatal("no hydraulic solves recorded during instrumented run")
+	}
+	if reg.Counter("dataset_samples_generated_total").Value() == 0 {
+		t.Fatal("no dataset samples recorded during instrumented run")
+	}
+	if reg.Counter("dataset_session_reuse_total").Value() == 0 {
+		t.Fatal("no session reuse recorded — per-worker solver reuse broken?")
+	}
+	if reg.Histogram("core_observe_seconds", nil).Count() != 14 {
+		t.Fatalf("observe latency histogram count = %d, want 14",
+			reg.Histogram("core_observe_seconds", nil).Count())
+	}
+	if reg.SpanStats("core_evaluate_parallel").Count() != 1 {
+		t.Fatalf("eval span count = %d, want 1", reg.SpanStats("core_evaluate_parallel").Count())
+	}
+	if reg.Gauge("core_eval_worker_busy_seconds_total").Value() <= 0 {
+		t.Fatal("worker busy time not recorded")
+	}
+}
+
+// benchmarkEvaluateParallel measures the full Phase-II engine under the
+// current global telemetry state; the system is built inside so solver and
+// factory handles bind under that state.
+func benchmarkEvaluateParallel(b *testing.B) {
+	sys := smallTrainedSystem(b)
+	leakCfg := leak.GeneratorConfig{MinEvents: 1, MaxEvents: 3}
+	opt := ObserveOptions{Sources: Sources{Weather: true, Human: true}, ElapsedSlots: 2}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.EvaluateParallel(8, leakCfg, opt, 0, rand.New(rand.NewSource(7))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEvaluateParallelTelemetryOff is the disabled-path regression
+// guard: compare against BenchmarkEvaluateParallelTelemetryOn — the gap
+// must sit within run-to-run noise (numbers in EXPERIMENTS.md).
+func BenchmarkEvaluateParallelTelemetryOff(b *testing.B) {
+	telemetry.Disable()
+	benchmarkEvaluateParallel(b)
+}
+
+func BenchmarkEvaluateParallelTelemetryOn(b *testing.B) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	benchmarkEvaluateParallel(b)
+}

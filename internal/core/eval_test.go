@@ -15,8 +15,9 @@ import (
 )
 
 // smallTrainedSystem builds a cheap trained system (linear profile, few
-// samples) for determinism tests that must run even in -short mode.
-func smallTrainedSystem(t *testing.T) *System {
+// samples) for determinism tests that must run even in -short mode, and
+// for the telemetry-overhead benchmarks.
+func smallTrainedSystem(t testing.TB) *System {
 	t.Helper()
 	net := network.BuildEPANet()
 	base, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{Duration: 4 * time.Hour, Step: time.Hour}, nil)

@@ -243,4 +243,3 @@ type EvalResult struct {
 	// HumanAdded is the total number of nodes forced by human input.
 	HumanAdded int
 }
-

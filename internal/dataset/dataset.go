@@ -29,6 +29,7 @@ import (
 	"github.com/aquascale/aquascale/internal/leak"
 	"github.com/aquascale/aquascale/internal/network"
 	"github.com/aquascale/aquascale/internal/sensor"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // Config controls sample generation.
@@ -119,6 +120,32 @@ type Factory struct {
 	mu         sync.Mutex
 	baseSolver *hydraulic.Solver
 	baseCache  map[time.Duration][]float64
+
+	met factoryMetrics
+}
+
+// factoryMetrics are the factory's telemetry handles, bound once at
+// NewFactory and shared by every session; all nil (free no-ops) when
+// telemetry is disabled at construction time.
+type factoryMetrics struct {
+	samples        *telemetry.Counter
+	sessionsOpened *telemetry.Counter
+	sessionReuse   *telemetry.Counter
+	baselineHits   *telemetry.Counter
+	baselineMisses *telemetry.Counter
+	sampleSeconds  *telemetry.Histogram
+}
+
+func bindFactoryMetrics() factoryMetrics {
+	reg := telemetry.Default()
+	return factoryMetrics{
+		samples:        reg.Counter("dataset_samples_generated_total"),
+		sessionsOpened: reg.Counter("dataset_sessions_opened_total"),
+		sessionReuse:   reg.Counter("dataset_session_reuse_total"),
+		baselineHits:   reg.Counter("dataset_baseline_cache_hits_total"),
+		baselineMisses: reg.Counter("dataset_baseline_cache_misses_total"),
+		sampleSeconds:  reg.Histogram("dataset_sample_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
+	}
 }
 
 // NewFactory prepares a factory: it validates the network, solves the
@@ -140,6 +167,7 @@ func NewFactory(net *network.Network, sensors []sensor.Sensor, cfg Config) (*Fac
 		junctions:  net.JunctionIndices(),
 		baseSolver: solver,
 		baseCache:  make(map[time.Duration][]float64),
+		met:        bindFactoryMetrics(),
 	}
 	f.jIndex = make(map[int]int, len(f.junctions))
 	for col, nodeIdx := range f.junctions {
@@ -157,8 +185,10 @@ func (f *Factory) baselineAt(t time.Duration) ([]float64, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	if vals, ok := f.baseCache[t]; ok {
+		f.met.baselineHits.Inc()
 		return vals, nil
 	}
+	f.met.baselineMisses.Inc()
 	res, err := f.baseSolver.SolveSteady(t, nil, nil)
 	if err != nil {
 		return nil, err
@@ -221,6 +251,7 @@ func (f *Factory) FromScenarioAt(sc leak.Scenario, elapsedSlots int, rng *rand.R
 type Session struct {
 	f      *Factory
 	solver *hydraulic.Solver
+	used   bool // a sample was already built — later builds are reuse hits
 }
 
 // NewSession opens a sample-building session with its own solver.
@@ -229,22 +260,31 @@ func (f *Factory) NewSession() (*Session, error) {
 	if err != nil {
 		return nil, fmt.Errorf("dataset: session solver: %w", err)
 	}
+	f.met.sessionsOpened.Inc()
 	return &Session{f: f, solver: solver}, nil
 }
 
 // FromScenario builds one sample at the factory's configured elapsed-slot
 // count, reusing the session's solver.
 func (s *Session) FromScenario(sc leak.Scenario, rng *rand.Rand) (Sample, error) {
-	return s.f.fromScenario(s.solver, sc, s.f.cfg.ElapsedSlots, rng)
+	return s.FromScenarioAt(sc, s.f.cfg.ElapsedSlots, rng)
 }
 
 // FromScenarioAt builds one sample with an explicit elapsed-slot count,
 // reusing the session's solver.
 func (s *Session) FromScenarioAt(sc leak.Scenario, elapsedSlots int, rng *rand.Rand) (Sample, error) {
+	if s.used {
+		s.f.met.sessionReuse.Inc()
+	}
+	s.used = true
 	return s.f.fromScenario(s.solver, sc, elapsedSlots, rng)
 }
 
 func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elapsedSlots int, rng *rand.Rand) (Sample, error) {
+	var start time.Time
+	if f.met.sampleSeconds != nil {
+		start = time.Now()
+	}
 	if elapsedSlots <= 0 {
 		elapsedSlots = f.cfg.ElapsedSlots
 	}
@@ -264,6 +304,10 @@ func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elaps
 		if col, ok := f.jIndex[e.Node]; ok {
 			labels[col] = 1
 		}
+	}
+	f.met.samples.Inc()
+	if f.met.sampleSeconds != nil {
+		f.met.sampleSeconds.ObserveDuration(time.Since(start))
 	}
 	return Sample{
 		Features: sensor.Delta(before, after),

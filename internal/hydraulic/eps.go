@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // ScheduledEmitter is an emitter that activates at a given elapsed time —
@@ -122,7 +123,9 @@ func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) 
 		EmitterOutflow: make([]map[int]float64, 0, steps),
 	}
 
+	mSteps := telemetry.Default().Counter("hydraulic_eps_steps_total")
 	for k := 0; k < steps; k++ {
+		mSteps.Inc()
 		t := time.Duration(k) * opts.Step
 		active := activeEmitters(emitters, t)
 		res, err := solver.SolveSteady(t, active, tankHeads)

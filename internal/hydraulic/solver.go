@@ -8,11 +8,38 @@ import (
 
 	"github.com/aquascale/aquascale/internal/matrix"
 	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // ErrNotConverged is returned when the Newton iteration exhausts its
 // iteration budget without meeting the accuracy target.
 var ErrNotConverged = errors.New("hydraulic: solver did not converge")
+
+// ConvergenceError is the concrete error SolveSteady returns on
+// non-convergence. It wraps ErrNotConverged — errors.Is(err,
+// ErrNotConverged) keeps working — and carries the failure context so
+// callers and metrics can distinguish failure modes (budget too small vs.
+// genuinely oscillating vs. near-singular late iterations).
+type ConvergenceError struct {
+	// Iterations is the Newton iteration count consumed.
+	Iterations int
+
+	// Residual is the last observed convergence ratio Σ|ΔQ| / Σ|Q|
+	// (+Inf if no flow update completed).
+	Residual float64
+
+	// SimTime is the elapsed simulation time of the failing solve — the
+	// demand-pattern instant, which locates the failure within an EPS run.
+	SimTime time.Duration
+}
+
+func (e *ConvergenceError) Error() string {
+	return fmt.Sprintf("%v after %d iterations (residual %.3g, sim time %v)",
+		ErrNotConverged, e.Iterations, e.Residual, e.SimTime)
+}
+
+// Unwrap keeps errors.Is(err, ErrNotConverged) true.
+func (e *ConvergenceError) Unwrap() error { return ErrNotConverged }
 
 // Options configures the steady-state solver.
 type Options struct {
@@ -137,6 +164,13 @@ type Solver struct {
 	aMat     *matrix.Dense
 	demand   []float64
 	emitFlow map[int]float64
+
+	// Telemetry handles, bound once at construction from the registry
+	// active at that moment; nil (free no-ops) when telemetry is off.
+	mSolves   *telemetry.Counter
+	mIters    *telemetry.Counter
+	mFailures *telemetry.Counter
+	hIters    *telemetry.Histogram
 }
 
 // NewSolver prepares a solver for the given network. The network is
@@ -183,6 +217,12 @@ func NewSolver(net *network.Network, opts Options) (*Solver, error) {
 	}
 	s.demand = make([]float64, len(net.Nodes))
 	s.emitFlow = make(map[int]float64)
+
+	reg := telemetry.Default()
+	s.mSolves = reg.Counter("hydraulic_solves_total")
+	s.mIters = reg.Counter("hydraulic_newton_iterations_total")
+	s.mFailures = reg.Counter("hydraulic_convergence_failures_total")
+	s.hIters = reg.Histogram("hydraulic_iterations_per_solve", telemetry.LinearBuckets(5, 5, 10))
 	return s, nil
 }
 
@@ -243,6 +283,7 @@ func (s *Solver) SolveSteady(t time.Duration, emitters []Emitter, tankHeads map[
 	nj := len(s.junctions)
 	converged := false
 	iter := 0
+	residual := math.Inf(1)
 	for ; iter < s.opts.MaxIterations; iter++ {
 		s.aMat.Zero()
 		for j := 0; j < nj; j++ {
@@ -352,15 +393,22 @@ func (s *Solver) SolveSteady(t time.Duration, emitters []Emitter, tankHeads map[
 			sumQ += math.Abs(newQ)
 			s.flow[li] = newQ
 		}
-		if sumQ > 0 && sumDQ/sumQ < s.opts.Accuracy {
+		if sumQ > 0 {
+			residual = sumDQ / sumQ
+		}
+		if sumQ > 0 && residual < s.opts.Accuracy {
 			converged = true
 			iter++
 			break
 		}
 	}
 	if !converged {
-		return nil, fmt.Errorf("%w after %d iterations", ErrNotConverged, iter)
+		s.mFailures.Inc()
+		return nil, &ConvergenceError{Iterations: iter, Residual: residual, SimTime: t}
 	}
+	s.mSolves.Inc()
+	s.mIters.Add(int64(iter))
+	s.hIters.Observe(float64(iter))
 	return s.buildResult(emitCoeff, beta, iter), nil
 }
 

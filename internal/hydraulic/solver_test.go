@@ -3,10 +3,12 @@ package hydraulic
 import (
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
 	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // singlePipeNet builds R(head=50) --pipe--> J(elev=0, demand).
@@ -259,6 +261,65 @@ func TestNotConverged(t *testing.T) {
 	_, err := s.SolveSteady(0, nil, nil)
 	if !errors.Is(err, ErrNotConverged) {
 		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+}
+
+func TestConvergenceErrorContext(t *testing.T) {
+	n := network.BuildEPANet()
+	s, _ := NewSolver(n, Options{MaxIterations: 2})
+	simTime := 3 * time.Hour
+	_, err := s.SolveSteady(simTime, nil, nil)
+	var ce *ConvergenceError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %T %v, want *ConvergenceError", err, err)
+	}
+	if ce.Iterations != 2 {
+		t.Fatalf("Iterations = %d, want 2", ce.Iterations)
+	}
+	if !(ce.Residual > 0) {
+		t.Fatalf("Residual = %v, want > 0", ce.Residual)
+	}
+	if ce.SimTime != simTime {
+		t.Fatalf("SimTime = %v, want %v", ce.SimTime, simTime)
+	}
+	for _, want := range []string{"did not converge", "2 iterations", "residual", "3h"} {
+		if !strings.Contains(ce.Error(), want) {
+			t.Fatalf("error text %q missing %q", ce.Error(), want)
+		}
+	}
+}
+
+func TestSolverTelemetry(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	n := network.BuildTestNet()
+	s, err := NewSolver(n, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	if got := reg.Counter("hydraulic_solves_total").Value(); got != 1 {
+		t.Fatalf("solves counter = %d, want 1", got)
+	}
+	if got := reg.Counter("hydraulic_newton_iterations_total").Value(); got != int64(res.Iterations) {
+		t.Fatalf("iterations counter = %d, want %d", got, res.Iterations)
+	}
+	if got := reg.Histogram("hydraulic_iterations_per_solve", nil).Count(); got != 1 {
+		t.Fatalf("iterations histogram count = %d, want 1", got)
+	}
+
+	bad, _ := NewSolver(n, Options{MaxIterations: 1})
+	if _, err := bad.SolveSteady(0, nil, nil); !errors.Is(err, ErrNotConverged) {
+		t.Fatalf("err = %v, want ErrNotConverged", err)
+	}
+	if got := reg.Counter("hydraulic_convergence_failures_total").Value(); got != 1 {
+		t.Fatalf("failures counter = %d, want 1", got)
+	}
+	if got := reg.Counter("hydraulic_solves_total").Value(); got != 1 {
+		t.Fatalf("failed solve counted as success: solves = %d", got)
 	}
 }
 

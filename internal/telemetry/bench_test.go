@@ -1,0 +1,85 @@
+package telemetry
+
+// Benchmarks for the two costs that matter: the disabled path (nil
+// handles) that every instrumented hot loop pays when telemetry is off,
+// and the enabled path for comparison. Baselines from the recording
+// machine live in EXPERIMENTS.md ("Observability & profiling").
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	var c *Counter
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New().Counter("c")
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramDisabled(b *testing.B) {
+	var h *Histogram
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i))
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := New().Histogram("h", ExpBuckets(1e-4, 2, 16))
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1024))
+	}
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	var r *Registry
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("s").End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	r := New()
+	st := r.SpanStats("s") // pre-create so the loop measures record cost
+	_ = st
+	for i := 0; i < b.N; i++ {
+		r.StartSpan("s").End()
+	}
+}
+
+func BenchmarkGaugeAddEnabled(b *testing.B) {
+	g := New().Gauge("g")
+	for i := 0; i < b.N; i++ {
+		g.Add(1)
+	}
+}
+
+// BenchmarkDisabledInstrumentedLoop models an instrumented hot loop (the
+// shape the solver and dataset paths use): a nil-handle counter bump, a
+// guarded time.Now, and a histogram observe per item, telemetry off.
+func BenchmarkDisabledInstrumentedLoop(b *testing.B) {
+	var (
+		c *Counter
+		h *Histogram
+	)
+	acc := 0.0
+	for i := 0; i < b.N; i++ {
+		var start time.Time
+		if h != nil {
+			start = time.Now()
+		}
+		acc += float64(i) // stand-in for real work
+		c.Inc()
+		if h != nil {
+			h.ObserveDuration(time.Since(start))
+		}
+	}
+	_ = acc
+}

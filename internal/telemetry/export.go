@@ -1,0 +1,276 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// suitable for JSON serialization (the -metrics-out format).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Spans      map[string]SpanSnapshot      `json:"spans,omitempty"`
+}
+
+// HistogramSnapshot is one histogram's state.
+type HistogramSnapshot struct {
+	Count   int64     `json:"count"`
+	Sum     float64   `json:"sum"`
+	Bounds  []float64 `json:"bounds"`  // bucket upper bounds
+	Buckets []int64   `json:"buckets"` // per-bucket counts; one extra for +Inf
+}
+
+// SpanSnapshot is one span aggregate's state. Durations are seconds.
+type SpanSnapshot struct {
+	Count        int64   `json:"count"`
+	TotalSeconds float64 `json:"total_seconds"`
+	MinSeconds   float64 `json:"min_seconds"`
+	MaxSeconds   float64 `json:"max_seconds"`
+	LastSeconds  float64 `json:"last_seconds"`
+}
+
+// Snapshot copies every instrument's current state. Safe on a nil registry
+// (returns an empty snapshot). Concurrent writers may land between two
+// instrument reads; each individual value is atomically consistent.
+func (r *Registry) Snapshot() Snapshot {
+	snap := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]float64{},
+		Histograms: map[string]HistogramSnapshot{},
+		Spans:      map[string]SpanSnapshot{},
+	}
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	counts := make(map[string]*Counter, len(r.counts))
+	for k, v := range r.counts {
+		counts[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	spans := make(map[string]*SpanStats, len(r.spans))
+	for k, v := range r.spans {
+		spans[k] = v
+	}
+	r.mu.Unlock()
+
+	for name, c := range counts {
+		snap.Counters[name] = c.Value()
+	}
+	for name, g := range gauges {
+		snap.Gauges[name] = g.Value()
+	}
+	for name, h := range hists {
+		snap.Histograms[name] = HistogramSnapshot{
+			Count:   h.Count(),
+			Sum:     h.Sum(),
+			Bounds:  h.Bounds(),
+			Buckets: h.BucketCounts(),
+		}
+	}
+	for name, s := range spans {
+		snap.Spans[name] = SpanSnapshot{
+			Count:        s.Count(),
+			TotalSeconds: s.Total().Seconds(),
+			MinSeconds:   s.Min().Seconds(),
+			MaxSeconds:   s.Max().Seconds(),
+			LastSeconds:  s.Last().Seconds(),
+		}
+	}
+	return snap
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// WritePrometheus writes every instrument in the Prometheus text exposition
+// format (version 0.0.4). Histograms emit cumulative _bucket series plus
+// _sum and _count; spans emit _seconds_count, _seconds_sum and min/max/last
+// gauges. Instrument names are sanitized to the Prometheus charset.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	var names []string
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(snap.Gauges[name])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+			return err
+		}
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Buckets[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum); err != nil {
+				return err
+			}
+		}
+		cum += h.Buckets[len(h.Buckets)-1]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Spans {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := snap.Spans[name]
+		n := promName(name)
+		_, err := fmt.Fprintf(w,
+			"# TYPE %s_seconds_count counter\n%s_seconds_count %d\n"+
+				"# TYPE %s_seconds_sum counter\n%s_seconds_sum %s\n"+
+				"# TYPE %s_seconds_min gauge\n%s_seconds_min %s\n"+
+				"# TYPE %s_seconds_max gauge\n%s_seconds_max %s\n"+
+				"# TYPE %s_seconds_last gauge\n%s_seconds_last %s\n",
+			n, n, s.Count,
+			n, n, promFloat(s.TotalSeconds),
+			n, n, promFloat(s.MinSeconds),
+			n, n, promFloat(s.MaxSeconds),
+			n, n, promFloat(s.LastSeconds))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSONFile writes the JSON snapshot to a file (the -metrics-out
+// behavior of the CLIs).
+func (r *Registry) WriteJSONFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// StartHeartbeat writes "progress t=<elapsed> <counters>" to w every
+// interval until the returned stop function is called (the -progress
+// behavior of the CLIs). Stop is idempotent.
+func (r *Registry) StartHeartbeat(w io.Writer, interval time.Duration) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		start := time.Now()
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				fmt.Fprintf(w, "progress t=%v %s\n",
+					time.Since(start).Round(time.Second), r.ProgressLine())
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// ProgressLine renders every counter as "name=value" pairs in name order —
+// a compact heartbeat line for long runs. Empty string on a nil registry.
+func (r *Registry) ProgressLine() string {
+	if r == nil {
+		return ""
+	}
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, name+"="+strconv.FormatInt(snap.Counters[name], 10))
+	}
+	return strings.Join(parts, " ")
+}
+
+// promName maps an instrument name onto the Prometheus metric-name charset
+// [a-zA-Z0-9_:], replacing anything else with '_'.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// promFloat formats a float the way Prometheus expects (shortest
+// round-trip representation; +Inf/-Inf/NaN spelled out).
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// publishOnce guards the process-global expvar registration ("telemetry"),
+// which expvar forbids repeating.
+var publishOnce sync.Once
+
+// Handler returns the observability endpoint for this registry:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  JSON snapshot (the -metrics-out format)
+//	/debug/vars    expvar (memstats, cmdline, and a live "telemetry" var)
+//	/debug/pprof/  the full net/http/pprof suite (profile, heap, trace, …)
+//
+// The handler reads live instrument state on every request; it is safe to
+// serve while the pipeline runs.
+func (r *Registry) Handler() http.Handler {
+	publishOnce.Do(func() {
+		// Resolve through Default() at read time so the published var
+		// follows Enable/Disable instead of pinning one registry.
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return Default().Snapshot()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.WriteJSON(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// StartServer binds addr (e.g. "localhost:6060"; port 0 picks a free one)
+// and serves Handler in a background goroutine. It returns the server —
+// close it to stop — and the bound address.
+func (r *Registry) StartServer(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	srv := &http.Server{Handler: r.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, ln.Addr().String(), nil
+}

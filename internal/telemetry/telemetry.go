@@ -1,0 +1,413 @@
+// Package telemetry is the instrumentation layer of the AquaSCALE
+// pipeline: atomic counters, gauges, fixed-bucket histograms and timing
+// spans, with Prometheus-text and JSON exporters and an opt-in HTTP
+// endpoint (metrics + pprof). It depends only on the standard library.
+//
+// The package is built around two rules:
+//
+//   - Determinism: no instrument touches random state or feeds back into
+//     computation, so enabling telemetry never changes results at a fixed
+//     seed. Instruments record counts and wall-clock time, nothing else.
+//
+//   - Near-zero disabled cost: every instrument method is safe on a nil
+//     receiver and returns immediately, and the global registry defaults
+//     to nil. Hot paths bind instrument handles once (at solver/factory
+//     construction or per evaluation run); with telemetry disabled those
+//     handles are nil and each record call is a single pointer test.
+//
+// Typical use:
+//
+//	reg := telemetry.Enable()              // install a global registry
+//	... run the pipeline ...
+//	reg.WriteJSON(f)                       // or reg.WritePrometheus(w)
+//
+// Instruments are identified by snake_case names ("hydraulic_solves_total");
+// a name always maps to the same instrument within one registry.
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; all methods are safe on a nil receiver (no-ops).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds delta (negative deltas are ignored: counters only go up).
+func (c *Counter) Add(delta int64) {
+	if c != nil && delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count (0 on a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic float64 that can move in both directions. The zero
+// value is ready to use; all methods are safe on a nil receiver.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add atomically adds delta (CAS loop).
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 on a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts. Bucket
+// bounds are upper bounds in ascending order; observations above the last
+// bound land in an implicit +Inf bucket. All methods are safe on a nil
+// receiver.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound holds v; linear scan beats binary
+	// search at the typical 10–20 bucket count.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	if h != nil {
+		h.Observe(d.Seconds())
+	}
+}
+
+// Count returns the number of observations (0 on a nil receiver).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil receiver).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Bounds returns the bucket upper bounds (nil on a nil receiver).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts returns per-bucket (non-cumulative) counts, one per bound
+// plus the final +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// LinearBuckets returns count bounds start, start+width, …
+func LinearBuckets(start, width float64, count int) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExpBuckets returns count bounds start, start·factor, start·factor², …
+func ExpBuckets(start, factor float64, count int) []float64 {
+	out := make([]float64, count)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// SpanStats aggregates completed spans of one name: count, total, min,
+// max and most-recent duration. All methods are safe on a nil receiver.
+type SpanStats struct {
+	count   atomic.Int64
+	totalNS atomic.Int64
+	minNS   atomic.Int64 // math.MaxInt64 until the first record
+	maxNS   atomic.Int64
+	lastNS  atomic.Int64
+}
+
+func newSpanStats() *SpanStats {
+	s := &SpanStats{}
+	s.minNS.Store(math.MaxInt64)
+	return s
+}
+
+func (s *SpanStats) record(d time.Duration) {
+	ns := int64(d)
+	s.count.Add(1)
+	s.totalNS.Add(ns)
+	s.lastNS.Store(ns)
+	for {
+		old := s.minNS.Load()
+		if ns >= old || s.minNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	for {
+		old := s.maxNS.Load()
+		if ns <= old || s.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+}
+
+// Count returns how many spans completed.
+func (s *SpanStats) Count() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.count.Load()
+}
+
+// Total returns the summed duration of completed spans.
+func (s *SpanStats) Total() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.totalNS.Load())
+}
+
+// Last returns the duration of the most recently completed span.
+func (s *SpanStats) Last() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.lastNS.Load())
+}
+
+// Min returns the shortest completed span (0 before any completes).
+func (s *SpanStats) Min() time.Duration {
+	if s == nil {
+		return 0
+	}
+	if v := s.minNS.Load(); v != math.MaxInt64 {
+		return time.Duration(v)
+	}
+	return 0
+}
+
+// Max returns the longest completed span.
+func (s *SpanStats) Max() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.maxNS.Load())
+}
+
+// Span is one in-flight timed region. It is a small value type: starting a
+// span on a nil registry yields a zero Span whose End is a no-op, so call
+// sites never branch on whether telemetry is enabled.
+type Span struct {
+	stats *SpanStats
+	start time.Time
+}
+
+// End completes the span, records it, and returns the measured duration
+// (0 for a zero Span).
+func (s Span) End() time.Duration {
+	if s.stats == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	s.stats.record(d)
+	return d
+}
+
+// Registry holds named instruments. Instruments are created on first use
+// and live for the registry's lifetime; lookups are mutex-guarded (bind
+// handles outside hot loops), recording is lock-free. All methods are safe
+// on a nil receiver, returning nil instruments whose methods no-op.
+type Registry struct {
+	mu     sync.Mutex
+	counts map[string]*Counter
+	gauges map[string]*Gauge
+	hists  map[string]*Histogram
+	spans  map[string]*SpanStats
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		counts: make(map[string]*Counter),
+		gauges: make(map[string]*Gauge),
+		hists:  make(map[string]*Histogram),
+		spans:  make(map[string]*SpanStats),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counts[name]
+	if !ok {
+		c = &Counter{}
+		r.counts[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper bounds on first use (later calls reuse the existing buckets).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SpanStats returns the aggregate for the named span, creating it on
+// first use.
+func (r *Registry) SpanStats(name string) *SpanStats {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.spans[name]
+	if !ok {
+		s = newSpanStats()
+		r.spans[name] = s
+	}
+	return s
+}
+
+// StartSpan begins a timed region recorded under name when ended. On a nil
+// registry it returns a zero Span (End is a no-op returning 0).
+func (r *Registry) StartSpan(name string) Span {
+	if r == nil {
+		return Span{}
+	}
+	return Span{stats: r.SpanStats(name), start: time.Now()}
+}
+
+// global is the process-wide registry; nil means telemetry is disabled
+// (the default), and every handle bound from it is a no-op.
+var global atomic.Pointer[Registry]
+
+// Enable installs a fresh global registry and returns it. Instrumented
+// components bind their handles at construction time, so enable telemetry
+// before building solvers, factories and systems.
+func Enable() *Registry {
+	r := New()
+	global.Store(r)
+	return r
+}
+
+// SetDefault installs reg (nil disables telemetry).
+func SetDefault(reg *Registry) { global.Store(reg) }
+
+// Disable removes the global registry; subsequently bound handles no-op.
+func Disable() { global.Store(nil) }
+
+// Default returns the global registry, or nil when telemetry is disabled.
+// All Registry methods accept the nil result.
+func Default() *Registry { return global.Load() }

@@ -1,0 +1,356 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(41)
+	c.Add(-5) // ignored: counters are monotonic
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("c") != c {
+		t.Fatal("same name returned a different counter")
+	}
+
+	g := r.Gauge("g")
+	g.Set(1.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 1.0 {
+		t.Fatalf("gauge = %v, want 1.0", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// Upper bounds are inclusive: 1 lands in the first bucket.
+	want := []int64{2, 1, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket counts = %v, want %v", got, want)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-106) > 1e-12 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+	if r.Histogram("h", nil) != h {
+		t.Fatal("same name returned a different histogram")
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(5, 5, 3)
+	if fmt.Sprint(lin) != "[5 10 15]" {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExpBuckets(1e-3, 10, 3)
+	if fmt.Sprint(exp) != "[0.001 0.01 0.1]" {
+		t.Fatalf("ExpBuckets = %v", exp)
+	}
+}
+
+func TestSpanStats(t *testing.T) {
+	r := New()
+	sp := r.StartSpan("s")
+	time.Sleep(time.Millisecond)
+	d := sp.End()
+	if d <= 0 {
+		t.Fatalf("span duration = %v, want > 0", d)
+	}
+	st := r.SpanStats("s")
+	if st.Count() != 1 || st.Total() != d || st.Last() != d || st.Min() != d || st.Max() != d {
+		t.Fatalf("span stats = count %d total %v last %v min %v max %v, want all = %v",
+			st.Count(), st.Total(), st.Last(), st.Min(), st.Max(), d)
+	}
+	r.StartSpan("s").End()
+	if st.Count() != 2 {
+		t.Fatalf("count = %d, want 2", st.Count())
+	}
+	if st.Min() > st.Max() {
+		t.Fatalf("min %v > max %v", st.Min(), st.Max())
+	}
+}
+
+// TestNilSafety pins the disabled path: every instrument obtained from a
+// nil registry must be a no-op, not a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Inc()
+	r.Counter("c").Add(3)
+	if r.Counter("c").Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	r.Gauge("g").Set(1)
+	r.Gauge("g").Add(1)
+	if r.Gauge("g").Value() != 0 {
+		t.Fatal("nil gauge has a value")
+	}
+	h := r.Histogram("h", []float64{1})
+	h.Observe(1)
+	h.ObserveDuration(time.Second)
+	if h.Count() != 0 || h.Sum() != 0 || h.Bounds() != nil || h.BucketCounts() != nil {
+		t.Fatal("nil histogram has state")
+	}
+	if d := r.StartSpan("s").End(); d != 0 {
+		t.Fatalf("nil span duration = %v, want 0", d)
+	}
+	if r.SpanStats("s").Count() != 0 {
+		t.Fatal("nil span stats has a count")
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Spans) != 0 {
+		t.Fatalf("nil snapshot not empty: %+v", snap)
+	}
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatalf("nil WritePrometheus: %v", err)
+	}
+	if r.ProgressLine() != "" {
+		t.Fatal("nil ProgressLine not empty")
+	}
+}
+
+// TestConcurrentWrites hammers one registry from many goroutines; run
+// under -race this is the registry's data-race certificate, and the final
+// totals pin that no increment is lost.
+func TestConcurrentWrites(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// Mix pre-bound and looked-up handles like real call sites.
+				r.Counter("ops").Inc()
+				r.Gauge("level").Add(1)
+				r.Histogram("lat", []float64{1, 10, 100}).Observe(float64(i % 200))
+				sp := r.StartSpan("work")
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := r.Counter("ops").Value(); got != total {
+		t.Fatalf("counter = %d, want %d", got, total)
+	}
+	if got := r.Gauge("level").Value(); got != total {
+		t.Fatalf("gauge = %v, want %d", got, total)
+	}
+	h := r.Histogram("lat", nil)
+	if h.Count() != total {
+		t.Fatalf("histogram count = %d, want %d", h.Count(), total)
+	}
+	sum := int64(0)
+	for _, c := range h.BucketCounts() {
+		sum += c
+	}
+	if sum != total {
+		t.Fatalf("bucket counts sum to %d, want %d", sum, total)
+	}
+	if got := r.SpanStats("work").Count(); got != total {
+		t.Fatalf("span count = %d, want %d", got, total)
+	}
+}
+
+// TestConcurrentSnapshot exercises exporting while writers are active —
+// the -http endpoint's situation — under -race.
+func TestConcurrentSnapshot(t *testing.T) {
+	r := New()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					r.Counter("ops").Inc()
+					r.Histogram("lat", []float64{1}).Observe(0.5)
+					r.StartSpan("work").End()
+				}
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		r.Snapshot()
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestSnapshotAndJSON(t *testing.T) {
+	r := New()
+	r.Counter("hydraulic_solves_total").Add(7)
+	r.Gauge("eval_rate").Set(3.25)
+	r.Histogram("lat_seconds", []float64{0.1, 1}).Observe(0.5)
+	r.StartSpan("fig7").End()
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("round-trip: %v\n%s", err, buf.String())
+	}
+	if snap.Counters["hydraulic_solves_total"] != 7 {
+		t.Fatalf("counter lost in round-trip: %+v", snap)
+	}
+	if snap.Gauges["eval_rate"] != 3.25 {
+		t.Fatalf("gauge lost in round-trip: %+v", snap)
+	}
+	h := snap.Histograms["lat_seconds"]
+	if h.Count != 1 || len(h.Buckets) != 3 || h.Buckets[1] != 1 {
+		t.Fatalf("histogram snapshot = %+v", h)
+	}
+	s := snap.Spans["fig7"]
+	if s.Count != 1 || s.TotalSeconds < 0 || s.LastSeconds != s.TotalSeconds {
+		t.Fatalf("span snapshot = %+v", s)
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := New()
+	r.Counter("solves_total").Add(3)
+	r.Gauge("rate").Set(2.5)
+	h := r.Histogram("lat", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	r.StartSpan("bench.fig7ab").End()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE solves_total counter\nsolves_total 3\n",
+		"# TYPE rate gauge\nrate 2.5\n",
+		"lat_bucket{le=\"1\"} 1\n",
+		"lat_bucket{le=\"2\"} 2\n",
+		"lat_bucket{le=\"+Inf\"} 3\n",
+		"lat_sum 11\nlat_count 3\n",
+		"bench_fig7ab_seconds_count 1\n", // dot sanitized to _
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestProgressLine(t *testing.T) {
+	r := New()
+	r.Counter("b_total").Add(2)
+	r.Counter("a_total").Add(1)
+	if got, want := r.ProgressLine(), "a_total=1 b_total=2"; got != want {
+		t.Fatalf("ProgressLine = %q, want %q", got, want)
+	}
+}
+
+func TestGlobalEnableDisable(t *testing.T) {
+	defer SetDefault(nil)
+	if Default() != nil {
+		t.Fatal("telemetry enabled at package init")
+	}
+	r := Enable()
+	if Default() != r {
+		t.Fatal("Enable did not install the registry")
+	}
+	Default().Counter("x").Inc()
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("write through Default() lost")
+	}
+	Disable()
+	if Default() != nil {
+		t.Fatal("Disable did not clear the registry")
+	}
+	Default().Counter("x").Inc() // must not panic
+	if r.Counter("x").Value() != 1 {
+		t.Fatal("disabled write mutated the old registry")
+	}
+}
+
+func TestHTTPEndpoint(t *testing.T) {
+	r := New()
+	r.Counter("solves_total").Add(5)
+	srv, addr, err := r.StartServer("localhost:0")
+	if err != nil {
+		t.Fatalf("StartServer: %v", err)
+	}
+	defer srv.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return string(body)
+	}
+
+	if out := get("/metrics"); !strings.Contains(out, "solves_total 5") {
+		t.Fatalf("/metrics missing counter:\n%s", out)
+	}
+	if out := get("/metrics.json"); !strings.Contains(out, "\"solves_total\": 5") {
+		t.Fatalf("/metrics.json missing counter:\n%s", out)
+	}
+	if out := get("/debug/vars"); !strings.Contains(out, "memstats") {
+		t.Fatalf("/debug/vars missing memstats:\n%s", out)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatal("/debug/pprof/cmdline empty")
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"bench.figure.fig7ab": "bench_figure_fig7ab",
+		"ok_name:sub":         "ok_name:sub",
+		"9starts":             "_starts",
+		"sp ace":              "sp_ace",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Fatalf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
