@@ -35,6 +35,7 @@ import (
 	"github.com/aquascale/aquascale/internal/core"
 	"github.com/aquascale/aquascale/internal/dataset"
 	"github.com/aquascale/aquascale/internal/detect"
+	"github.com/aquascale/aquascale/internal/faults"
 	"github.com/aquascale/aquascale/internal/flood"
 	"github.com/aquascale/aquascale/internal/fusion"
 	"github.com/aquascale/aquascale/internal/hydraulic"
@@ -150,6 +151,20 @@ var ErrNotConverged = hydraulic.ErrNotConverged
 // It wraps ErrNotConverged (errors.Is compatible).
 type ConvergenceError = hydraulic.ConvergenceError
 
+// Robustness: solver retry-with-degradation and fault injection.
+type (
+	// RetryPolicy bounds solver retry-with-degradation on
+	// non-convergence: each retry halves the Newton update fraction and
+	// warm-restarts from the last attempt's iterate.
+	RetryPolicy = hydraulic.RetryPolicy
+	// RetryStats reports the retries and warm restarts one solve used.
+	RetryStats = hydraulic.RetryStats
+	// FaultConfig sets deterministic fault-injection rates: sensor
+	// dropout, stuck-at and NaN readings, plus forced solver
+	// non-convergence (see internal/faults).
+	FaultConfig = faults.Config
+)
+
 // Leak events and scenarios.
 type (
 	// LeakEvent is one pipe failure e = (l, s, t).
@@ -216,6 +231,12 @@ type (
 	Profile = core.Profile
 	// ProfileConfig selects the Phase-I technique.
 	ProfileConfig = core.ProfileConfig
+	// ScenarioError wraps a scenario's solve failure with the retry count
+	// consumed (errors.Is-compatible with ErrNotConverged).
+	ScenarioError = dataset.ScenarioError
+	// SkippedScenario records one scenario dropped from a generated
+	// dataset after retry exhaustion (see Dataset.Skipped).
+	SkippedScenario = dataset.SkippedScenario
 )
 
 // NewFactory prepares a Phase-I data factory.
@@ -261,6 +282,9 @@ type (
 	ColdScenario = core.ColdScenario
 	// EvalResult summarizes an evaluation run.
 	EvalResult = core.EvalResult
+	// EvalSkippedScenario records one evaluation scenario dropped after
+	// retry exhaustion (see EvalResult.Skipped).
+	EvalSkippedScenario = core.SkippedScenario
 )
 
 // NewSystem builds an untrained AquaSCALE system.

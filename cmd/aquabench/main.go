@@ -39,6 +39,13 @@ func run() error {
 		seed       = flag.Int64("seed", 1, "random seed")
 		technique  = flag.String("technique", "hybrid-rsl", "profile classifier for fusion experiments")
 		workers    = flag.Int("workers", 0, "evaluation worker goroutines (0 = all CPUs, 1 = serial; figures are identical for any value at a fixed seed)")
+		retries    = flag.Int("retries", 0, "solver retry budget on non-convergence (stepped relaxation + warm restart; 0 = no retry)")
+		failFast   = flag.Bool("fail-fast", false, "abort an experiment on the first failed scenario instead of skipping it")
+		fDropout   = flag.Float64("fault-dropout", 0, "injected per-sensor dropout probability (reading lost, sanitized to a neutral feature)")
+		fStuck     = flag.Float64("fault-stuck", 0, "injected per-sensor stuck-at probability (sensor repeats its pre-leak reading)")
+		fNaN       = flag.Float64("fault-nan", 0, "injected per-sensor NaN-reading probability")
+		fSolver    = flag.Float64("fault-solver", 0, "injected per-solve forced non-convergence probability")
+		fAttempts  = flag.Int("fault-solver-attempts", 1, "forced failures per hit solve (above -retries makes the scenario skip)")
 		outPath    = flag.String("out", "", "also write results to this file")
 		metricsOut = flag.String("metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
 		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
@@ -97,6 +104,15 @@ func run() error {
 		Seed:          *seed,
 		Technique:     *technique,
 		Workers:       *workers,
+		Retries:       *retries,
+		FailFast:      *failFast,
+		Faults: aquascale.FaultConfig{
+			Dropout:            *fDropout,
+			Stuck:              *fStuck,
+			NaN:                *fNaN,
+			SolverFail:         *fSolver,
+			SolverFailAttempts: *fAttempts,
+		},
 	}
 	effectiveWorkers := *workers
 	if effectiveWorkers <= 0 {

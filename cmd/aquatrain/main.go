@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -37,6 +38,13 @@ func run() error {
 		minLeaks   = flag.Int("min-leaks", 1, "minimum concurrent leak events")
 		maxLeaks   = flag.Int("max-leaks", 5, "maximum concurrent leak events")
 		seed       = flag.Int64("seed", 1, "random seed")
+		retries    = flag.Int("retries", 0, "solver retry budget on non-convergence (stepped relaxation + warm restart; 0 = no retry)")
+		failFast   = flag.Bool("fail-fast", false, "abort dataset generation on the first failed scenario instead of skipping it")
+		fDropout   = flag.Float64("fault-dropout", 0, "injected per-sensor dropout probability (reading lost, sanitized to a neutral feature)")
+		fStuck     = flag.Float64("fault-stuck", 0, "injected per-sensor stuck-at probability (sensor repeats its pre-leak reading)")
+		fNaN       = flag.Float64("fault-nan", 0, "injected per-sensor NaN-reading probability")
+		fSolver    = flag.Float64("fault-solver", 0, "injected per-solve forced non-convergence probability")
+		fAttempts  = flag.Int("fault-solver-attempts", 1, "forced failures per hit solve (above -retries makes the scenario skip)")
 		savePath   = flag.String("save", "", "write the trained profile to this file (gob)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
 		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
@@ -93,8 +101,17 @@ func run() error {
 
 	leakCfg := aquascale.LeakGeneratorConfig{MinEvents: *minLeaks, MaxEvents: *maxLeaks}
 	factory, err := aquascale.NewFactory(net, sensors, aquascale.DatasetConfig{
-		Noise: aquascale.DefaultSensorNoise,
-		Leaks: leakCfg,
+		Noise:    aquascale.DefaultSensorNoise,
+		Leaks:    leakCfg,
+		Retry:    aquascale.RetryPolicy{MaxRetries: *retries},
+		FailFast: *failFast,
+		Faults: aquascale.FaultConfig{
+			Dropout:            *fDropout,
+			Stuck:              *fStuck,
+			NaN:                *fNaN,
+			SolverFail:         *fSolver,
+			SolverFailAttempts: *fAttempts,
+		},
 	})
 	if err != nil {
 		return err
@@ -107,6 +124,10 @@ func run() error {
 	}
 	fmt.Printf("dataset ready in %v (%d features per sample)\n",
 		time.Since(start).Round(time.Millisecond), factory.SensorCount())
+	if len(ds.Skipped) > 0 {
+		fmt.Printf("skipped %d/%d scenarios after retry exhaustion (first: scenario %d, %d retries: %v)\n",
+			len(ds.Skipped), *samples, ds.Skipped[0].Index, ds.Skipped[0].Retries, ds.Skipped[0].Err)
+	}
 
 	trainStart := time.Now()
 	profile, err := aquascale.TrainProfile(ds, len(net.Nodes), aquascale.ProfileConfig{
@@ -144,11 +165,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	total, detectLatency := 0.0, time.Duration(0)
+	total, detectLatency, skippedEval := 0.0, time.Duration(0), 0
 	for i := 0; i < *testN; i++ {
 		sc := gen.Next()
 		sample, err := sess.FromScenario(sc, evalRng)
 		if err != nil {
+			if !*failFast && errors.Is(err, aquascale.ErrNotConverged) {
+				skippedEval++
+				continue
+			}
 			return err
 		}
 		t0 := time.Now()
@@ -159,9 +184,16 @@ func run() error {
 		detectLatency += time.Since(t0)
 		total += aquascale.HammingScore(pred, sc.Labels(len(net.Nodes)))
 	}
-	fmt.Printf("held-out mean Hamming score over %d scenarios: %.3f\n", *testN, total/float64(*testN))
+	evaluated := *testN - skippedEval
+	if evaluated == 0 {
+		return fmt.Errorf("all %d held-out scenarios failed after retries", *testN)
+	}
+	if skippedEval > 0 {
+		fmt.Printf("skipped %d/%d held-out scenarios after retry exhaustion\n", skippedEval, *testN)
+	}
+	fmt.Printf("held-out mean Hamming score over %d scenarios: %.3f\n", evaluated, total/float64(evaluated))
 	fmt.Printf("mean online inference latency: %v per scenario\n",
-		(detectLatency / time.Duration(*testN)).Round(time.Microsecond))
+		(detectLatency / time.Duration(evaluated)).Round(time.Microsecond))
 	return nil
 }
 

@@ -64,7 +64,7 @@ func AblationPlacement(scale Scale) (*Figure, error) {
 }
 
 func placementScore(tb *testbed, sensors []sensor.Sensor, scale Scale) (float64, error) {
-	factory, err := tb.factoryFor(sensors, epanetSingleLeak)
+	factory, err := tb.factoryFor(sensors, epanetSingleLeak, scale)
 	if err != nil {
 		return 0, err
 	}

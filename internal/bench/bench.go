@@ -17,6 +17,7 @@ import (
 	"io"
 	"strings"
 
+	"github.com/aquascale/aquascale/internal/faults"
 	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
@@ -41,6 +42,20 @@ type Scale struct {
 	// runtime.NumCPU(); 1 forces serial evaluation. For a fixed Seed the
 	// figures are identical at every worker count.
 	Workers int
+
+	// Faults injects deterministic sensor/solver faults into every data
+	// factory the experiments build (see internal/faults). The zero value
+	// injects nothing and leaves every figure bit-identical to a run
+	// without this field.
+	Faults faults.Config
+
+	// Retries is the solver retry budget on non-convergence (stepped
+	// relaxation + warm restart). Zero disables retry.
+	Retries int
+
+	// FailFast aborts experiments on the first failed scenario instead of
+	// skipping it — the historical behavior.
+	FailFast bool
 }
 
 func (s Scale) withDefaults() Scale {
@@ -226,6 +241,7 @@ func experiments() map[string]Runner {
 		"ablation-gamma":     AblationGammaThreshold,
 		"ablation-beta":      AblationEmitterExponent,
 		"ablation-dropout":   AblationSensorDropout,
+		"fault-tolerance":    FaultTolerance,
 	}
 }
 
@@ -234,5 +250,6 @@ func ExperimentIDs() []string {
 	return []string{
 		"fig2", "fig3", "fig6", "fig7ab", "fig7c", "fig8", "fig9", "fig10", "fig11",
 		"ablation-placement", "ablation-bayes", "ablation-gamma", "ablation-beta", "ablation-dropout",
+		"fault-tolerance",
 	}
 }

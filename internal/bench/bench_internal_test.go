@@ -177,7 +177,7 @@ func TestEvalProfileParallelDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatalf("sensorsAtPercent: %v", err)
 	}
-	factory, err := tb.factoryFor(sensors, epanetSingleLeak)
+	factory, err := tb.factoryFor(sensors, epanetSingleLeak, Scale{})
 	if err != nil {
 		t.Fatalf("factoryFor: %v", err)
 	}

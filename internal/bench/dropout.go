@@ -25,7 +25,7 @@ func AblationSensorDropout(scale Scale) (*Figure, error) {
 	if err != nil {
 		return nil, err
 	}
-	factory, err := tb.factoryFor(sensors, epanetMultiLeak)
+	factory, err := tb.factoryFor(sensors, epanetMultiLeak, scale)
 	if err != nil {
 		return nil, err
 	}

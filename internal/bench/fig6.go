@@ -32,7 +32,7 @@ func Fig6MLComparison(scale Scale) (*Figure, error) {
 		if err != nil {
 			return nil, err
 		}
-		factory, err := tb.factoryFor(sensors, epanetSingleLeak)
+		factory, err := tb.factoryFor(sensors, epanetSingleLeak, scale)
 		if err != nil {
 			return nil, err
 		}

@@ -44,7 +44,7 @@ func Fig7HybridSweep(scale Scale) (*Figure, error) {
 			if err != nil {
 				return nil, err
 			}
-			factory, err := tb.factoryFor(sensors, fam.cfg)
+			factory, err := tb.factoryFor(sensors, fam.cfg, scale)
 			if err != nil {
 				return nil, err
 			}

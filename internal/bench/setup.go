@@ -46,17 +46,23 @@ func (tb *testbed) sensorsAtPercent(pct float64, seed int64) ([]sensor.Sensor, e
 	return tb.placer.KMedoids(count, rand.New(rand.NewSource(seed)))
 }
 
-// factoryFor builds a data factory over the given sensors.
-func (tb *testbed) factoryFor(sensors []sensor.Sensor, leakCfg leak.GeneratorConfig) (*dataset.Factory, error) {
+// factoryFor builds a data factory over the given sensors, threading the
+// scale's robustness knobs (fault injection, retry budget, fail-fast) into
+// the factory config. A zero-valued Scale robustness section reproduces
+// the historical factory exactly.
+func (tb *testbed) factoryFor(sensors []sensor.Sensor, leakCfg leak.GeneratorConfig, scale Scale) (*dataset.Factory, error) {
 	return dataset.NewFactory(tb.net, sensors, dataset.Config{
-		Noise: sensor.DefaultNoise,
-		Leaks: leakCfg,
+		Noise:    sensor.DefaultNoise,
+		Leaks:    leakCfg,
+		Retry:    hydraulic.RetryPolicy{MaxRetries: scale.Retries},
+		Faults:   scale.Faults,
+		FailFast: scale.FailFast,
 	})
 }
 
 // trainedSystem wires and trains a full AquaSCALE system.
 func (tb *testbed) trainedSystem(sensors []sensor.Sensor, leakCfg leak.GeneratorConfig, scale Scale) (*core.System, error) {
-	factory, err := tb.factoryFor(sensors, leakCfg)
+	factory, err := tb.factoryFor(sensors, leakCfg, scale)
 	if err != nil {
 		return nil, err
 	}

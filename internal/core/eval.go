@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/hydraulic"
 	"github.com/aquascale/aquascale/internal/leak"
 	"github.com/aquascale/aquascale/internal/mlearn"
 	"github.com/aquascale/aquascale/internal/social"
@@ -19,6 +21,8 @@ import (
 // when telemetry is off.
 type evalMetrics struct {
 	scenarios      *telemetry.Counter   // scenarios evaluated
+	retries        *telemetry.Counter   // solver re-attempts across scenarios
+	skipped        *telemetry.Counter   // scenarios dropped after retry exhaustion
 	observeSeconds *telemetry.Histogram // per-scenario observation latency
 	workerBusy     *telemetry.Gauge     // summed worker busy seconds
 	rate           *telemetry.Gauge     // scenarios/sec of the last run
@@ -28,6 +32,8 @@ func bindEvalMetrics() evalMetrics {
 	reg := telemetry.Default()
 	return evalMetrics{
 		scenarios:      reg.Counter("core_eval_scenarios_total"),
+		retries:        reg.Counter("core_eval_retries_total"),
+		skipped:        reg.Counter("core_eval_skipped_total"),
 		observeSeconds: reg.Histogram("core_observe_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
 		workerBusy:     reg.Gauge("core_eval_worker_busy_seconds_total"),
 		rate:           reg.Gauge("core_eval_scenarios_per_second"),
@@ -61,10 +67,11 @@ func (s *System) newObserver() (*observer, error) {
 }
 
 // observeWith simulates one observation using an observer's reused solver
-// and tweet generator. All randomness is drawn from rng in a fixed order
-// (sensor noise, freeze detection, reports), so the observation depends
-// only on (scenario, options, rng state) — never on which worker runs it.
-func (s *System) observeWith(o *observer, sc ColdScenario, opt ObserveOptions, rng *rand.Rand) (Observation, error) {
+// and tweet generator, returning the solver retries the sample consumed.
+// All randomness is drawn from rng in a fixed order (sensor noise, freeze
+// detection, reports), so the observation depends only on (scenario,
+// options, rng state) — never on which worker runs it.
+func (s *System) observeWith(o *observer, sc ColdScenario, opt ObserveOptions, rng *rand.Rand) (Observation, int, error) {
 	if opt.ElapsedSlots <= 0 {
 		opt.ElapsedSlots = 1
 	}
@@ -73,7 +80,7 @@ func (s *System) observeWith(o *observer, sc ColdScenario, opt ObserveOptions, r
 	}
 	sample, err := o.session.FromScenarioAt(sc.Scenario, opt.ElapsedSlots, rng)
 	if err != nil {
-		return Observation{}, err
+		return Observation{}, scenarioRetries(err), err
 	}
 	obs := Observation{Features: sample.Features}
 	if opt.Sources.Weather {
@@ -97,7 +104,7 @@ func (s *System) observeWith(o *observer, sc ColdScenario, opt ObserveOptions, r
 	if opt.Sources.Human {
 		reports, err := o.reports.ReportsWith(rng, sc.LeakNodes(), opt.ElapsedSlots)
 		if err != nil {
-			return Observation{}, err
+			return Observation{}, sample.Retries, err
 		}
 		pe := s.social.FalsePositiveRate
 		if pe <= 0 {
@@ -105,28 +112,39 @@ func (s *System) observeWith(o *observer, sc ColdScenario, opt ObserveOptions, r
 		}
 		obs.Cliques = social.BuildCliques(s.net, reports, opt.GammaM, pe)
 	}
-	return obs, nil
+	return obs, sample.Retries, nil
+}
+
+// scenarioRetries extracts the retry count carried by a
+// dataset.ScenarioError (0 for any other error).
+func scenarioRetries(err error) int {
+	var se *dataset.ScenarioError
+	if errors.As(err, &se) {
+		return se.Retries
+	}
+	return 0
 }
 
 // evaluateScenario runs the full Phase-II pipeline on one pre-drawn cold
-// scenario with its own rng and returns (Hamming score, human-added count).
-func (s *System) evaluateScenario(o *observer, sc ColdScenario, opt ObserveOptions, met evalMetrics, rng *rand.Rand) (float64, int, error) {
+// scenario with its own rng and returns (Hamming score, human-added count,
+// solver retries consumed).
+func (s *System) evaluateScenario(o *observer, sc ColdScenario, opt ObserveOptions, met evalMetrics, rng *rand.Rand) (float64, int, int, error) {
 	var t0 time.Time
 	if met.observeSeconds != nil {
 		t0 = time.Now()
 	}
-	obs, err := s.observeWith(o, sc, opt, rng)
+	obs, retries, err := s.observeWith(o, sc, opt, rng)
 	if met.observeSeconds != nil {
 		met.observeSeconds.ObserveDuration(time.Since(t0))
 	}
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, retries, err
 	}
 	pred, added, err := s.Localize(obs)
 	if err != nil {
-		return 0, 0, err
+		return 0, 0, retries, err
 	}
-	return mlearn.HammingScore(pred.Set(), sc.Labels(len(s.net.Nodes))), len(added), nil
+	return mlearn.HammingScore(pred.Set(), sc.Labels(len(s.net.Nodes))), len(added), retries, nil
 }
 
 // Evaluate runs Phase II over count cold scenarios and returns the mean
@@ -195,6 +213,7 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 
 	scores := make([]float64, count)
 	added := make([]int, count)
+	retries := make([]int, count)
 	errs := make([]error, count)
 	var wg sync.WaitGroup
 	work := make(chan int)
@@ -209,7 +228,7 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 				if timed {
 					t0 = time.Now()
 				}
-				scores[i], added[i], errs[i] =
+				scores[i], added[i], retries[i], errs[i] =
 					s.evaluateScenario(o, scenarios[i], opt, met, rand.New(rand.NewSource(seeds[i])))
 				if timed {
 					busy += time.Since(t0)
@@ -225,25 +244,41 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 	close(work)
 	wg.Wait()
 
-	// Reduce in scenario order: first error wins deterministically and the
-	// float sum is order-stable.
-	for _, err := range errs {
-		if err != nil {
+	// Reduce in scenario order so errors, the skip report, and the float
+	// sum are all order-stable regardless of worker scheduling. A scenario
+	// whose solve still fails after retries is skipped and recorded unless
+	// FailFast restores the historical first-error-aborts behavior; any
+	// error other than non-convergence aborts either way.
+	total, humanAdded, totalRetries := 0.0, 0, 0
+	var skipped []SkippedScenario
+	for i, err := range errs {
+		totalRetries += retries[i]
+		if err == nil {
+			total += scores[i]
+			humanAdded += added[i]
+			continue
+		}
+		if opt.FailFast || !errors.Is(err, hydraulic.ErrNotConverged) {
 			return EvalResult{}, err
 		}
+		skipped = append(skipped, SkippedScenario{Index: i, Err: err, Retries: retries[i]})
 	}
-	total, humanAdded := 0.0, 0
-	for i := range scores {
-		total += scores[i]
-		humanAdded += added[i]
+	met.retries.Add(int64(totalRetries))
+	met.skipped.Add(int64(len(skipped)))
+	evaluated := count - len(skipped)
+	if evaluated == 0 {
+		return EvalResult{}, fmt.Errorf("core: all %d scenarios failed (first: %w)", count, skipped[0].Err)
 	}
 	if elapsed := time.Since(wallStart); elapsed > 0 {
 		met.rate.Set(float64(count) / elapsed.Seconds())
 	}
 	span.End()
 	return EvalResult{
-		MeanHamming: total / float64(count),
+		MeanHamming: total / float64(evaluated),
 		Scenarios:   count,
+		Evaluated:   evaluated,
 		HumanAdded:  humanAdded,
+		Retries:     totalRetries,
+		Skipped:     skipped,
 	}, nil
 }

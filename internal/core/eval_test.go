@@ -118,7 +118,7 @@ func TestObserveMatchesObserveWith(t *testing.T) {
 	}
 	// Drive the same observer twice to prove reuse does not drift.
 	for trial := 0; trial < 2; trial++ {
-		fast, err := sys.observeWith(o, sc, opt, rand.New(rand.NewSource(33)))
+		fast, _, err := sys.observeWith(o, sc, opt, rand.New(rand.NewSource(33)))
 		if err != nil {
 			t.Fatalf("observeWith (trial %d): %v", trial, err)
 		}

@@ -200,6 +200,12 @@ type ObserveOptions struct {
 	// GammaM is the tweet coarseness γ in meters. Zero means 30 (the
 	// paper's default for the fusion experiments).
 	GammaM float64
+
+	// FailFast makes EvaluateParallel abort on the first scenario whose
+	// hydraulic solve fails after retries — the historical behavior. By
+	// default such scenarios are skipped and recorded in
+	// EvalResult.Skipped so long sweeps survive individual failures.
+	FailFast bool
 }
 
 // Freeze-burst detection rates for the pressure-pattern analyzer (the
@@ -229,17 +235,46 @@ func (s *System) Observe(sc ColdScenario, opt ObserveOptions, rng *rand.Rand) (O
 	if err != nil {
 		return Observation{}, err
 	}
-	return s.observeWith(o, sc, opt, rng)
+	obs, _, err := s.observeWith(o, sc, opt, rng)
+	return obs, err
+}
+
+// SkippedScenario records one evaluation scenario dropped after solver
+// retry exhaustion.
+type SkippedScenario struct {
+	// Index is the scenario's position in the evaluation order.
+	Index int
+
+	// Err is the terminal solve error (errors.Is-compatible with
+	// hydraulic.ErrNotConverged).
+	Err error
+
+	// Retries is the retry budget consumed before the skip.
+	Retries int
 }
 
 // EvalResult summarizes an evaluation run.
 type EvalResult struct {
-	// MeanHamming is the paper's headline metric.
+	// MeanHamming is the paper's headline metric, averaged over the
+	// scenarios that completed (Evaluated).
 	MeanHamming float64
 
-	// Scenarios is the number of test scenarios evaluated.
+	// Scenarios is the number of test scenarios requested.
 	Scenarios int
+
+	// Evaluated is the number of scenarios that completed; it falls
+	// short of Scenarios only when failures were skipped.
+	Evaluated int
 
 	// HumanAdded is the total number of nodes forced by human input.
 	HumanAdded int
+
+	// Retries is the total number of solver re-attempts consumed across
+	// all scenarios (including skipped ones).
+	Retries int
+
+	// Skipped lists scenarios dropped after retry exhaustion, in
+	// evaluation order. Empty on clean runs and always empty under
+	// ObserveOptions.FailFast.
+	Skipped []SkippedScenario
 }

@@ -19,12 +19,15 @@
 package dataset
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"github.com/aquascale/aquascale/internal/faults"
 	"github.com/aquascale/aquascale/internal/hydraulic"
 	"github.com/aquascale/aquascale/internal/leak"
 	"github.com/aquascale/aquascale/internal/network"
@@ -53,6 +56,23 @@ type Config struct {
 
 	// Solver configures the hydraulic engine.
 	Solver hydraulic.Options
+
+	// Retry bounds solver retry-with-degradation on non-convergence
+	// (stepped relaxation plus warm restart; see
+	// hydraulic.SolveSteadyRetry). The zero value disables retry.
+	Retry hydraulic.RetryPolicy
+
+	// Faults enables deterministic fault injection — sensor dropout,
+	// stuck-at and NaN readings plus forced solver non-convergence —
+	// drawn from a stream derived from each scenario's seed. The zero
+	// value injects nothing and leaves every random stream untouched.
+	Faults faults.Config
+
+	// FailFast makes Generate abort on the first failed scenario, the
+	// historical behavior. By default a scenario whose solve still fails
+	// after retries is skipped and recorded in Dataset.Skipped instead
+	// of discarding the whole run.
+	FailFast bool
 }
 
 func (c Config) withDefaults() Config {
@@ -79,12 +99,55 @@ type Sample struct {
 
 	// Scenario is the generating leak scenario.
 	Scenario leak.Scenario
+
+	// Retries is the number of solver re-attempts this sample's leak
+	// solve consumed (0 when the first attempt converged).
+	Retries int
+}
+
+// ScenarioError wraps a scenario's hydraulic solve failure with the retry
+// count consumed before giving up. It unwraps to the underlying solver
+// error, so errors.Is(err, hydraulic.ErrNotConverged) keeps working.
+type ScenarioError struct {
+	Retries int
+	Err     error
+}
+
+// Error implements the error interface.
+func (e *ScenarioError) Error() string {
+	return fmt.Sprintf("dataset: leak solve failed after %d retries: %v", e.Retries, e.Err)
+}
+
+// Unwrap exposes the underlying solver error.
+func (e *ScenarioError) Unwrap() error { return e.Err }
+
+// SkippedScenario records one scenario dropped from a generated dataset
+// after retry exhaustion.
+type SkippedScenario struct {
+	// Index is the scenario's position in generation order.
+	Index int
+
+	// Scenario is the failing scenario itself, so callers can re-run or
+	// inspect it.
+	Scenario leak.Scenario
+
+	// Err is the terminal solve error (errors.Is-compatible with
+	// hydraulic.ErrNotConverged).
+	Err error
+
+	// Retries is the retry budget consumed before the skip.
+	Retries int
 }
 
 // Dataset is a set of samples with its feature/label geometry.
 type Dataset struct {
 	Samples   []Sample
 	Junctions []int // junction node indices labeling the output columns
+
+	// Skipped lists scenarios dropped after retry exhaustion, in
+	// generation order. Empty on clean runs and always empty under
+	// Config.FailFast.
+	Skipped []SkippedScenario
 }
 
 // X returns the feature matrix view.
@@ -110,6 +173,7 @@ type Factory struct {
 	net       *network.Network
 	sensors   []sensor.Sensor
 	cfg       Config
+	inj       *faults.Injector // nil when fault injection is disabled
 	junctions []int
 	jIndex    map[int]int // node index → junction column
 
@@ -133,6 +197,9 @@ type factoryMetrics struct {
 	sessionReuse   *telemetry.Counter
 	baselineHits   *telemetry.Counter
 	baselineMisses *telemetry.Counter
+	retries        *telemetry.Counter
+	skipped        *telemetry.Counter
+	badFeatures    *telemetry.Counter
 	sampleSeconds  *telemetry.Histogram
 }
 
@@ -144,6 +211,9 @@ func bindFactoryMetrics() factoryMetrics {
 		sessionReuse:   reg.Counter("dataset_session_reuse_total"),
 		baselineHits:   reg.Counter("dataset_baseline_cache_hits_total"),
 		baselineMisses: reg.Counter("dataset_baseline_cache_misses_total"),
+		retries:        reg.Counter("dataset_retries_total"),
+		skipped:        reg.Counter("dataset_skipped_total"),
+		badFeatures:    reg.Counter("dataset_bad_features_total"),
 		sampleSeconds:  reg.Histogram("dataset_sample_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
 	}
 }
@@ -160,10 +230,15 @@ func NewFactory(net *network.Network, sensors []sensor.Sensor, cfg Config) (*Fac
 	if err != nil {
 		return nil, err
 	}
+	inj, err := faults.New(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: %w", err)
+	}
 	f := &Factory{
 		net:        net,
 		sensors:    append([]sensor.Sensor(nil), sensors...),
 		cfg:        cfg,
+		inj:        inj,
 		junctions:  net.JunctionIndices(),
 		baseSolver: solver,
 		baseCache:  make(map[time.Duration][]float64),
@@ -288,10 +363,21 @@ func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elaps
 	if elapsedSlots <= 0 {
 		elapsedSlots = f.cfg.ElapsedSlots
 	}
+	// Fault draws come from a dedicated stream seeded by one draw from the
+	// scenario rng, so the injection schedule is per-scenario deterministic
+	// and — with faults disabled — the noise stream is exactly the
+	// historical one (no draw happens at all).
+	var faultRng *rand.Rand
+	if f.inj.Enabled() && rng != nil {
+		faultRng = rand.New(rand.NewSource(rng.Int63()))
+		solver.SetFailureHook(f.inj.SolveHook(faultRng))
+		defer solver.SetFailureHook(nil)
+	}
 	readTime := f.cfg.BaseTime + time.Duration(elapsedSlots)*f.cfg.Step
-	res, err := solver.SolveSteady(readTime, sc.Emitters(), nil)
+	res, stats, err := solver.SolveSteadyRetry(readTime, sc.Emitters(), nil, f.cfg.Retry)
+	f.met.retries.Add(int64(stats.Retries))
 	if err != nil {
-		return Sample{}, fmt.Errorf("dataset: leak solve: %w", err)
+		return Sample{}, &ScenarioError{Retries: stats.Retries, Err: err}
 	}
 	after := sensor.Read(f.sensors, res, f.cfg.Noise, rng)
 	baseTruth, err := f.baselineAt(readTime)
@@ -299,20 +385,37 @@ func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elaps
 		return Sample{}, fmt.Errorf("dataset: baseline solve: %w", err)
 	}
 	before := f.noisyBaseline(baseTruth, rng)
+	// Sensor faults perturb the post-leak reading: a stuck sensor reports
+	// the stale pre-leak value (zero delta), dropout and NaN glitches
+	// become non-finite readings sanitized below.
+	f.inj.PerturbReadings(after, before, faultRng)
 	labels := make([]int, len(f.junctions))
 	for _, e := range sc.Events {
 		if col, ok := f.jIndex[e.Node]; ok {
 			labels[col] = 1
 		}
 	}
+	features := sensor.Delta(before, after)
+	// Degraded-input guard: a non-finite reading must become a neutral
+	// feature, not silently poison training or inference downstream. (NaN
+	// propagates through every classifier dot product unnoticed.)
+	bad := 0
+	for i, v := range features {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			features[i] = 0
+			bad++
+		}
+	}
+	f.met.badFeatures.Add(int64(bad))
 	f.met.samples.Inc()
 	if f.met.sampleSeconds != nil {
 		f.met.sampleSeconds.ObserveDuration(time.Since(start))
 	}
 	return Sample{
-		Features: sensor.Delta(before, after),
+		Features: features,
 		Labels:   labels,
 		Scenario: sc,
+		Retries:  stats.Retries,
 	}, nil
 }
 
@@ -331,6 +434,14 @@ func (f *Factory) noisyBaseline(baseTruth []float64, rng *rand.Rand) []float64 {
 // parallel. The result is deterministic for a given rng seed regardless of
 // worker scheduling: scenarios and per-sample noise seeds are drawn
 // sequentially up front.
+//
+// A scenario whose hydraulic solve still fails after the configured
+// retries is skipped and recorded in Dataset.Skipped (in generation
+// order) instead of aborting the run — unless Config.FailFast is set,
+// which restores the historical first-error-aborts behavior. Only
+// non-convergence is skippable; any other error (a programming or data
+// defect) aborts either way. Generate fails outright if every scenario
+// is skipped.
 func (f *Factory) Generate(count int, rng *rand.Rand) (*Dataset, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("dataset: non-positive sample count %d", count)
@@ -380,10 +491,29 @@ func (f *Factory) Generate(count int, rng *rand.Rand) (*Dataset, error) {
 	}
 	close(work)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
+
+	// Reduce in scenario order so both the fail-fast error and the skip
+	// report are deterministic for any worker scheduling.
+	kept := make([]Sample, 0, count)
+	var skipped []SkippedScenario
+	for i, err := range errs {
+		if err == nil {
+			kept = append(kept, samples[i])
+			continue
+		}
+		if f.cfg.FailFast || !errors.Is(err, hydraulic.ErrNotConverged) {
 			return nil, err
 		}
+		retries := 0
+		var se *ScenarioError
+		if errors.As(err, &se) {
+			retries = se.Retries
+		}
+		skipped = append(skipped, SkippedScenario{Index: i, Scenario: scenarios[i], Err: err, Retries: retries})
 	}
-	return &Dataset{Samples: samples, Junctions: f.Junctions()}, nil
+	f.met.skipped.Add(int64(len(skipped)))
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("dataset: all %d scenarios failed (first: %w)", count, skipped[0].Err)
+	}
+	return &Dataset{Samples: kept, Junctions: f.Junctions(), Skipped: skipped}, nil
 }

@@ -56,12 +56,19 @@ func (c CUSUMConfig) withDefaults() CUSUMConfig {
 type CUSUM struct {
 	cfg      CUSUMConfig
 	n        int
+	scaleN   int // quiescent samples folded into the running-mean scale
 	baseline float64
 	scale    float64 // mean absolute residual (robust-ish σ proxy)
 	posSum   float64
 	negSum   float64
 	alarmed  bool
 }
+
+// scaleSamples is how many quiescent residuals feed the running-mean scale
+// estimate before it switches to EWMA tracking. The handful of warmup
+// samples alone underestimates the noise scale often enough to inflate
+// every standardized residual and trip false alarms.
+const scaleSamples = 64
 
 // NewCUSUM creates a detector.
 func NewCUSUM(cfg CUSUMConfig) *CUSUM {
@@ -84,7 +91,8 @@ func (c *CUSUM) Update(v float64) bool {
 
 	if c.n <= c.cfg.WarmupSamples {
 		// Warmup: learn the noise scale, keep the baseline current.
-		c.scale += (absR - c.scale) / float64(c.n-1)
+		c.scaleN++
+		c.scale += (absR - c.scale) / float64(c.scaleN)
 		c.baseline += c.cfg.BaselineAlpha * residual
 		return false
 	}
@@ -99,10 +107,22 @@ func (c *CUSUM) Update(v float64) bool {
 		c.alarmed = true
 		return true
 	}
-	// Only adapt the baseline (and scale) while quiescent, so a slow leak
-	// is not absorbed into the baseline.
-	c.baseline += c.cfg.BaselineAlpha * residual
-	c.scale += c.cfg.BaselineAlpha * (absR - c.scale)
+	// Only adapt the baseline (and scale) while quiescent. Quiescent means
+	// both sums are below half the threshold — not merely below it: a slow
+	// ramp keeps the sums elevated-but-subcritical for many slots, and
+	// adapting through that window absorbs the leak into the baseline
+	// before the alarm can ever fire.
+	if c.posSum < c.cfg.Threshold/2 && c.negSum < c.cfg.Threshold/2 {
+		c.baseline += c.cfg.BaselineAlpha * residual
+		if c.scaleN < scaleSamples {
+			// Still converging: running mean over quiescent residuals beats
+			// the EWMA here because it weights all evidence equally.
+			c.scaleN++
+			c.scale += (absR - c.scale) / float64(c.scaleN)
+		} else {
+			c.scale += c.cfg.BaselineAlpha * (absR - c.scale)
+		}
+	}
 	return false
 }
 

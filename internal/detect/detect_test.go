@@ -89,6 +89,73 @@ func TestCUSUMDetectsPositiveShift(t *testing.T) {
 	}
 }
 
+// TestCUSUMSlowRampAlarms is the regression test for the
+// adapt-through-the-leak bug: a slow pressure ramp kept the sums
+// elevated-but-subcritical while the baseline and scale kept adapting,
+// absorbing the leak so the alarm never fired. With adaptation frozen at
+// half the threshold the detector must catch this ramp.
+func TestCUSUMSlowRampAlarms(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	c := NewCUSUM(CUSUMConfig{})
+	alarmAt := -1
+	for i := 0; i < 3000; i++ {
+		v := 40.0
+		if i >= 50 {
+			// 0.0005 per slot: ~10x the noise std only after 1000 slots —
+			// slow enough that an always-adapting baseline tracks it forever.
+			v -= 0.0005 * float64(i-50)
+		}
+		if c.Update(v + rng.NormFloat64()*0.05) {
+			alarmAt = i
+			break
+		}
+	}
+	if alarmAt < 0 {
+		t.Fatal("slow ramp absorbed into the baseline: no alarm in 3000 slots")
+	}
+	if alarmAt < 50 {
+		t.Fatalf("alarm before the ramp started: slot %d", alarmAt)
+	}
+	if alarmAt > 1000 {
+		t.Fatalf("alarm too late for a slow ramp: slot %d", alarmAt)
+	}
+}
+
+// TestCUSUMAdaptationFreezesWhenElevated pins the mechanism directly:
+// once either sum passes half the threshold, the baseline and scale stop
+// moving until the detector either alarms or decays back to quiescence.
+func TestCUSUMAdaptationFreezesWhenElevated(t *testing.T) {
+	c := NewCUSUM(CUSUMConfig{})
+	// Warmup on an alternating pair so the learned scale is positive.
+	for i := 0; i < 16; i++ {
+		v := 40.0
+		if i%2 == 1 {
+			v = 40.1
+		}
+		c.Update(v)
+	}
+	// Feed mildly low readings until the negative sum crosses half the
+	// threshold (still below alarm level).
+	for i := 0; c.negSum <= c.cfg.Threshold/2; i++ {
+		if i > 200 {
+			t.Fatal("negative sum never reached the freeze region")
+		}
+		if c.Update(c.baseline - 0.1) {
+			t.Fatal("alarmed before reaching the freeze region")
+		}
+	}
+	base, scale := c.baseline, c.scale
+	if c.Update(base - 0.1) {
+		// Crossing the full threshold here would also be fine for the
+		// detector, but the test wants the frozen window.
+		t.Skip("alarm fired immediately after the freeze point")
+	}
+	if c.baseline != base || c.scale != scale {
+		t.Fatalf("adaptation continued while elevated: baseline %v→%v, scale %v→%v",
+			base, c.baseline, scale, c.scale)
+	}
+}
+
 func TestDetectOnsetQuorum(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	const sensors = 20

@@ -1,0 +1,176 @@
+// Package faults provides deterministic fault injection for robustness
+// testing of the AquaSCALE pipeline: sensor dropout, stuck-at and NaN
+// readings, plus forced hydraulic-solver non-convergence.
+//
+// Every random decision is drawn from a caller-provided rng — in the
+// pipeline, a stream derived from the per-scenario seed — so injected
+// runs are bit-identical for any worker count and GOMAXPROCS setting,
+// exactly like the noise draws they ride alongside. A zero Config is
+// fully disabled: it injects nothing and, crucially, draws nothing, so
+// disabling faults leaves every downstream random stream untouched.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+// Config sets per-fault injection rates. All rates are probabilities in
+// [0, 1]; the three sensor rates are mutually exclusive per reading and
+// must sum to at most 1.
+type Config struct {
+	// Dropout is the per-sensor probability that a reading is lost in
+	// transit: the sensor's value becomes NaN (missing), which the
+	// feature pipeline later sanitizes to a zero delta.
+	Dropout float64
+
+	// Stuck is the per-sensor probability that the sensor holds its
+	// previous (pre-leak) value instead of the fresh reading — the
+	// classic stuck-at fault of aging transducers.
+	Stuck float64
+
+	// NaN is the per-sensor probability that the device emits a literal
+	// NaN (firmware glitch). Downstream it behaves like Dropout but is
+	// injected and counted separately.
+	NaN float64
+
+	// SolverFail is the per-solve probability that the hydraulic solve
+	// for a scenario is forced to fail with a ConvergenceError, which is
+	// what exercises the retry/skip machinery.
+	SolverFail float64
+
+	// SolverFailAttempts is how many leading attempts of a hit solve are
+	// forced to fail (default 1): 1 means one retry recovers the solve,
+	// a value above the retry budget makes the scenario skip.
+	SolverFailAttempts int
+}
+
+// Enabled reports whether any fault channel is active.
+func (c Config) Enabled() bool {
+	return c.Dropout > 0 || c.Stuck > 0 || c.NaN > 0 || c.SolverFail > 0
+}
+
+// Validate checks rate ranges.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{
+		{"Dropout", c.Dropout}, {"Stuck", c.Stuck}, {"NaN", c.NaN}, {"SolverFail", c.SolverFail},
+	} {
+		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
+			return fmt.Errorf("faults: %s rate %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if sum := c.Dropout + c.Stuck + c.NaN; sum > 1 {
+		return fmt.Errorf("faults: sensor fault rates sum to %v > 1", sum)
+	}
+	if c.SolverFailAttempts < 0 {
+		return fmt.Errorf("faults: negative SolverFailAttempts %d", c.SolverFailAttempts)
+	}
+	return nil
+}
+
+// Injector applies a Config to sensor readings and hydraulic solves. All
+// methods are safe on a nil receiver (no-ops), so pipelines can hold a
+// nil *Injector when faults are disabled.
+type Injector struct {
+	cfg Config
+
+	// Telemetry handles, bound at construction; nil no-ops when
+	// telemetry is off.
+	mDropout *telemetry.Counter
+	mStuck   *telemetry.Counter
+	mNaN     *telemetry.Counter
+	mSolver  *telemetry.Counter
+}
+
+// New validates cfg and builds an injector. A disabled config returns
+// (nil, nil): the nil injector is the canonical "no faults" value.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	reg := telemetry.Default()
+	return &Injector{
+		cfg:      cfg,
+		mDropout: reg.Counter("faults_sensor_dropouts_total"),
+		mStuck:   reg.Counter("faults_sensor_stuck_total"),
+		mNaN:     reg.Counter("faults_sensor_nan_total"),
+		mSolver:  reg.Counter("faults_forced_nonconvergence_total"),
+	}, nil
+}
+
+// Enabled reports whether the injector injects anything (false on nil).
+func (in *Injector) Enabled() bool { return in != nil && in.cfg.Enabled() }
+
+// Config returns the injector's configuration (zero on nil).
+func (in *Injector) Config() Config {
+	if in == nil {
+		return Config{}
+	}
+	return in.cfg
+}
+
+// PerturbReadings applies sensor faults to readings in place. held is the
+// value a stuck sensor reports (the stale pre-leak reading); a nil held
+// leaves stuck sensors at their current reading. Exactly one uniform draw
+// is consumed per reading regardless of outcome, so the rng stream length
+// depends only on the sensor count — never on which faults fired.
+func (in *Injector) PerturbReadings(readings, held []float64, rng *rand.Rand) {
+	if in == nil || rng == nil {
+		return
+	}
+	d, s, n := in.cfg.Dropout, in.cfg.Stuck, in.cfg.NaN
+	if d == 0 && s == 0 && n == 0 {
+		return
+	}
+	for i := range readings {
+		u := rng.Float64()
+		switch {
+		case u < d:
+			readings[i] = math.NaN()
+			in.mDropout.Inc()
+		case u < d+s:
+			if held != nil {
+				readings[i] = held[i]
+			}
+			in.mStuck.Inc()
+		case u < d+s+n:
+			readings[i] = math.NaN()
+			in.mNaN.Inc()
+		}
+	}
+}
+
+// SolveHook returns a hydraulic.Solver failure hook bound to rng, or nil
+// when forced non-convergence is disabled. The hook draws once per solve
+// (at attempt 0) whether the solve is hit; a hit solve fails its first
+// SolverFailAttempts attempts and then succeeds, so retry budgets at or
+// above that count recover it and smaller budgets exhaust into a skip.
+func (in *Injector) SolveHook(rng *rand.Rand) func(t time.Duration, attempt int) bool {
+	if in == nil || in.cfg.SolverFail <= 0 || rng == nil {
+		return nil
+	}
+	attempts := in.cfg.SolverFailAttempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	hit := false
+	return func(_ time.Duration, attempt int) bool {
+		if attempt == 0 {
+			hit = rng.Float64() < in.cfg.SolverFail
+			if hit {
+				in.mSolver.Inc()
+			}
+		}
+		return hit && attempt < attempts
+	}
+}

@@ -1,0 +1,212 @@
+package faults
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+func TestConfigValidate(t *testing.T) {
+	bad := []Config{
+		{Dropout: -0.1},
+		{Stuck: 1.5},
+		{NaN: math.NaN()},
+		{SolverFail: 2},
+		{Dropout: 0.5, Stuck: 0.4, NaN: 0.2}, // sums to 1.1
+		{SolverFailAttempts: -1},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid config", cfg)
+		}
+	}
+	good := []Config{
+		{},
+		{Dropout: 0.5, Stuck: 0.3, NaN: 0.2},
+		{SolverFail: 1, SolverFailAttempts: 4},
+	}
+	for _, cfg := range good {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("Validate(%+v): %v", cfg, err)
+		}
+	}
+}
+
+func TestNewDisabledReturnsNil(t *testing.T) {
+	inj, err := New(Config{})
+	if err != nil {
+		t.Fatalf("New(zero): %v", err)
+	}
+	if inj != nil {
+		t.Fatal("disabled config should return a nil injector")
+	}
+	// The nil injector is a safe no-op everywhere.
+	if inj.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	readings := []float64{1, 2, 3}
+	inj.PerturbReadings(readings, nil, rand.New(rand.NewSource(1)))
+	if readings[0] != 1 || readings[1] != 2 || readings[2] != 3 {
+		t.Fatal("nil injector perturbed readings")
+	}
+	if hook := inj.SolveHook(rand.New(rand.NewSource(1))); hook != nil {
+		t.Fatal("nil injector returned a solve hook")
+	}
+}
+
+func TestPerturbReadingsOutcomes(t *testing.T) {
+	// Rate-1 configs pin each fault's observable effect.
+	held := []float64{10, 20, 30}
+	t.Run("dropout", func(t *testing.T) {
+		inj, err := New(Config{Dropout: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := []float64{1, 2, 3}
+		inj.PerturbReadings(r, held, rand.New(rand.NewSource(2)))
+		for i, v := range r {
+			if !math.IsNaN(v) {
+				t.Fatalf("reading %d = %v, want NaN after dropout", i, v)
+			}
+		}
+	})
+	t.Run("stuck", func(t *testing.T) {
+		inj, err := New(Config{Stuck: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := []float64{1, 2, 3}
+		inj.PerturbReadings(r, held, rand.New(rand.NewSource(2)))
+		for i, v := range r {
+			if v != held[i] {
+				t.Fatalf("reading %d = %v, want held value %v", i, v, held[i])
+			}
+		}
+	})
+	t.Run("nan", func(t *testing.T) {
+		inj, err := New(Config{NaN: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := []float64{1, 2, 3}
+		inj.PerturbReadings(r, held, rand.New(rand.NewSource(2)))
+		for i, v := range r {
+			if !math.IsNaN(v) {
+				t.Fatalf("reading %d = %v, want NaN", i, v)
+			}
+		}
+	})
+}
+
+// TestPerturbReadingsFixedDrawCount pins the stream-length contract: one
+// uniform draw per reading regardless of which faults fire, so downstream
+// consumers of the same rng see the same stream for any fault config with
+// equal sensor counts.
+func TestPerturbReadingsFixedDrawCount(t *testing.T) {
+	for _, cfg := range []Config{
+		{Dropout: 1},
+		{Dropout: 0.2, Stuck: 0.2, NaN: 0.2},
+		{Stuck: 0.01},
+	} {
+		inj, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		r := make([]float64, 9)
+		inj.PerturbReadings(r, nil, rng)
+		got := rng.Int63()
+
+		control := rand.New(rand.NewSource(7))
+		for i := 0; i < 9; i++ {
+			control.Float64()
+		}
+		if want := control.Int63(); got != want {
+			t.Fatalf("config %+v consumed a different number of draws", cfg)
+		}
+	}
+}
+
+func TestPerturbReadingsDeterministic(t *testing.T) {
+	inj, err := New(Config{Dropout: 0.3, Stuck: 0.3, NaN: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() []float64 {
+		r := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+		held := []float64{0, 0, 0, 0, 0, 0, 0, 0}
+		inj.PerturbReadings(r, held, rand.New(rand.NewSource(11)))
+		return r
+	}
+	a, b := run(), run()
+	for i := range a {
+		same := a[i] == b[i] || (math.IsNaN(a[i]) && math.IsNaN(b[i]))
+		if !same {
+			t.Fatalf("reading %d diverged across identical seeds: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSolveHook(t *testing.T) {
+	inj, err := New(Config{SolverFail: 1, SolverFailAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hook := inj.SolveHook(rand.New(rand.NewSource(3)))
+	if hook == nil {
+		t.Fatal("expected a hook for SolverFail=1")
+	}
+	// A hit solve fails attempts 0 and 1, then succeeds.
+	for attempt, want := range []bool{true, true, false, false} {
+		if got := hook(time.Hour, attempt); got != want {
+			t.Fatalf("attempt %d: hook = %v, want %v", attempt, got, want)
+		}
+	}
+
+	// Rate 0 solver fail (but other channels on) yields no hook.
+	inj, err = New(Config{Dropout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj.SolveHook(rand.New(rand.NewSource(3))) != nil {
+		t.Fatal("SolverFail=0 should yield a nil hook")
+	}
+}
+
+// TestSolveHookDrawsOncePerSolve pins that the hit decision consumes
+// exactly one draw at attempt 0 and nothing on retries.
+func TestSolveHookDrawsOncePerSolve(t *testing.T) {
+	inj, err := New(Config{SolverFail: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	hook := inj.SolveHook(rng)
+	hook(0, 0)
+	hook(0, 1)
+	hook(0, 2)
+	got := rng.Int63()
+
+	control := rand.New(rand.NewSource(5))
+	control.Float64()
+	if want := control.Int63(); got != want {
+		t.Fatal("hook consumed draws beyond the one per-solve hit decision")
+	}
+}
+
+func TestInjectorTelemetry(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	inj, err := New(Config{Dropout: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := make([]float64, 5)
+	inj.PerturbReadings(r, nil, rand.New(rand.NewSource(1)))
+	if got := reg.Counter("faults_sensor_dropouts_total").Value(); got != 5 {
+		t.Fatalf("faults_sensor_dropouts_total = %d, want 5", got)
+	}
+}

@@ -33,6 +33,10 @@ type EPSOptions struct {
 
 	// Solver options for each steady solve.
 	Solver Options
+
+	// Retry bounds retry-with-degradation when a step's solve does not
+	// converge. The zero value keeps the historical fail-hard behavior.
+	Retry RetryPolicy
 }
 
 func (o EPSOptions) withDefaults() EPSOptions {
@@ -128,9 +132,9 @@ func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) 
 		mSteps.Inc()
 		t := time.Duration(k) * opts.Step
 		active := activeEmitters(emitters, t)
-		res, err := solver.SolveSteady(t, active, tankHeads)
+		res, stats, err := solver.SolveSteadyRetry(t, active, tankHeads, opts.Retry)
 		if err != nil {
-			return nil, fmt.Errorf("hydraulic: EPS step %d (t=%v): %w", k, t, err)
+			return nil, fmt.Errorf("hydraulic: EPS step %d (t=%v, %d retries): %w", k, t, stats.Retries, err)
 		}
 		ts.Times = append(ts.Times, t)
 		ts.Head = append(ts.Head, res.Head)

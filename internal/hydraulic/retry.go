@@ -1,0 +1,85 @@
+package hydraulic
+
+import (
+	"errors"
+	"time"
+)
+
+// RetryPolicy bounds retry-with-degradation on solver non-convergence.
+// The zero value disables retry: SolveSteadyRetry then behaves exactly
+// like SolveSteady.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after a failed solve.
+	// Zero disables retry.
+	MaxRetries int
+
+	// Relaxation is the Newton flow-update fraction of the first retry;
+	// every further retry halves it (floored at 0.05), stepping toward
+	// heavier damping as attempts fail. Zero means 0.5; values outside
+	// (0, 1] fall back to the default.
+	Relaxation float64
+}
+
+// relaxAt returns the update fraction for retry attempt k (k >= 1).
+func (p RetryPolicy) relaxAt(k int) float64 {
+	r := p.Relaxation
+	if r <= 0 || r > 1 {
+		r = 0.5
+	}
+	for i := 1; i < k; i++ {
+		r *= 0.5
+	}
+	if r < 0.05 {
+		r = 0.05
+	}
+	return r
+}
+
+// RetryStats reports what a retry ladder did.
+type RetryStats struct {
+	// Retries is the number of re-attempts consumed (0 = the first
+	// attempt succeeded).
+	Retries int
+
+	// WarmStarts counts retries that resumed from the previous attempt's
+	// final head/flow iterate instead of cold-starting. A retry after an
+	// injected failure cold-starts (the failed attempt never iterated),
+	// so WarmStarts <= Retries.
+	WarmStarts int
+}
+
+// SolveSteadyRetry is SolveSteady with bounded retry-with-degradation: on
+// a ConvergenceError it re-attempts the solve with stepped relaxation
+// (each retry damps the Newton flow update harder) and a warm restart
+// from the failing attempt's final iterate, up to policy.MaxRetries
+// re-attempts. Errors other than non-convergence (singular head matrix,
+// invalid emitters) are returned immediately — damping does not fix those
+// and retrying would mask real defects.
+//
+// Determinism: a retry ladder consumes only state produced within itself
+// (the previous attempt's iterate), never the outcome of earlier solves
+// on the same Solver, so a retried scenario yields bit-identical results
+// regardless of what the solver computed before it — the same guarantee
+// cold-started SolveSteady gives session reuse.
+func (s *Solver) SolveSteadyRetry(t time.Duration, emitters []Emitter, tankHeads map[int]float64, policy RetryPolicy) (*Result, RetryStats, error) {
+	var stats RetryStats
+	res, err := s.solveOnce(t, emitters, tankHeads, 0, false, 1)
+	for attempt := 1; err != nil && attempt <= policy.MaxRetries; attempt++ {
+		var ce *ConvergenceError
+		if !errors.As(err, &ce) {
+			return nil, stats, err
+		}
+		warm := !ce.Injected && ce.Iterations > 0
+		if warm {
+			stats.WarmStarts++
+			s.mWarm.Inc()
+		}
+		stats.Retries++
+		s.mRetries.Inc()
+		res, err = s.solveOnce(t, emitters, tankHeads, attempt, warm, policy.relaxAt(attempt))
+	}
+	if err == nil && stats.Retries > 0 {
+		s.mRecoveries.Inc()
+	}
+	return res, stats, err
+}

@@ -1,0 +1,228 @@
+package hydraulic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/faults"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+// failingHook builds a faults.Injector hook that forces the first
+// `attempts` attempts of every solve to fail (rate 1 = every solve hit).
+func failingHook(t *testing.T, attempts int) func(time.Duration, int) bool {
+	t.Helper()
+	inj, err := faults.New(faults.Config{SolverFail: 1, SolverFailAttempts: attempts})
+	if err != nil {
+		t.Fatalf("faults.New: %v", err)
+	}
+	return inj.SolveHook(rand.New(rand.NewSource(1)))
+}
+
+// TestSolveSteadyRetryTable drives the retry ladder through the canonical
+// budget/injection combinations.
+func TestSolveSteadyRetryTable(t *testing.T) {
+	cases := []struct {
+		name        string
+		failFirst   int // forced failures per solve (0 = no hook)
+		policy      RetryPolicy
+		wantErr     bool
+		wantRetries int
+	}{
+		{name: "clean solve, no policy", failFirst: 0, policy: RetryPolicy{}, wantRetries: 0},
+		{name: "clean solve, unused budget", failFirst: 0, policy: RetryPolicy{MaxRetries: 3}, wantRetries: 0},
+		{name: "one forced failure, no budget", failFirst: 1, policy: RetryPolicy{}, wantErr: true, wantRetries: 0},
+		{name: "one forced failure, recovered", failFirst: 1, policy: RetryPolicy{MaxRetries: 1}, wantRetries: 1},
+		{name: "two forced failures, recovered", failFirst: 2, policy: RetryPolicy{MaxRetries: 3}, wantRetries: 2},
+		{name: "budget exhausted", failFirst: 3, policy: RetryPolicy{MaxRetries: 2}, wantErr: true, wantRetries: 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			net := network.BuildEPANet()
+			solver, err := NewSolver(net, Options{})
+			if err != nil {
+				t.Fatalf("NewSolver: %v", err)
+			}
+			if tc.failFirst > 0 {
+				solver.SetFailureHook(failingHook(t, tc.failFirst))
+			}
+			res, stats, err := solver.SolveSteadyRetry(8*time.Hour, nil, nil, tc.policy)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("expected error after budget exhaustion")
+				}
+				if !errors.Is(err, ErrNotConverged) {
+					t.Fatalf("err = %v, not errors.Is ErrNotConverged", err)
+				}
+				var ce *ConvergenceError
+				if !errors.As(err, &ce) || !ce.Injected {
+					t.Fatalf("err = %v, want injected ConvergenceError", err)
+				}
+			} else {
+				if err != nil {
+					t.Fatalf("SolveSteadyRetry: %v", err)
+				}
+				if res == nil {
+					t.Fatal("nil result on success")
+				}
+				if mbe := solver.MassBalanceError(res); mbe > 1e-3 {
+					t.Fatalf("mass balance error %v too large after retry", mbe)
+				}
+			}
+			if stats.Retries != tc.wantRetries {
+				t.Fatalf("retries = %d, want %d", stats.Retries, tc.wantRetries)
+			}
+			// Injected failures never iterate, so there is no iterate to
+			// warm-restart from.
+			if stats.WarmStarts != 0 {
+				t.Fatalf("warm starts = %d, want 0 for injected failures", stats.WarmStarts)
+			}
+		})
+	}
+}
+
+// TestSolveSteadyRetryZeroPolicyIdentical pins that the retry wrapper with
+// a zero policy is bit-identical to plain SolveSteady on a fresh solver —
+// the "faults disabled means nothing changes" half of the contract.
+func TestSolveSteadyRetryZeroPolicyIdentical(t *testing.T) {
+	net := network.BuildEPANet()
+	a, err := NewSolver(net, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	b, err := NewSolver(net, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	plain, err := a.SolveSteady(8*time.Hour, []Emitter{{Node: 5, Coeff: 1e-3}}, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	retried, stats, err := b.SolveSteadyRetry(8*time.Hour, []Emitter{{Node: 5, Coeff: 1e-3}}, nil, RetryPolicy{})
+	if err != nil {
+		t.Fatalf("SolveSteadyRetry: %v", err)
+	}
+	if stats != (RetryStats{}) {
+		t.Fatalf("stats = %+v, want zero", stats)
+	}
+	if !reflect.DeepEqual(plain, retried) {
+		t.Fatal("zero-policy SolveSteadyRetry diverged from SolveSteady")
+	}
+}
+
+// TestSolveSteadyRetryWarmRestart forces real (non-injected)
+// non-convergence via a tiny iteration budget and checks that every retry
+// resumes from the previous attempt's iterate.
+func TestSolveSteadyRetryWarmRestart(t *testing.T) {
+	net := network.BuildEPANet()
+	solver, err := NewSolver(net, Options{MaxIterations: 2})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, stats, err := solver.SolveSteadyRetry(8*time.Hour, nil, nil, RetryPolicy{MaxRetries: 30, Relaxation: 1})
+	if stats.Retries == 0 {
+		t.Fatal("expected at least one retry with MaxIterations=2")
+	}
+	if stats.WarmStarts != stats.Retries {
+		t.Fatalf("warm starts = %d, want %d (every real failure leaves an iterate)",
+			stats.WarmStarts, stats.Retries)
+	}
+	// Warm restarts accumulate Newton progress across attempts, so the
+	// ladder must eventually converge even at 2 iterations per attempt.
+	if err != nil {
+		t.Fatalf("warm-restart ladder did not recover: %v (retries=%d)", err, stats.Retries)
+	}
+	if mbe := solver.MassBalanceError(res); mbe > 1e-3 {
+		t.Fatalf("mass balance error %v too large after warm-restart recovery", mbe)
+	}
+}
+
+// TestSolveSteadyRetryOtherErrorsImmediate checks that errors other than
+// non-convergence are returned immediately, without consuming the retry
+// budget.
+func TestSolveSteadyRetryOtherErrorsImmediate(t *testing.T) {
+	net := network.BuildEPANet()
+	solver, err := NewSolver(net, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	_, stats, err := solver.SolveSteadyRetry(0, []Emitter{{Node: -1, Coeff: 1}}, nil, RetryPolicy{MaxRetries: 5})
+	if err == nil {
+		t.Fatal("expected error for out-of-range emitter node")
+	}
+	if errors.Is(err, ErrNotConverged) {
+		t.Fatalf("validation error misclassified as non-convergence: %v", err)
+	}
+	if stats.Retries != 0 {
+		t.Fatalf("retries = %d, want 0 (no retry on non-convergence-unrelated errors)", stats.Retries)
+	}
+}
+
+// TestRetryPolicyRelaxationSteps pins the degradation ladder: the default
+// first-retry fraction, per-retry halving, and the 0.05 floor.
+func TestRetryPolicyRelaxationSteps(t *testing.T) {
+	var p RetryPolicy
+	for k, want := range map[int]float64{1: 0.5, 2: 0.25, 3: 0.125, 10: 0.05} {
+		if got := p.relaxAt(k); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("relaxAt(%d) = %v, want %v", k, got, want)
+		}
+	}
+	p = RetryPolicy{Relaxation: 0.8}
+	if got := p.relaxAt(1); got != 0.8 {
+		t.Fatalf("relaxAt(1) with Relaxation=0.8 = %v", got)
+	}
+	p = RetryPolicy{Relaxation: 7}
+	if got := p.relaxAt(1); got != 0.5 {
+		t.Fatalf("out-of-range Relaxation should fall back to 0.5, got %v", got)
+	}
+}
+
+// TestRetryTelemetryCounters checks the retry ladder's metrics: retries,
+// recoveries, injected failures and warm restarts.
+func TestRetryTelemetryCounters(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+
+	net := network.BuildEPANet()
+	solver, err := NewSolver(net, Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	solver.SetFailureHook(failingHook(t, 2))
+	if _, stats, err := solver.SolveSteadyRetry(8*time.Hour, nil, nil, RetryPolicy{MaxRetries: 2}); err != nil {
+		t.Fatalf("SolveSteadyRetry: %v", err)
+	} else if stats.Retries != 2 {
+		t.Fatalf("retries = %d, want 2", stats.Retries)
+	}
+	if got := reg.Counter("hydraulic_retries_total").Value(); got != 2 {
+		t.Fatalf("hydraulic_retries_total = %d, want 2", got)
+	}
+	if got := reg.Counter("hydraulic_retry_recoveries_total").Value(); got != 1 {
+		t.Fatalf("hydraulic_retry_recoveries_total = %d, want 1", got)
+	}
+	if got := reg.Counter("hydraulic_injected_failures_total").Value(); got != 2 {
+		t.Fatalf("hydraulic_injected_failures_total = %d, want 2", got)
+	}
+	if got := reg.Counter("hydraulic_warm_restarts_total").Value(); got != 0 {
+		t.Fatalf("hydraulic_warm_restarts_total = %d, want 0 for injected failures", got)
+	}
+}
+
+// TestEPSWithRetryPolicy checks that RunEPS accepts a retry policy and
+// still produces the full snapshot series on a clean network.
+func TestEPSWithRetryPolicy(t *testing.T) {
+	net := network.BuildTestNet()
+	opts := EPSOptions{Duration: 2 * time.Hour, Step: time.Hour, Retry: RetryPolicy{MaxRetries: 1}}
+	ts, err := RunEPS(net, opts, nil)
+	if err != nil {
+		t.Fatalf("RunEPS: %v", err)
+	}
+	if ts.Steps() != 3 {
+		t.Fatalf("steps = %d, want 3", ts.Steps())
+	}
+}

@@ -31,9 +31,18 @@ type ConvergenceError struct {
 	// SimTime is the elapsed simulation time of the failing solve — the
 	// demand-pattern instant, which locates the failure within an EPS run.
 	SimTime time.Duration
+
+	// Injected marks failures forced by a fault-injection hook (see
+	// SetFailureHook) rather than produced by the Newton iteration. An
+	// injected attempt never iterates, so it leaves no iterate for the
+	// next attempt to warm-start from.
+	Injected bool
 }
 
 func (e *ConvergenceError) Error() string {
+	if e.Injected {
+		return fmt.Sprintf("%v (injected fault, sim time %v)", ErrNotConverged, e.SimTime)
+	}
 	return fmt.Sprintf("%v after %d iterations (residual %.3g, sim time %v)",
 		ErrNotConverged, e.Iterations, e.Residual, e.SimTime)
 }
@@ -165,12 +174,21 @@ type Solver struct {
 	demand   []float64
 	emitFlow map[int]float64
 
+	// failHook, when set, is consulted at the top of every solve attempt;
+	// returning true fails the attempt immediately with an injected
+	// ConvergenceError. Fault-injection only (see the faults package).
+	failHook func(t time.Duration, attempt int) bool
+
 	// Telemetry handles, bound once at construction from the registry
 	// active at that moment; nil (free no-ops) when telemetry is off.
-	mSolves   *telemetry.Counter
-	mIters    *telemetry.Counter
-	mFailures *telemetry.Counter
-	hIters    *telemetry.Histogram
+	mSolves     *telemetry.Counter
+	mIters      *telemetry.Counter
+	mFailures   *telemetry.Counter
+	mInjected   *telemetry.Counter
+	mRetries    *telemetry.Counter
+	mRecoveries *telemetry.Counter
+	mWarm       *telemetry.Counter
+	hIters      *telemetry.Histogram
 }
 
 // NewSolver prepares a solver for the given network. The network is
@@ -222,8 +240,23 @@ func NewSolver(net *network.Network, opts Options) (*Solver, error) {
 	s.mSolves = reg.Counter("hydraulic_solves_total")
 	s.mIters = reg.Counter("hydraulic_newton_iterations_total")
 	s.mFailures = reg.Counter("hydraulic_convergence_failures_total")
+	s.mInjected = reg.Counter("hydraulic_injected_failures_total")
+	s.mRetries = reg.Counter("hydraulic_retries_total")
+	s.mRecoveries = reg.Counter("hydraulic_retry_recoveries_total")
+	s.mWarm = reg.Counter("hydraulic_warm_restarts_total")
 	s.hIters = reg.Histogram("hydraulic_iterations_per_solve", telemetry.LinearBuckets(5, 5, 10))
 	return s, nil
+}
+
+// SetFailureHook installs (or, with nil, removes) a fault-injection
+// predicate consulted at the top of every solve attempt with the solve's
+// simulation time and the attempt number (0 for the first attempt, k for
+// the k-th retry). When it returns true the attempt fails immediately with
+// a ConvergenceError marked Injected, without touching solver state. It
+// exists for the faults package and retry-path tests; production code
+// never sets it.
+func (s *Solver) SetFailureHook(fn func(t time.Duration, attempt int) bool) {
+	s.failHook = fn
 }
 
 // Network returns the network this solver was built for.
@@ -234,16 +267,36 @@ func (s *Solver) Network() *network.Network { return s.net }
 // optional tank head overrides (node index → hydraulic head). Tank heads
 // default to elevation + initial level when not overridden.
 func (s *Solver) SolveSteady(t time.Duration, emitters []Emitter, tankHeads map[int]float64) (*Result, error) {
+	return s.solveOnce(t, emitters, tankHeads, 0, false, 1)
+}
+
+// solveOnce is one solve attempt. attempt numbers the attempt within a
+// retry ladder (0 = first); warm keeps the head/flow iterate left by the
+// previous attempt instead of cold-starting from the fixed initial
+// guesses; relax is the Newton flow-update fraction (1 = the standard full
+// step, smaller = stronger damping). SolveSteady always passes
+// (0, false, 1), so cold solves stay independent of any earlier solve on
+// the same Solver — the bit-identical session-reuse guarantee the dataset
+// layer documents.
+func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[int]float64, attempt int, warm bool, relax float64) (*Result, error) {
+	if s.failHook != nil && s.failHook(t, attempt) {
+		s.mInjected.Inc()
+		return nil, &ConvergenceError{Residual: math.Inf(1), SimTime: t, Injected: true}
+	}
 	net := s.net
 	beta := s.opts.EmitterExponent
 
-	// Demands and fixed heads.
+	// Demands and fixed heads. A warm attempt keeps the previous attempt's
+	// junction heads (and link flows, below) as its starting iterate; the
+	// demand-driven quantities are recomputed either way.
 	for i := range net.Nodes {
 		node := &net.Nodes[i]
 		switch node.Type {
 		case network.Junction:
 			s.demand[i] = net.DemandAt(i, t)
-			s.head[i] = node.Elevation + 30 // initial guess
+			if !warm {
+				s.head[i] = node.Elevation + 30 // initial guess
+			}
 		case network.Reservoir:
 			s.demand[i] = 0
 			s.head[i] = node.Elevation
@@ -277,7 +330,9 @@ func (s *Solver) SolveSteady(t time.Duration, emitters []Emitter, tankHeads map[
 			s.flow[i] = 0
 			continue
 		}
-		s.flow[i] = initialFlow(l)
+		if !warm {
+			s.flow[i] = initialFlow(l)
+		}
 	}
 
 	nj := len(s.junctions)
@@ -384,10 +439,14 @@ func (s *Solver) SolveSteady(t time.Duration, emitters []Emitter, tankHeads map[
 			c := evalLink(l, s.resistance[li], s.minorRes[li], s.flow[li])
 			dh := s.head[l.From] - s.head[l.To]
 			newQ := s.flow[li] - c.p*c.h + c.p*dh
+			step := relax
 			if iter >= 20 {
 				// Damp late iterations to break Hazen-Williams flow
 				// oscillations (EPANET applies the same relaxation).
-				newQ = s.flow[li] + 0.6*(newQ-s.flow[li])
+				step *= 0.6
+			}
+			if step != 1 {
+				newQ = s.flow[li] + step*(newQ-s.flow[li])
 			}
 			sumDQ += math.Abs(newQ - s.flow[li])
 			sumQ += math.Abs(newQ)

@@ -335,9 +335,14 @@ func (p *inpParser) parseCoordinate(f []string) error {
 }
 
 func (p *inpParser) parseTimes(f []string) error {
-	// PATTERN TIMESTEP h:mm  (other TIMES lines ignored)
+	// PATTERN TIMESTEP h:mm[:ss] [AM|PM]  (other TIMES lines ignored)
 	if len(f) >= 3 && strings.EqualFold(f[0], "pattern") && strings.EqualFold(f[1], "timestep") {
-		d, err := parseClock(f[2])
+		clock := f[2]
+		// EPANET writes the meridiem as its own field ("6:30 PM").
+		if len(f) >= 4 && (strings.EqualFold(f[3], "am") || strings.EqualFold(f[3], "pm")) {
+			clock += " " + f[3]
+		}
+		d, err := parseClock(clock)
 		if err != nil {
 			return p.errf("%v", err)
 		}
@@ -355,21 +360,54 @@ func (p *inpParser) parseOptions(f []string) error {
 	return nil
 }
 
-// parseClock parses "H:MM" or plain hours into a duration.
+// parseClock parses the clock-time formats EPANET emits — "H:MM",
+// "H:MM:SS", plain (possibly fractional) hours, each with an optional
+// "AM"/"PM" suffix (attached or space-separated) — into a duration.
 func parseClock(s string) (time.Duration, error) {
-	if h, m, ok := strings.Cut(s, ":"); ok {
-		hv, err1 := strconv.Atoi(h)
-		mv, err2 := strconv.Atoi(m)
-		if err1 != nil || err2 != nil || hv < 0 || mv < 0 || mv >= 60 {
+	clock := strings.ToUpper(strings.TrimSpace(s))
+	meridiem := ""
+	for _, suf := range []string{"AM", "PM"} {
+		if strings.HasSuffix(clock, suf) {
+			meridiem = suf
+			clock = strings.TrimSpace(strings.TrimSuffix(clock, suf))
+			break
+		}
+	}
+	var d time.Duration
+	parts := strings.Split(clock, ":")
+	switch len(parts) {
+	case 1:
+		hv, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil || hv < 0 {
 			return 0, fmt.Errorf("invalid clock time %q", s)
 		}
-		return time.Duration(hv)*time.Hour + time.Duration(mv)*time.Minute, nil
-	}
-	hv, err := strconv.ParseFloat(s, 64)
-	if err != nil || hv < 0 {
+		d = time.Duration(hv * float64(time.Hour))
+	case 2, 3:
+		units := [...]time.Duration{time.Hour, time.Minute, time.Second}
+		for i, part := range parts {
+			v, err := strconv.Atoi(part)
+			if err != nil || v < 0 || (i > 0 && v >= 60) {
+				return 0, fmt.Errorf("invalid clock time %q", s)
+			}
+			d += time.Duration(v) * units[i]
+		}
+	default:
 		return 0, fmt.Errorf("invalid clock time %q", s)
 	}
-	return time.Duration(hv * float64(time.Hour)), nil
+	if meridiem != "" {
+		// 12-hour convention: 12 AM is midnight, 12 PM is noon.
+		h := d / time.Hour
+		if h < 1 || h > 12 {
+			return 0, fmt.Errorf("invalid clock time %q", s)
+		}
+		if meridiem == "PM" && h != 12 {
+			d += 12 * time.Hour
+		}
+		if meridiem == "AM" && h == 12 {
+			d -= 12 * time.Hour
+		}
+	}
+	return d, nil
 }
 
 func (p *inpParser) finish() error {

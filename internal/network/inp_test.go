@@ -160,6 +160,81 @@ func TestParseINPErrorHasLine(t *testing.T) {
 	}
 }
 
+// TestParseClock covers the clock formats EPANET emits in [TIMES]:
+// "H:MM", "H:MM:SS", plain fractional hours, and 12-hour AM/PM (attached
+// or space-separated). The seconds and meridiem forms used to be
+// rejected, which silently left PatternStep at its default for real
+// exported files.
+func TestParseClock(t *testing.T) {
+	good := []struct {
+		in   string
+		want time.Duration
+	}{
+		{"2:00", 2 * time.Hour},
+		{"1:30", 90 * time.Minute},
+		{"0:15", 15 * time.Minute},
+		{"0:15:30", 15*time.Minute + 30*time.Second},
+		{"1:02:03", time.Hour + 2*time.Minute + 3*time.Second},
+		{"24:00:00", 24 * time.Hour},
+		{"2", 2 * time.Hour},
+		{"1.5", 90 * time.Minute},
+		{"12 AM", 0},
+		{"12 PM", 12 * time.Hour},
+		{"12:30 AM", 30 * time.Minute},
+		{"6:30 PM", 18*time.Hour + 30*time.Minute},
+		{"6:30PM", 18*time.Hour + 30*time.Minute},
+		{"6:30:15 pm", 18*time.Hour + 30*time.Minute + 15*time.Second},
+		{"9 am", 9 * time.Hour},
+		{" 3:45 ", 3*time.Hour + 45*time.Minute},
+	}
+	for _, tc := range good {
+		d, err := parseClock(tc.in)
+		if err != nil {
+			t.Errorf("parseClock(%q): %v", tc.in, err)
+			continue
+		}
+		if d != tc.want {
+			t.Errorf("parseClock(%q) = %v, want %v", tc.in, d, tc.want)
+		}
+	}
+	bad := []string{
+		"", "abc", "1:xx", "7:65", "1:02:60", "-1:00", "1:-5",
+		"13 PM", "0:30 AM", "1:2:3:4", "1.5:00",
+	}
+	for _, in := range bad {
+		if d, err := parseClock(in); err == nil {
+			t.Errorf("parseClock(%q) = %v, want error", in, d)
+		}
+	}
+}
+
+// TestReadINPPatternTimestepFormats checks the [TIMES] parser end to end,
+// including EPANET's space-separated meridiem field.
+func TestReadINPPatternTimestepFormats(t *testing.T) {
+	cases := []struct {
+		line string
+		want time.Duration
+	}{
+		{"PATTERN TIMESTEP 0:15:30", 15*time.Minute + 30*time.Second},
+		{"PATTERN TIMESTEP 6:30 PM", 18*time.Hour + 30*time.Minute},
+		{"Pattern Timestep 1:30 am", 90 * time.Minute},
+		{"PATTERN TIMESTEP 1.5", 90 * time.Minute},
+	}
+	for _, tc := range cases {
+		n, err := ReadINP(strings.NewReader("[TIMES]\n" + tc.line + "\n"))
+		if err != nil {
+			t.Errorf("ReadINP(%q): %v", tc.line, err)
+			continue
+		}
+		if n.PatternStep != tc.want {
+			t.Errorf("%q: PatternStep = %v, want %v", tc.line, n.PatternStep, tc.want)
+		}
+	}
+	if _, err := ReadINP(strings.NewReader("[TIMES]\nPATTERN TIMESTEP 13:00 PM\n")); err == nil {
+		t.Error("invalid meridiem hour accepted")
+	}
+}
+
 func TestINPRoundTrip(t *testing.T) {
 	for _, build := range []func() *Network{BuildTestNet, BuildEPANet, BuildWSSCSubnet} {
 		orig := build()

@@ -60,7 +60,9 @@ type Noise struct {
 var DefaultNoise = Noise{PressureStd: 0.02, FlowStd: 2e-4}
 
 // Read samples every sensor from a steady-state snapshot, adding Gaussian
-// noise (rng may be nil for noise-free readings).
+// noise (rng may be nil for noise-free readings). A sensor with an unknown
+// Kind panics: silently reading 0.0 would flow into training features as a
+// plausible value and corrupt every downstream model.
 func Read(sensors []Sensor, res *hydraulic.Result, noise Noise, rng *rand.Rand) []float64 {
 	out := make([]float64, len(sensors))
 	for i, s := range sensors {
@@ -69,6 +71,8 @@ func Read(sensors []Sensor, res *hydraulic.Result, noise Noise, rng *rand.Rand) 
 			out[i] = res.Pressure[s.Index]
 		case Flow:
 			out[i] = res.Flow[s.Index]
+		default:
+			panic(fmt.Sprintf("sensor: Read: sensor %d has unknown kind %v", i, s.Kind))
 		}
 	}
 	ApplyNoise(sensors, out, noise, rng)
@@ -97,6 +101,8 @@ func ApplyNoise(sensors []Sensor, vals []float64, noise Noise, rng *rand.Rand) {
 			sd = noise.PressureStd
 		case Flow:
 			sd = noise.FlowStd
+		default:
+			panic(fmt.Sprintf("sensor: ApplyNoise: sensor %d has unknown kind %v", i, s.Kind))
 		}
 		if sd > 0 {
 			vals[i] += rng.NormFloat64() * sd

@@ -3,6 +3,7 @@ package sensor
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"time"
 
@@ -240,6 +241,50 @@ func TestReadNoiseStatistics(t *testing.T) {
 	if math.Abs(std-0.5) > 0.05 {
 		t.Fatalf("noise std = %v, want ~0.5", std)
 	}
+}
+
+// TestReadUnknownKindPanics pins the fail-loud contract: a sensor with an
+// uninitialized or unknown Kind must panic (naming the sensor index)
+// instead of silently reading 0.0 into the feature stream.
+func TestReadUnknownKindPanics(t *testing.T) {
+	net := network.BuildTestNet()
+	s, err := hydraulic.NewSolver(net, hydraulic.Options{})
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	res, err := s.SolveSteady(0, nil, nil)
+	if err != nil {
+		t.Fatalf("SolveSteady: %v", err)
+	}
+	sensors := []Sensor{{Kind: Pressure, Index: 0}, {}} // zero Kind at index 1
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Read with an unknown sensor kind did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "sensor 1") {
+			t.Fatalf("panic %v does not name the offending sensor index", r)
+		}
+	}()
+	Read(sensors, res, DefaultNoise, nil)
+}
+
+// TestApplyNoiseUnknownKindPanics covers the same guard on the noise path,
+// which also runs on simulated re-readings that bypass Read.
+func TestApplyNoiseUnknownKindPanics(t *testing.T) {
+	sensors := []Sensor{{Kind: Kind(99), Index: 0}}
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ApplyNoise with an unknown sensor kind did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "sensor 0") {
+			t.Fatalf("panic %v does not name the offending sensor index", r)
+		}
+	}()
+	ApplyNoise(sensors, []float64{1}, DefaultNoise, rand.New(rand.NewSource(1)))
 }
 
 func TestDelta(t *testing.T) {
