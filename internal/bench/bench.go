@@ -242,6 +242,7 @@ func experiments() map[string]Runner {
 		"ablation-beta":      AblationEmitterExponent,
 		"ablation-dropout":   AblationSensorDropout,
 		"fault-tolerance":    FaultTolerance,
+		"solver-scaling":     SolverScaling,
 	}
 }
 
@@ -250,6 +251,6 @@ func ExperimentIDs() []string {
 	return []string{
 		"fig2", "fig3", "fig6", "fig7ab", "fig7c", "fig8", "fig9", "fig10", "fig11",
 		"ablation-placement", "ablation-bayes", "ablation-gamma", "ablation-beta", "ablation-dropout",
-		"fault-tolerance",
+		"fault-tolerance", "solver-scaling",
 	}
 }

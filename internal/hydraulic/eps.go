@@ -84,12 +84,20 @@ func (ts *TimeSeries) StepAt(t time.Duration) int {
 }
 
 // TotalLeakVolume integrates leak outflow over the run (m³), using the
-// left-endpoint rule consistent with the step-frozen hydraulics.
+// left-endpoint rule consistent with the step-frozen hydraulics. Each
+// snapshot is summed in ascending node order so the float total is
+// reproducible run to run.
 func (ts *TimeSeries) TotalLeakVolume(step time.Duration) float64 {
+	var nodes []int
 	vol := 0.0
 	for _, snap := range ts.EmitterOutflow {
-		for _, q := range snap {
-			vol += q * step.Seconds()
+		nodes = nodes[:0]
+		for n := range snap {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		for _, n := range nodes {
+			vol += snap[n] * step.Seconds()
 		}
 	}
 	return vol
@@ -106,15 +114,16 @@ func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) 
 		return nil, err
 	}
 
-	// Tank state.
-	tankHeads := make(map[int]float64)
-	tankLevels := make(map[int]float64)
-	for i := range net.Nodes {
-		node := &net.Nodes[i]
-		if node.Type == network.Tank {
-			tankLevels[i] = node.InitLevel
-			tankHeads[i] = node.Elevation + node.InitLevel
-		}
+	// Tank state, in the solver's ascending tank-node order. Keeping it in
+	// slices means the hot loop stages heads with one copy and never
+	// iterates a map.
+	tanks := solver.TankNodes()
+	tankLevels := make([]float64, len(tanks))
+	tankHeads := make([]float64, len(tanks))
+	for k, ti := range tanks {
+		node := &net.Nodes[ti]
+		tankLevels[k] = node.InitLevel
+		tankHeads[k] = node.Elevation + node.InitLevel
 	}
 
 	steps := int(opts.Duration/opts.Step) + 1
@@ -123,7 +132,7 @@ func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) 
 		Head:           make([][]float64, 0, steps),
 		Pressure:       make([][]float64, 0, steps),
 		Flow:           make([][]float64, 0, steps),
-		TankLevel:      make(map[int][]float64, len(tankLevels)),
+		TankLevel:      make(map[int][]float64, len(tanks)),
 		EmitterOutflow: make([]map[int]float64, 0, steps),
 	}
 
@@ -132,7 +141,7 @@ func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) 
 		mSteps.Inc()
 		t := time.Duration(k) * opts.Step
 		active := activeEmitters(emitters, t)
-		res, stats, err := solver.SolveSteadyRetry(t, active, tankHeads, opts.Retry)
+		res, stats, err := solver.SolveSteadyRetryHeads(t, active, tankHeads, opts.Retry)
 		if err != nil {
 			return nil, fmt.Errorf("hydraulic: EPS step %d (t=%v, %d retries): %w", k, t, stats.Retries, err)
 		}
@@ -141,27 +150,27 @@ func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) 
 		ts.Pressure = append(ts.Pressure, res.Pressure)
 		ts.Flow = append(ts.Flow, res.Flow)
 		ts.EmitterOutflow = append(ts.EmitterOutflow, res.EmitterFlow)
-		for i, lvl := range tankLevels {
-			ts.TankLevel[i] = append(ts.TankLevel[i], lvl)
+		for j, ti := range tanks {
+			ts.TankLevel[ti] = append(ts.TankLevel[ti], tankLevels[j])
 		}
 
 		// Integrate tank levels for the next step.
 		if k == steps-1 {
 			break
 		}
-		for i := range tankLevels {
-			node := &net.Nodes[i]
-			net_ := tankNetInflow(net, res, i)
+		for j, ti := range tanks {
+			node := &net.Nodes[ti]
+			net_ := tankNetInflow(net, res, ti)
 			area := math.Pi * node.TankDiameter * node.TankDiameter / 4
-			lvl := tankLevels[i] + net_*opts.Step.Seconds()/area
+			lvl := tankLevels[j] + net_*opts.Step.Seconds()/area
 			if lvl < node.MinLevel {
 				lvl = node.MinLevel
 			}
 			if lvl > node.MaxLevel {
 				lvl = node.MaxLevel
 			}
-			tankLevels[i] = lvl
-			tankHeads[i] = node.Elevation + lvl
+			tankLevels[j] = lvl
+			tankHeads[j] = node.Elevation + lvl
 		}
 	}
 	return ts, nil

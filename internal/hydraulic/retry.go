@@ -62,8 +62,25 @@ type RetryStats struct {
 // regardless of what the solver computed before it — the same guarantee
 // cold-started SolveSteady gives session reuse.
 func (s *Solver) SolveSteadyRetry(t time.Duration, emitters []Emitter, tankHeads map[int]float64, policy RetryPolicy) (*Result, RetryStats, error) {
+	s.stageTankHeadsMap(tankHeads)
+	return s.retryLadder(t, emitters, policy)
+}
+
+// SolveSteadyRetryHeads is SolveSteadyRetry with tank head overrides as a
+// slice aligned with TankNodes (nil means all defaults) — the map-free
+// form the EPS loop uses.
+func (s *Solver) SolveSteadyRetryHeads(t time.Duration, emitters []Emitter, tankHeads []float64, policy RetryPolicy) (*Result, RetryStats, error) {
 	var stats RetryStats
-	res, err := s.solveOnce(t, emitters, tankHeads, 0, false, 1)
+	if err := s.stageTankHeadsSlice(tankHeads); err != nil {
+		return nil, stats, err
+	}
+	return s.retryLadder(t, emitters, policy)
+}
+
+// retryLadder runs the attempt sequence against the staged tank heads.
+func (s *Solver) retryLadder(t time.Duration, emitters []Emitter, policy RetryPolicy) (*Result, RetryStats, error) {
+	var stats RetryStats
+	res, err := s.solveOnce(t, emitters, 0, false, 1)
 	for attempt := 1; err != nil && attempt <= policy.MaxRetries; attempt++ {
 		var ce *ConvergenceError
 		if !errors.As(err, &ce) {
@@ -76,7 +93,7 @@ func (s *Solver) SolveSteadyRetry(t time.Duration, emitters []Emitter, tankHeads
 		}
 		stats.Retries++
 		s.mRetries.Inc()
-		res, err = s.solveOnce(t, emitters, tankHeads, attempt, warm, policy.relaxAt(attempt))
+		res, err = s.solveOnce(t, emitters, attempt, warm, policy.relaxAt(attempt))
 	}
 	if err == nil && stats.Retries > 0 {
 		s.mRecoveries.Inc()

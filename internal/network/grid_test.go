@@ -1,0 +1,99 @@
+package network
+
+import "testing"
+
+func TestBuildGridCounts(t *testing.T) {
+	cfg := GridConfig{Rows: 10, Cols: 10}
+	n := BuildGrid(cfg)
+	if got := n.JunctionCount(); got != 100 {
+		t.Fatalf("JunctionCount = %d, want 100", got)
+	}
+	reservoirs := 0
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == Reservoir {
+			reservoirs++
+		}
+	}
+	if reservoirs != 1 {
+		t.Fatalf("reservoirs = %d, want 1", reservoirs)
+	}
+	// Spanning tree + 6% loops + one riser per source.
+	wantLinks := 99 + 6 + 1
+	if got := len(n.Links); got != wantLinks {
+		t.Fatalf("links = %d, want %d", got, wantLinks)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuildGridSourcesScale(t *testing.T) {
+	n := BuildGrid(GridConfig{Rows: 45, Cols: 45}) // 2025 junctions → 4 sources
+	reservoirs := 0
+	for i := range n.Nodes {
+		if n.Nodes[i].Type == Reservoir {
+			reservoirs++
+		}
+	}
+	if reservoirs != 4 {
+		t.Fatalf("reservoirs = %d, want 4", reservoirs)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestBuildGridConnected(t *testing.T) {
+	n := BuildGrid(GridConfig{Rows: 12, Cols: 9, Sources: 2})
+	if !n.Graph().Connected() {
+		t.Fatal("grid network is not connected")
+	}
+}
+
+func TestBuildGridDeterministic(t *testing.T) {
+	a := BuildGrid(GridConfig{Rows: 8, Cols: 11, Seed: 7})
+	b := BuildGrid(GridConfig{Rows: 8, Cols: 11, Seed: 7})
+	if len(a.Nodes) != len(b.Nodes) || len(a.Links) != len(b.Links) {
+		t.Fatalf("element counts differ: %d/%d vs %d/%d",
+			len(a.Nodes), len(a.Links), len(b.Nodes), len(b.Links))
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i].Elevation != b.Nodes[i].Elevation || a.Nodes[i].BaseDemand != b.Nodes[i].BaseDemand {
+			t.Fatalf("node %d differs between identical builds", i)
+		}
+	}
+	for i := range a.Links {
+		if a.Links[i].From != b.Links[i].From || a.Links[i].Diameter != b.Links[i].Diameter ||
+			a.Links[i].Roughness != b.Links[i].Roughness {
+			t.Fatalf("link %d differs between identical builds", i)
+		}
+	}
+	c := BuildGrid(GridConfig{Rows: 8, Cols: 11, Seed: 8})
+	same := true
+	for i := range a.Links {
+		if a.Links[i].From != c.Links[i].From || a.Links[i].To != c.Links[i].To {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical pipe selections")
+	}
+}
+
+func TestBuildGridInvalid(t *testing.T) {
+	for _, cfg := range []GridConfig{
+		{Rows: 1, Cols: 10},
+		{Rows: 10, Cols: 0},
+		{Rows: 2, Cols: 2, Sources: 5}, // sources collide on a tiny grid
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("BuildGrid(%+v) should panic", cfg)
+				}
+			}()
+			BuildGrid(cfg)
+		}()
+	}
+}
