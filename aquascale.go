@@ -15,6 +15,21 @@
 //     fusion (weather evidence, tweet-derived cliques).
 //   - The flood (cascading-impact) simulator.
 //   - The experiment harness that regenerates every figure of the paper.
+//   - The online localization service (Server) behind the aquad daemon.
+//
+// # Constructor conventions
+//
+// The API follows two constructor prefixes. Build* functions return
+// canned artifacts with no knobs — the evaluation networks
+// (BuildEPANet, BuildWSSCSubnet, BuildTestNet, BuildGrid) arrive ready
+// to use and never fail. New* functions wire configured components
+// (NewSolver, NewFactory, NewSystem, NewServer, …): they take a config
+// struct, validate it, and return an error when the pieces don't fit.
+//
+// Long-running entry points (System.TrainContext,
+// System.EvaluateParallelContext, Factory.GenerateContext) take a
+// context.Context and stop between scenarios on cancellation; the
+// context-free spellings are shorthands for context.Background().
 //
 // Quickstart:
 //
@@ -24,7 +39,7 @@
 //	sensors, _ := placer.KMedoids(60, rng)
 //	factory, _ := aquascale.NewFactory(net, sensors, aquascale.DatasetConfig{})
 //	sys := aquascale.NewSystem(factory, net, aquascale.SystemConfig{})
-//	_ = sys.Train(2000, aquascale.ProfileConfig{Technique: "hybrid-rsl"}, rng)
+//	_ = sys.Train(2000, aquascale.ProfileConfig{Technique: aquascale.TechniqueHybridRSL}, rng)
 package aquascale
 
 import (
@@ -43,6 +58,7 @@ import (
 	"github.com/aquascale/aquascale/internal/mlearn"
 	"github.com/aquascale/aquascale/internal/network"
 	"github.com/aquascale/aquascale/internal/sensor"
+	"github.com/aquascale/aquascale/internal/serve"
 	"github.com/aquascale/aquascale/internal/social"
 	"github.com/aquascale/aquascale/internal/stats"
 	"github.com/aquascale/aquascale/internal/telemetry"
@@ -252,6 +268,9 @@ type (
 	Profile = core.Profile
 	// ProfileConfig selects the Phase-I technique.
 	ProfileConfig = core.ProfileConfig
+	// Technique is a typed plug-and-play classifier selector (implements
+	// encoding.TextMarshaler/Unmarshaler for JSON bodies and flag.TextVar).
+	Technique = core.Technique
 	// ScenarioError wraps a scenario's solve failure with the retry count
 	// consumed (errors.Is-compatible with ErrNotConverged).
 	ScenarioError = dataset.ScenarioError
@@ -274,7 +293,25 @@ func TrainProfile(ds *Dataset, nodeCount int, cfg ProfileConfig) (*Profile, erro
 // online deployments can skip Phase-I retraining.
 func LoadProfile(r io.Reader) (*Profile, error) { return core.LoadProfile(r) }
 
-// ClassifierNames lists the registered plug-and-play techniques.
+// Profile techniques (the Fig-6 lineup plus the paper's chosen hybrid).
+const (
+	TechniqueLinear    = core.TechniqueLinear
+	TechniqueLogistic  = core.TechniqueLogistic
+	TechniqueGB        = core.TechniqueGB
+	TechniqueRF        = core.TechniqueRF
+	TechniqueSVM       = core.TechniqueSVM
+	TechniqueHybridRSL = core.TechniqueHybridRSL
+)
+
+// ParseTechnique validates a technique name ("" means TechniqueHybridRSL);
+// unknown names error with the valid list.
+func ParseTechnique(s string) (Technique, error) { return core.ParseTechnique(s) }
+
+// Techniques lists the registered techniques in sorted order.
+func Techniques() []Technique { return core.Techniques() }
+
+// ClassifierNames lists the registered plug-and-play techniques by name —
+// always consistent with Techniques (both read the mlearn registry).
 func ClassifierNames() []string { return mlearn.Names() }
 
 // HammingScore is the paper's evaluation metric (Jaccard of leak sets) —
@@ -449,16 +486,14 @@ type (
 	ExperimentScale = bench.Scale
 	// ExperimentFigure is a reproduced paper figure.
 	ExperimentFigure = bench.Figure
+	// ExperimentRunner generates one figure at a given scale.
+	ExperimentRunner = bench.Runner
 )
 
 // Experiments maps experiment ids (fig2 … fig11, ablations) to runners.
-func Experiments() map[string]func(ExperimentScale) (*ExperimentFigure, error) {
-	out := make(map[string]func(ExperimentScale) (*ExperimentFigure, error))
-	for id, run := range bench.Experiments() {
-		out[id] = run
-	}
-	return out
-}
+// The returned map is the harness registry itself, built once and shared
+// by every caller — treat it as read-only.
+func Experiments() map[string]ExperimentRunner { return bench.Experiments() }
 
 // ExperimentIDs lists experiment ids in presentation order.
 func ExperimentIDs() []string { return bench.ExperimentIDs() }
@@ -467,6 +502,37 @@ func ExperimentIDs() []string { return bench.ExperimentIDs() }
 // read it back (TelemetryDefault().SpanStats) to report the same timing
 // the metrics exporters serialize.
 func ExperimentSpanName(id string) string { return bench.FigureSpanName(id) }
+
+// Online localization service (the aquad daemon's engine).
+type (
+	// Server is the long-running localization service: a bounded worker
+	// pool over one shared System, with queue backpressure, request
+	// timeouts, hot profile reload and graceful drain.
+	Server = serve.Server
+	// ServeConfig parameterizes a Server (workers, queue bound, timeout).
+	ServeConfig = serve.Config
+	// ObserveRequest is one live observation submitted to a Server.
+	ObserveRequest = serve.ObserveRequest
+	// ObserveReport is one geotagged human report in an ObserveRequest.
+	ObserveReport = serve.ReportIn
+	// LocalizeResult is one completed online localization.
+	LocalizeResult = serve.Result
+	// ServeStatus is the service health snapshot (GET /v1/status).
+	ServeStatus = serve.Status
+	// ServeJob is a queued/running/finished localization request.
+	ServeJob = serve.Job
+)
+
+// Serving backpressure and shutdown sentinels.
+var (
+	// ErrQueueFull means the job queue is at capacity (HTTP 429).
+	ErrQueueFull = serve.ErrQueueFull
+	// ErrDraining means the server is shutting down (HTTP 503).
+	ErrDraining = serve.ErrDraining
+)
+
+// NewServer starts a localization service over a trained system.
+func NewServer(sys *System, cfg ServeConfig) (*Server, error) { return serve.New(sys, cfg) }
 
 // Telemetry (metrics, spans, profiling hooks).
 //

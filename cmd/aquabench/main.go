@@ -37,7 +37,6 @@ func run() error {
 		train      = flag.Int("train", 0, "training scenarios (0 = default 600; paper 20000)")
 		test       = flag.Int("test", 0, "test scenarios (0 = default 60; paper 2000)")
 		seed       = flag.Int64("seed", 1, "random seed")
-		technique  = flag.String("technique", "hybrid-rsl", "profile classifier for fusion experiments")
 		workers    = flag.Int("workers", 0, "evaluation worker goroutines (0 = all CPUs, 1 = serial; figures are identical for any value at a fixed seed)")
 		retries    = flag.Int("retries", 0, "solver retry budget on non-convergence (stepped relaxation + warm restart; 0 = no retry)")
 		failFast   = flag.Bool("fail-fast", false, "abort an experiment on the first failed scenario instead of skipping it")
@@ -51,6 +50,8 @@ func run() error {
 		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a telemetry heartbeat to stderr at this interval (e.g. 10s; 0 = off)")
 	)
+	technique := aquascale.TechniqueHybridRSL
+	flag.TextVar(&technique, "technique", technique, "profile classifier for fusion experiments")
 	flag.Parse()
 
 	if *list {
@@ -102,7 +103,7 @@ func run() error {
 		TrainSamples:  *train,
 		TestScenarios: *test,
 		Seed:          *seed,
-		Technique:     *technique,
+		Technique:     technique,
 		Workers:       *workers,
 		Retries:       *retries,
 		FailFast:      *failFast,

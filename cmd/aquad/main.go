@@ -1,0 +1,178 @@
+// Command aquad is the AquaSCALE localization daemon: it loads a profile
+// trained offline (aquatrain -save), rebuilds the matching sensor
+// deployment, and serves online localization over HTTP/JSON.
+//
+// Endpoints: POST /v1/observe (submit an observation; add "wait": true or
+// ?wait=1 for a synchronous answer), GET /v1/localize/{job}, GET
+// /v1/status, POST /v1/profile (hot-swap), plus /metrics, /metrics.json
+// and /debug/pprof from the telemetry layer.
+//
+// The -net, -iot and -seed flags must match the aquatrain invocation that
+// produced the profile — sensor placement is seeded, and a profile only
+// fits the feature vector of its own deployment (the mismatch is caught
+// at startup).
+//
+// Example:
+//
+//	aquatrain -net epanet -iot 30 -seed 1 -save profile.gob
+//	aquad -profile profile.gob -net epanet -iot 30 -seed 1 -addr localhost:8080
+//	curl -s localhost:8080/v1/status
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/aquascale/aquascale"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "aquad:", err)
+		os.Exit(1)
+	}
+}
+
+// run is the daemon body, parameterized for testing: it serves until ctx
+// is cancelled, then drains and exits. The bound address is printed to
+// out as "serving on http://ADDR".
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aquad", flag.ContinueOnError)
+	var (
+		profilePath  = fs.String("profile", "", "trained profile to serve (from aquatrain -save); required")
+		netName      = fs.String("net", "epanet", "network: epanet, wssc or test (must match training)")
+		iotPct       = fs.Float64("iot", 30, "IoT deployment percentage (must match training)")
+		seed         = fs.Int64("seed", 1, "random seed (must match training)")
+		addr         = fs.String("addr", "localhost:8080", "HTTP listen address (port 0 picks a free one)")
+		workers      = fs.Int("workers", 0, "localization workers (0 = all CPUs)")
+		queueSize    = fs.Int("queue", 0, "job queue bound (0 = 1024); beyond it submissions get 429")
+		timeout      = fs.Duration("timeout", 0, "per-request deadline from enqueue (0 = 5s)")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown drain budget for in-flight jobs")
+		gamma        = fs.Float64("gamma", 30, "default tweet coarseness gamma in meters")
+		fSlow        = fs.Float64("fault-request-slow", 0, "injected per-request slow-localize probability")
+		fDelay       = fs.Duration("fault-request-delay", 0, "injected delay for a slowed request (0 = 50ms)")
+		fFail        = fs.Float64("fault-request-fail", 0, "injected per-request forced-failure probability")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *profilePath == "" {
+		return fmt.Errorf("missing -profile (train one with: aquatrain -save profile.gob)")
+	}
+
+	// Bind telemetry before building the solver-backed factory so every
+	// component's handles land on the registry the daemon serves.
+	aquascale.EnableTelemetry()
+
+	nw, err := buildNetwork(*netName)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*profilePath)
+	if err != nil {
+		return err
+	}
+	profile, err := aquascale.LoadProfile(f)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("load profile: %w", err)
+	}
+
+	// Rebuild the sensor deployment exactly as aquatrain placed it: same
+	// baseline EPS, same k-medoids count, same seed+3 stream.
+	baseline, err := aquascale.RunEPS(nw, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
+	if err != nil {
+		return err
+	}
+	placer, err := aquascale.NewPlacer(nw, baseline)
+	if err != nil {
+		return err
+	}
+	sensors, err := placer.KMedoids(placer.CountForPercent(*iotPct), rand.New(rand.NewSource(*seed+3)))
+	if err != nil {
+		return err
+	}
+	factory, err := aquascale.NewFactory(nw, sensors, aquascale.DatasetConfig{
+		Noise: aquascale.DefaultSensorNoise,
+	})
+	if err != nil {
+		return err
+	}
+	sys := aquascale.NewSystem(factory, nw, aquascale.SystemConfig{})
+	if err := sys.SetProfile(profile); err != nil {
+		return fmt.Errorf("profile does not fit this deployment (check -net/-iot/-seed): %w", err)
+	}
+
+	server, err := aquascale.NewServer(sys, aquascale.ServeConfig{
+		Workers:        *workers,
+		QueueSize:      *queueSize,
+		RequestTimeout: *timeout,
+		GammaM:         *gamma,
+		Faults: aquascale.FaultConfig{
+			RequestSlow:  *fSlow,
+			RequestDelay: *fDelay,
+			RequestFail:  *fFail,
+		},
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: server.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.Serve(ln) }()
+
+	fmt.Fprintf(out, "aquad: %s profile on %s (%d nodes, %d sensors), %d workers, queue %d\n",
+		profile.Technique(), nw.Name, len(nw.Nodes), factory.SensorCount(),
+		server.Config().Workers, server.Config().QueueSize)
+	fmt.Fprintf(out, "serving on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting HTTP first, then let in-flight
+	// localizations finish within the drain budget.
+	fmt.Fprintln(out, "aquad: draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := server.Shutdown(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("drain: %w", drainErr)
+	}
+	fmt.Fprintln(out, "aquad: drained cleanly")
+	return nil
+}
+
+func buildNetwork(name string) (*aquascale.Network, error) {
+	switch name {
+	case "epanet":
+		return aquascale.BuildEPANet(), nil
+	case "wssc":
+		return aquascale.BuildWSSCSubnet(), nil
+	case "test":
+		return aquascale.BuildTestNet(), nil
+	default:
+		return nil, fmt.Errorf("unknown network %q (want epanet, wssc or test)", name)
+	}
+}

@@ -1,0 +1,205 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale"
+)
+
+// syncBuffer makes the daemon's output readable while run is still
+// writing to it from its own goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// trainTestProfile trains a profile on the small test network with the
+// exact deployment aquad rebuilds for -net test -iot 30 -seed 1 (same
+// baseline EPS, same k-medoids count, same seed+3 placement stream) and
+// saves it to path. It returns the deployment's sensor count.
+func trainTestProfile(t *testing.T, path string) int {
+	t.Helper()
+	nw := aquascale.BuildTestNet()
+	baseline, err := aquascale.RunEPS(nw, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
+	if err != nil {
+		t.Fatalf("baseline EPS: %v", err)
+	}
+	placer, err := aquascale.NewPlacer(nw, baseline)
+	if err != nil {
+		t.Fatalf("NewPlacer: %v", err)
+	}
+	sensors, err := placer.KMedoids(placer.CountForPercent(30), rand.New(rand.NewSource(1+3)))
+	if err != nil {
+		t.Fatalf("KMedoids: %v", err)
+	}
+	factory, err := aquascale.NewFactory(nw, sensors, aquascale.DatasetConfig{
+		Noise: aquascale.DefaultSensorNoise,
+		Leaks: aquascale.LeakGeneratorConfig{MinEvents: 1, MaxEvents: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	sys := aquascale.NewSystem(factory, nw, aquascale.SystemConfig{})
+	if err := sys.Train(40, aquascale.ProfileConfig{Technique: aquascale.TechniqueLinear, Seed: 5},
+		rand.New(rand.NewSource(3))); err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := sys.Profile().Save(f); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return len(sensors)
+}
+
+// TestAquadSmoke boots the daemon on an ephemeral port, runs one
+// observe/localize round-trip plus a status check over real HTTP, then
+// cancels the context and asserts a clean drain.
+func TestAquadSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon boot trains a baseline EPS")
+	}
+	path := filepath.Join(t.TempDir(), "profile.gob")
+	sensorCount := trainTestProfile(t, path)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-profile", path, "-net", "test", "-iot", "30", "-seed", "1",
+			"-addr", "127.0.0.1:0", "-workers", "2", "-drain-timeout", "10s",
+		}, out)
+	}()
+
+	// Wait for the daemon to print its bound address.
+	addrRe := regexp.MustCompile(`serving on http://(\S+)`)
+	var base string
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			base = "http://" + m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before serving: %v\noutput:\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed its address; output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatalf("GET /v1/status: %v", err)
+	}
+	var status struct {
+		Technique string `json:"technique"`
+		Sensors   int    `json:"sensors"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || status.Technique != "linear" || status.Sensors != sensorCount {
+		t.Fatalf("status = %d %+v, want 200 technique=linear sensors=%d",
+			resp.StatusCode, status, sensorCount)
+	}
+
+	// One synchronous observe/localize round-trip.
+	features := make([]float64, sensorCount)
+	body, err := json.Marshal(map[string]any{"features": features, "wait": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(base+"/v1/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/observe: %v", err)
+	}
+	var jr struct {
+		Job    string `json:"job"`
+		State  string `json:"state"`
+		Result *struct {
+			Proba []float64 `json:"proba"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode observe: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || jr.State != "done" || jr.Result == nil {
+		t.Fatalf("observe = %d %+v, want 200 state=done with result", resp.StatusCode, jr)
+	}
+	if len(jr.Result.Proba) == 0 {
+		t.Fatal("served result has no probabilities")
+	}
+
+	// The finished job stays queryable.
+	resp, err = http.Get(fmt.Sprintf("%s/v1/localize/%s", base, jr.Job))
+	if err != nil {
+		t.Fatalf("GET /v1/localize: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/localize/%s = %d, want 200", jr.Job, resp.StatusCode)
+	}
+
+	// Clean shutdown: cancel stands in for SIGTERM (main wires the signal
+	// to this same context), and the daemon must drain and exit nil.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after cancel; output:\n%s", out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "aquad: drained cleanly") {
+		t.Fatalf("missing drain marker; output:\n%s", s)
+	}
+}
+
+// TestAquadFlagErrors pins the startup validation paths: a missing
+// -profile and an unknown network fail fast with a useful error.
+func TestAquadFlagErrors(t *testing.T) {
+	out := &syncBuffer{}
+	if err := run(context.Background(), nil, out); err == nil ||
+		!strings.Contains(err.Error(), "-profile") {
+		t.Fatalf("missing -profile error = %v", err)
+	}
+	err := run(context.Background(), []string{"-profile", "x.gob", "-net", "bogus"}, out)
+	if err == nil || !strings.Contains(err.Error(), "unknown network") {
+		t.Fatalf("unknown network error = %v", err)
+	}
+}

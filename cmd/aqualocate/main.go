@@ -33,13 +33,14 @@ func run() error {
 		iotPct    = flag.Float64("iot", 30, "IoT deployment percentage")
 		samples   = flag.Int("samples", 800, "Phase-I training scenarios")
 		scenarios = flag.Int("scenarios", 5, "live scenarios to localize")
-		technique = flag.String("technique", "hybrid-rsl", "profile classifier")
 		sources   = flag.String("sources", "iot,temp,human", "comma list of sources: iot[,temp][,human]")
 		slots     = flag.Int("slots", 4, "elapsed 15-minute slots since leak onset")
 		gamma     = flag.Float64("gamma", 60, "tweet coarseness gamma in meters")
 		seed      = flag.Int64("seed", 1, "random seed")
 		profile   = flag.String("profile", "", "load a pre-trained profile (from aquatrain -save) instead of training")
 	)
+	technique := aquascale.TechniqueHybridRSL
+	flag.TextVar(&technique, "technique", technique, "profile classifier")
 	flag.Parse()
 
 	var src aquascale.Sources
@@ -61,7 +62,7 @@ func run() error {
 		return err
 	}
 	fmt.Printf("== Phase I: offline profile training (%s, %.0f%% IoT, %s) ==\n",
-		net.Name, *iotPct, *technique)
+		net.Name, *iotPct, technique)
 
 	baseline, err := aquascale.RunEPS(net, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
 	if err != nil {
@@ -100,7 +101,7 @@ func run() error {
 		fmt.Printf("loaded %s profile from %s\n\n", loaded.Technique(), *profile)
 	} else {
 		t0 := time.Now()
-		if err := sys.Train(*samples, aquascale.ProfileConfig{Technique: *technique, Seed: *seed + 77},
+		if err := sys.Train(*samples, aquascale.ProfileConfig{Technique: technique, Seed: *seed + 77},
 			rand.New(rand.NewSource(*seed+11))); err != nil {
 			return err
 		}

@@ -34,7 +34,6 @@ func run() error {
 		iotPct     = flag.Float64("iot", 30, "IoT deployment percentage of |V|+|E| candidate locations")
 		samples    = flag.Int("samples", 1000, "training scenarios (paper: 20000)")
 		testN      = flag.Int("test", 100, "held-out test scenarios (paper: 2000)")
-		technique  = flag.String("technique", "hybrid-rsl", "classifier: "+strings.Join(aquascale.ClassifierNames(), ", "))
 		minLeaks   = flag.Int("min-leaks", 1, "minimum concurrent leak events")
 		maxLeaks   = flag.Int("max-leaks", 5, "maximum concurrent leak events")
 		seed       = flag.Int64("seed", 1, "random seed")
@@ -50,6 +49,9 @@ func run() error {
 		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
 		progress   = flag.Duration("progress", 0, "print a telemetry heartbeat to stderr at this interval (e.g. 10s; 0 = off)")
 	)
+	technique := aquascale.TechniqueHybridRSL
+	flag.TextVar(&technique, "technique", technique,
+		"classifier: "+strings.Join(aquascale.ClassifierNames(), ", "))
 	flag.Parse()
 
 	// Enable instrumentation before any solver or factory is built, so
@@ -131,14 +133,14 @@ func run() error {
 
 	trainStart := time.Now()
 	profile, err := aquascale.TrainProfile(ds, len(net.Nodes), aquascale.ProfileConfig{
-		Technique: *technique,
+		Technique: technique,
 		Seed:      *seed + 77,
 	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("trained %s profile (%d per-node classifiers) in %v\n",
-		*technique, len(ds.Junctions), time.Since(trainStart).Round(time.Millisecond))
+		technique, len(ds.Junctions), time.Since(trainStart).Round(time.Millisecond))
 
 	if *savePath != "" {
 		f, err := os.Create(*savePath)

@@ -16,7 +16,9 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync"
 
+	"github.com/aquascale/aquascale/internal/core"
 	"github.com/aquascale/aquascale/internal/faults"
 	"github.com/aquascale/aquascale/internal/telemetry"
 )
@@ -35,8 +37,8 @@ type Scale struct {
 	Seed int64
 
 	// Technique is the profile classifier for fusion experiments.
-	// Empty means "hybrid-rsl" (the paper's choice after Fig 7).
-	Technique string
+	// Empty means core.TechniqueHybridRSL (the paper's choice after Fig 7).
+	Technique core.Technique
 
 	// Workers caps the parallel-evaluation worker pool. Zero means
 	// runtime.NumCPU(); 1 forces serial evaluation. For a fixed Seed the
@@ -69,7 +71,7 @@ func (s Scale) withDefaults() Scale {
 		s.Seed = 1
 	}
 	if s.Technique == "" {
-		s.Technique = "hybrid-rsl"
+		s.Technique = core.TechniqueHybridRSL
 	}
 	return s
 }
@@ -215,14 +217,25 @@ func withSpan(id string, run Runner) Runner {
 	}
 }
 
-// Experiments lists every reproduced figure by id.
+// registry memoizes the span-wrapped experiment map so Experiments can
+// hand out one shared instance instead of rebuilding it per call.
+var registry struct {
+	once sync.Once
+	m    map[string]Runner
+}
+
+// Experiments lists every reproduced figure by id. The returned map is
+// the registry itself, built once and shared by all callers — treat it
+// as read-only.
 func Experiments() map[string]Runner {
-	raw := experiments()
-	out := make(map[string]Runner, len(raw))
-	for id, run := range raw {
-		out[id] = withSpan(id, run)
-	}
-	return out
+	registry.once.Do(func() {
+		raw := experiments()
+		registry.m = make(map[string]Runner, len(raw))
+		for id, run := range raw {
+			registry.m[id] = withSpan(id, run)
+		}
+	})
+	return registry.m
 }
 
 func experiments() map[string]Runner {

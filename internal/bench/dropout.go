@@ -45,7 +45,7 @@ func AblationSensorDropout(scale Scale) (*Figure, error) {
 		YLabel: "Hamming score",
 	}
 	var s Series
-	s.Name = scale.Technique
+	s.Name = scale.Technique.String()
 	// The dropout mask couples consecutive rng draws, so this sweep stays
 	// serial; the session still amortizes solver construction per curve.
 	sess, err := factory.NewSession()

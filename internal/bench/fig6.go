@@ -4,11 +4,15 @@ import (
 	"fmt"
 	"math/rand"
 
+	"github.com/aquascale/aquascale/internal/core"
 	"github.com/aquascale/aquascale/internal/network"
 )
 
 // fig6Techniques is the paper's Fig-6 lineup.
-var fig6Techniques = []string{"linear", "logistic", "gb", "rf", "svm"}
+var fig6Techniques = []core.Technique{
+	core.TechniqueLinear, core.TechniqueLogistic, core.TechniqueGB,
+	core.TechniqueRF, core.TechniqueSVM,
+}
 
 // Fig6MLComparison reproduces Fig. 6: the plug-and-play comparison of ML
 // techniques for single-leak identification on EPA-NET, at full (a) and
@@ -25,7 +29,7 @@ func Fig6MLComparison(scale Scale) (*Figure, error) {
 		XLabel: "IoT observation (%)",
 		YLabel: "Hamming score",
 	}
-	scores := make(map[string][]Point, len(fig6Techniques))
+	scores := make(map[core.Technique][]Point, len(fig6Techniques))
 
 	for _, pct := range []float64{100, 10} {
 		sensors, err := tb.sensorsAtPercent(pct, scale.Seed+3)
@@ -56,7 +60,7 @@ func Fig6MLComparison(scale Scale) (*Figure, error) {
 		}
 	}
 	for _, tech := range fig6Techniques {
-		fig.Series = append(fig.Series, Series{Name: tech, Points: scores[tech]})
+		fig.Series = append(fig.Series, Series{Name: tech.String(), Points: scores[tech]})
 	}
 	fig.Notes = append(fig.Notes,
 		"paper: all techniques score high at 100% IoT; RF and SVM degrade least at 10%",

@@ -35,7 +35,7 @@ func Fig7HybridSweep(scale Scale) (*Figure, error) {
 		{"single", epanetSingleLeak},
 		{"multi", epanetMultiLeak},
 	}
-	techniques := []string{"rf", "svm", "hybrid-rsl"}
+	techniques := []core.Technique{core.TechniqueRF, core.TechniqueSVM, core.TechniqueHybridRSL}
 	scores := make(map[string][]Point)
 
 	for _, fam := range families {
@@ -62,14 +62,14 @@ func Fig7HybridSweep(scale Scale) (*Figure, error) {
 				if err != nil {
 					return nil, err
 				}
-				key := fam.name + "/" + tech
+				key := fam.name + "/" + tech.String()
 				scores[key] = append(scores[key], Point{X: pct, Y: score})
 			}
 		}
 	}
 	for _, fam := range families {
 		for _, tech := range techniques {
-			key := fam.name + "/" + tech
+			key := fam.name + "/" + tech.String()
 			fig.Series = append(fig.Series, Series{Name: key, Points: scores[key]})
 		}
 	}

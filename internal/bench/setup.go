@@ -150,7 +150,7 @@ func evalProfile(factory *dataset.Factory, profile *core.Profile, net *network.N
 
 // trainProfileOnly trains just a Phase-I profile for one technique over a
 // pre-generated dataset (so Fig 6 can reuse one dataset across techniques).
-func trainProfileOnly(ds *dataset.Dataset, nodeCount int, technique string, seed int64) (*core.Profile, error) {
+func trainProfileOnly(ds *dataset.Dataset, nodeCount int, technique core.Technique, seed int64) (*core.Profile, error) {
 	return core.TrainProfile(ds, nodeCount, core.ProfileConfig{Technique: technique, Seed: seed})
 }
 

@@ -85,7 +85,7 @@ func TestTrainProfileValidation(t *testing.T) {
 }
 
 // buildSystem wires a small trained system on EPA-NET for end-to-end tests.
-func buildSystem(t *testing.T, technique string, trainSamples int) *System {
+func buildSystem(t *testing.T, technique Technique, trainSamples int) *System {
 	t.Helper()
 	net := network.BuildEPANet()
 	base, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -166,7 +167,17 @@ func (s *System) Evaluate(count int, leakCfg leak.GeneratorConfig, opt ObserveOp
 // worker holding a reused hydraulic solver and tweet generator, and the
 // per-scenario scores are reduced in scenario order.
 func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt ObserveOptions, workers int, rng *rand.Rand) (EvalResult, error) {
-	if s.profile == nil {
+	return s.EvaluateParallelContext(context.Background(), count, leakCfg, opt, workers, rng)
+}
+
+// EvaluateParallelContext is EvaluateParallel with cancellation: ctx is
+// observed between scenarios, so a cancelled call returns within roughly
+// one scenario's latency. On cancellation it returns the partial result —
+// every scenario fully evaluated before the cancel, with Evaluated and
+// MeanHamming accounting for exactly those — together with ctx.Err().
+// An uncancelled call is bit-identical to EvaluateParallel.
+func (s *System) EvaluateParallelContext(ctx context.Context, count int, leakCfg leak.GeneratorConfig, opt ObserveOptions, workers int, rng *rand.Rand) (EvalResult, error) {
+	if s.Profile() == nil {
 		return EvalResult{}, fmt.Errorf("core: system not trained")
 	}
 	if count <= 0 {
@@ -183,6 +194,9 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 	// the outcome cannot depend on worker scheduling.
 	scenarios := make([]ColdScenario, count)
 	for i := range scenarios {
+		if err := ctx.Err(); err != nil {
+			return EvalResult{Scenarios: count}, err
+		}
 		sc, err := s.GenerateColdScenario(leakCfg, rng)
 		if err != nil {
 			return EvalResult{}, err
@@ -238,8 +252,18 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 			met.workerBusy.Add(busy.Seconds())
 		}(observers[w])
 	}
+	// Dispatch observes ctx between scenarios: on cancellation no further
+	// scenario starts, in-flight ones finish, and the reduction below only
+	// covers what was dispatched.
+	dispatched := count
+dispatch:
 	for i := 0; i < count; i++ {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			dispatched = i
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -251,7 +275,7 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 	// error other than non-convergence aborts either way.
 	total, humanAdded, totalRetries := 0.0, 0, 0
 	var skipped []SkippedScenario
-	for i, err := range errs {
+	for i, err := range errs[:dispatched] {
 		totalRetries += retries[i]
 		if err == nil {
 			total += scores[i]
@@ -265,7 +289,23 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 	}
 	met.retries.Add(int64(totalRetries))
 	met.skipped.Add(int64(len(skipped)))
-	evaluated := count - len(skipped)
+	evaluated := dispatched - len(skipped)
+	mean := 0.0
+	if evaluated > 0 {
+		mean = total / float64(evaluated)
+	}
+	res := EvalResult{
+		MeanHamming: mean,
+		Scenarios:   count,
+		Evaluated:   evaluated,
+		HumanAdded:  humanAdded,
+		Retries:     totalRetries,
+		Skipped:     skipped,
+	}
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		span.End()
+		return res, ctxErr
+	}
 	if evaluated == 0 {
 		return EvalResult{}, fmt.Errorf("core: all %d scenarios failed (first: %w)", count, skipped[0].Err)
 	}
@@ -273,12 +313,5 @@ func (s *System) EvaluateParallel(count int, leakCfg leak.GeneratorConfig, opt O
 		met.rate.Set(float64(count) / elapsed.Seconds())
 	}
 	span.End()
-	return EvalResult{
-		MeanHamming: total / float64(evaluated),
-		Scenarios:   count,
-		Evaluated:   evaluated,
-		HumanAdded:  humanAdded,
-		Retries:     totalRetries,
-		Skipped:     skipped,
-	}, nil
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bufio"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -21,7 +22,7 @@ type profileHeader struct {
 func (p *Profile) Save(w io.Writer) error {
 	enc := gob.NewEncoder(w)
 	if err := enc.Encode(profileHeader{
-		Technique: p.technique,
+		Technique: string(p.technique),
 		Junctions: p.junctions,
 		NodeCount: p.nodeCount,
 	}); err != nil {
@@ -30,9 +31,16 @@ func (p *Profile) Save(w io.Writer) error {
 	return p.model.Save(w)
 }
 
-// LoadProfile reads a profile previously written by Save.
+// LoadProfile reads a profile previously written by Save. It accepts any
+// reader, including network streams (e.g. an HTTP request body).
 func LoadProfile(r io.Reader) (*Profile, error) {
-	dec := gob.NewDecoder(r)
+	// The header and the model bank are two consecutive gob streams read
+	// by two decoders. Both must pull from one shared io.ByteReader:
+	// given a plain reader, each gob.Decoder would add its own buffering
+	// and read ahead past its stream, swallowing the next section's bytes
+	// (bytes.Reader hid this; HTTP bodies and pipes hit it).
+	br := bufio.NewReader(r)
+	dec := gob.NewDecoder(br)
 	var h profileHeader
 	if err := dec.Decode(&h); err != nil {
 		return nil, fmt.Errorf("core: decode profile header: %w", err)
@@ -41,7 +49,7 @@ func LoadProfile(r io.Reader) (*Profile, error) {
 		return nil, fmt.Errorf("core: corrupt profile header: %d nodes, %d junctions",
 			h.NodeCount, len(h.Junctions))
 	}
-	model, err := mlearn.LoadMultiOutput(r)
+	model, err := mlearn.LoadMultiOutput(br)
 	if err != nil {
 		return nil, err
 	}
@@ -50,7 +58,7 @@ func LoadProfile(r io.Reader) (*Profile, error) {
 			model.Outputs(), len(h.Junctions))
 	}
 	return &Profile{
-		technique: h.Technique,
+		technique: Technique(h.Technique),
 		model:     model,
 		junctions: h.Junctions,
 		nodeCount: h.NodeCount,
@@ -58,6 +66,9 @@ func LoadProfile(r io.Reader) (*Profile, error) {
 }
 
 // SetProfile installs a pre-trained (e.g. loaded) profile into the system.
+// The swap is atomic: concurrent Localize calls see either the old or the
+// new profile in full, never a mix, so online services can hot-reload a
+// profile under load.
 func (s *System) SetProfile(p *Profile) error {
 	if p == nil {
 		return fmt.Errorf("core: nil profile")
@@ -66,6 +77,6 @@ func (s *System) SetProfile(p *Profile) error {
 		return fmt.Errorf("core: profile covers %d nodes, network has %d",
 			p.nodeCount, len(s.net.Nodes))
 	}
-	s.profile = p
+	s.profile.Store(p)
 	return nil
 }

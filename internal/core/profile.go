@@ -14,10 +14,10 @@ import (
 
 // ProfileConfig selects the Phase-I learning technique.
 type ProfileConfig struct {
-	// Technique is a classifier name from the mlearn registry
-	// ("linear", "logistic", "gb", "rf", "svm", "hybrid-rsl").
-	// Empty means "hybrid-rsl", the paper's best performer.
-	Technique string
+	// Technique selects the classifier (TechniqueLinear … TechniqueHybridRSL,
+	// or any name registered with mlearn.Register). The zero value means
+	// TechniqueHybridRSL, the paper's best performer.
+	Technique Technique
 
 	// Seed drives all stochastic training.
 	Seed int64
@@ -27,7 +27,7 @@ type ProfileConfig struct {
 // binary classifier per junction, predicting leak probability from IoT
 // reading deltas.
 type Profile struct {
-	technique string
+	technique Technique
 	model     *mlearn.MultiOutput
 	junctions []int // label column → node index
 	nodeCount int
@@ -38,7 +38,7 @@ type Profile struct {
 // zero probability at fixed-grade nodes (they cannot leak).
 func TrainProfile(ds *dataset.Dataset, nodeCount int, cfg ProfileConfig) (*Profile, error) {
 	if cfg.Technique == "" {
-		cfg.Technique = "hybrid-rsl"
+		cfg.Technique = TechniqueHybridRSL
 	}
 	if len(ds.Samples) == 0 {
 		return nil, fmt.Errorf("core: empty dataset")
@@ -52,14 +52,14 @@ func TrainProfile(ds *dataset.Dataset, nodeCount int, cfg ProfileConfig) (*Profi
 		}
 	}
 	factory := func(seed int64) mlearn.Classifier {
-		c, err := mlearn.NewByName(cfg.Technique, seed)
+		c, err := mlearn.NewByName(string(cfg.Technique), seed)
 		if err != nil {
 			// Unreachable: the name is validated below before training.
 			panic(err)
 		}
 		return c
 	}
-	if _, err := mlearn.NewByName(cfg.Technique, 0); err != nil {
+	if _, err := ParseTechnique(string(cfg.Technique)); err != nil {
 		return nil, err
 	}
 	mo := mlearn.NewMultiOutput(factory, cfg.Seed)
@@ -74,8 +74,8 @@ func TrainProfile(ds *dataset.Dataset, nodeCount int, cfg ProfileConfig) (*Profi
 	}, nil
 }
 
-// Technique returns the classifier name the profile was trained with.
-func (p *Profile) Technique() string { return p.technique }
+// Technique returns the technique the profile was trained with.
+func (p *Profile) Technique() Technique { return p.technique }
 
 // PredictProba returns per-node leak probabilities P = {p_v(1)} for one
 // observation's features. Fixed-grade nodes get probability 0.

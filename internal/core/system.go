@@ -1,9 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"github.com/aquascale/aquascale/internal/dataset"
 	"github.com/aquascale/aquascale/internal/fusion"
@@ -33,10 +35,15 @@ type Observation struct {
 }
 
 // System is a trained AquaSCALE instance for one network and sensor set.
+//
+// Every field but the profile is immutable after NewSystem, and the
+// profile is held behind an atomic pointer, so one System is safe to
+// share across goroutines: concurrent Localize calls may run against a
+// concurrent SetProfile hot-swap and always see a complete profile.
 type System struct {
 	net     *network.Network
 	factory *dataset.Factory
-	profile *Profile
+	profile atomic.Pointer[Profile]
 	engine  *fusion.Engine
 	freeze  weather.FreezeModel
 	social  social.Config
@@ -80,9 +87,23 @@ func (s *System) Network() *network.Network { return s.net }
 // Factory returns the system's data factory.
 func (s *System) Factory() *dataset.Factory { return s.factory }
 
+// Social returns the system's social-sensing configuration (the same
+// parameters Observe uses to synthesize and clique-ify reports), so
+// online ingestion can build cliques identically to the offline path.
+func (s *System) Social() social.Config { return s.social }
+
 // Train runs Phase I: generate a training dataset and fit the profile.
 func (s *System) Train(samples int, cfg ProfileConfig, rng *rand.Rand) error {
-	ds, err := s.factory.Generate(samples, rng)
+	return s.TrainContext(context.Background(), samples, cfg, rng)
+}
+
+// TrainContext is Train with cancellation: dataset generation observes
+// ctx between scenarios (see dataset.Factory.GenerateContext), and a
+// cancelled context aborts before fitting and returns ctx.Err() without
+// touching any installed profile. For a given rng seed an uncancelled
+// TrainContext is bit-identical to Train.
+func (s *System) TrainContext(ctx context.Context, samples int, cfg ProfileConfig, rng *rand.Rand) error {
+	ds, err := s.factory.GenerateContext(ctx, samples, rng)
 	if err != nil {
 		return err
 	}
@@ -95,21 +116,26 @@ func (s *System) TrainOn(ds *dataset.Dataset, cfg ProfileConfig) error {
 	if err != nil {
 		return err
 	}
-	s.profile = p
+	s.profile.Store(p)
 	return nil
 }
 
 // Profile returns the trained profile (nil before Train).
-func (s *System) Profile() *Profile { return s.profile }
+func (s *System) Profile() *Profile { return s.profile.Load() }
 
 // Localize runs Phase II on one observation: profile prediction, then
 // freeze-evidence fusion, then human-input event tuning. It returns the
 // fused prediction and the nodes added by human input.
+//
+// Localize is safe for concurrent use — it reads the profile pointer
+// once and touches no mutable System state — and is deterministic: the
+// result depends only on the observation and the installed profile.
 func (s *System) Localize(obs Observation) (*fusion.Prediction, []int, error) {
-	if s.profile == nil {
+	p := s.profile.Load()
+	if p == nil {
 		return nil, nil, fmt.Errorf("core: system not trained")
 	}
-	proba, err := s.profile.PredictProba(obs.Features)
+	proba, err := p.PredictProba(obs.Features)
 	if err != nil {
 		return nil, nil, err
 	}

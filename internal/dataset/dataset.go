@@ -19,6 +19,7 @@
 package dataset
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -443,6 +444,17 @@ func (f *Factory) noisyBaseline(baseTruth []float64, rng *rand.Rand) []float64 {
 // defect) aborts either way. Generate fails outright if every scenario
 // is skipped.
 func (f *Factory) Generate(count int, rng *rand.Rand) (*Dataset, error) {
+	return f.GenerateContext(context.Background(), count, rng)
+}
+
+// GenerateContext is Generate with cancellation: ctx is observed between
+// scenarios, so a cancelled call returns within roughly one scenario's
+// solve latency. On cancellation it returns the partial dataset — every
+// sample fully built before the cancel, in scenario order — together
+// with ctx.Err(), so long-running generation can be interrupted without
+// losing completed work. An uncancelled call is bit-identical to
+// Generate for the same rng seed.
+func (f *Factory) GenerateContext(ctx context.Context, count int, rng *rand.Rand) (*Dataset, error) {
 	if count <= 0 {
 		return nil, fmt.Errorf("dataset: non-positive sample count %d", count)
 	}
@@ -486,17 +498,27 @@ func (f *Factory) Generate(count int, rng *rand.Rand) (*Dataset, error) {
 			}
 		}(sessions[w])
 	}
+	// Dispatch observes ctx between scenarios: on cancellation no further
+	// scenario starts, in-flight solves finish, and the reduction below
+	// only covers what was dispatched.
+	dispatched := count
+dispatch:
 	for i := 0; i < count; i++ {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			dispatched = i
+			break dispatch
+		}
 	}
 	close(work)
 	wg.Wait()
 
 	// Reduce in scenario order so both the fail-fast error and the skip
 	// report are deterministic for any worker scheduling.
-	kept := make([]Sample, 0, count)
+	kept := make([]Sample, 0, dispatched)
 	var skipped []SkippedScenario
-	for i, err := range errs {
+	for i, err := range errs[:dispatched] {
 		if err == nil {
 			kept = append(kept, samples[i])
 			continue
@@ -512,6 +534,9 @@ func (f *Factory) Generate(count int, rng *rand.Rand) (*Dataset, error) {
 		skipped = append(skipped, SkippedScenario{Index: i, Scenario: scenarios[i], Err: err, Retries: retries})
 	}
 	f.met.skipped.Add(int64(len(skipped)))
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return &Dataset{Samples: kept, Junctions: f.Junctions(), Skipped: skipped}, ctxErr
+	}
 	if len(kept) == 0 {
 		return nil, fmt.Errorf("dataset: all %d scenarios failed (first: %w)", count, skipped[0].Err)
 	}

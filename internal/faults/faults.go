@@ -1,6 +1,7 @@
 // Package faults provides deterministic fault injection for robustness
 // testing of the AquaSCALE pipeline: sensor dropout, stuck-at and NaN
-// readings, plus forced hydraulic-solver non-convergence.
+// readings, forced hydraulic-solver non-convergence, and slow/failed
+// online localize requests (the serving layer's degradation probes).
 //
 // Every random decision is drawn from a caller-provided rng — in the
 // pipeline, a stream derived from the per-scenario seed — so injected
@@ -11,6 +12,7 @@
 package faults
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -18,6 +20,11 @@ import (
 
 	"github.com/aquascale/aquascale/internal/telemetry"
 )
+
+// ErrInjectedFailure is the terminal error of a localize request forced
+// to fail by Config.RequestFail — distinguishable from real failures so
+// degradation tests can assert on the injection itself.
+var ErrInjectedFailure = errors.New("faults: injected request failure")
 
 // Config sets per-fault injection rates. All rates are probabilities in
 // [0, 1]; the three sensor rates are mutually exclusive per reading and
@@ -47,11 +54,26 @@ type Config struct {
 	// forced to fail (default 1): 1 means one retry recovers the solve,
 	// a value above the retry budget makes the scenario skip.
 	SolverFailAttempts int
+
+	// RequestSlow is the per-request probability that an online localize
+	// job is delayed by RequestDelay before running — the serving layer's
+	// slow-solve degradation probe (exercises queue backpressure and
+	// request timeouts).
+	RequestSlow float64
+
+	// RequestDelay is the injected delay for a slowed request. Zero with
+	// RequestSlow > 0 means 50ms.
+	RequestDelay time.Duration
+
+	// RequestFail is the per-request probability that an online localize
+	// job is forced to fail with ErrInjectedFailure.
+	RequestFail float64
 }
 
 // Enabled reports whether any fault channel is active.
 func (c Config) Enabled() bool {
-	return c.Dropout > 0 || c.Stuck > 0 || c.NaN > 0 || c.SolverFail > 0
+	return c.Dropout > 0 || c.Stuck > 0 || c.NaN > 0 || c.SolverFail > 0 ||
+		c.RequestSlow > 0 || c.RequestFail > 0
 }
 
 // Validate checks rate ranges.
@@ -61,6 +83,7 @@ func (c Config) Validate() error {
 		v    float64
 	}{
 		{"Dropout", c.Dropout}, {"Stuck", c.Stuck}, {"NaN", c.NaN}, {"SolverFail", c.SolverFail},
+		{"RequestSlow", c.RequestSlow}, {"RequestFail", c.RequestFail},
 	} {
 		if r.v < 0 || r.v > 1 || math.IsNaN(r.v) {
 			return fmt.Errorf("faults: %s rate %v outside [0, 1]", r.name, r.v)
@@ -71,6 +94,9 @@ func (c Config) Validate() error {
 	}
 	if c.SolverFailAttempts < 0 {
 		return fmt.Errorf("faults: negative SolverFailAttempts %d", c.SolverFailAttempts)
+	}
+	if c.RequestDelay < 0 {
+		return fmt.Errorf("faults: negative RequestDelay %v", c.RequestDelay)
 	}
 	return nil
 }
@@ -87,6 +113,8 @@ type Injector struct {
 	mStuck   *telemetry.Counter
 	mNaN     *telemetry.Counter
 	mSolver  *telemetry.Counter
+	mSlow    *telemetry.Counter
+	mFail    *telemetry.Counter
 }
 
 // New validates cfg and builds an injector. A disabled config returns
@@ -105,6 +133,8 @@ func New(cfg Config) (*Injector, error) {
 		mStuck:   reg.Counter("faults_sensor_stuck_total"),
 		mNaN:     reg.Counter("faults_sensor_nan_total"),
 		mSolver:  reg.Counter("faults_forced_nonconvergence_total"),
+		mSlow:    reg.Counter("faults_request_slow_total"),
+		mFail:    reg.Counter("faults_request_failed_total"),
 	}, nil
 }
 
@@ -148,6 +178,32 @@ func (in *Injector) PerturbReadings(readings, held []float64, rng *rand.Rand) {
 			in.mNaN.Inc()
 		}
 	}
+}
+
+// RequestPlan draws the injected degradation for one online localize
+// request from rng: a delay to impose before the job runs (0 when the
+// slow channel missed or is disabled) and a forced error (nil, or
+// ErrInjectedFailure). At most one uniform is consumed per enabled
+// channel and none when a channel is disabled, so request-fault streams
+// stay untouched at zero rates — the same stream discipline as the
+// sensor and solver channels.
+func (in *Injector) RequestPlan(rng *rand.Rand) (time.Duration, error) {
+	if in == nil || rng == nil {
+		return 0, nil
+	}
+	var delay time.Duration
+	if in.cfg.RequestSlow > 0 && rng.Float64() < in.cfg.RequestSlow {
+		delay = in.cfg.RequestDelay
+		if delay <= 0 {
+			delay = 50 * time.Millisecond
+		}
+		in.mSlow.Inc()
+	}
+	if in.cfg.RequestFail > 0 && rng.Float64() < in.cfg.RequestFail {
+		in.mFail.Inc()
+		return delay, ErrInjectedFailure
+	}
+	return delay, nil
 }
 
 // SolveHook returns a hydraulic.Solver failure hook bound to rng, or nil

@@ -1,0 +1,136 @@
+package faults
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+func TestRequestPlanNilInjector(t *testing.T) {
+	var inj *Injector
+	delay, err := inj.RequestPlan(rand.New(rand.NewSource(1)))
+	if delay != 0 || err != nil {
+		t.Fatalf("nil injector plan = (%v, %v), want (0, nil)", delay, err)
+	}
+	inj2, err := New(Config{RequestSlow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay, err := inj2.RequestPlan(nil); delay != 0 || err != nil {
+		t.Fatalf("nil rng plan = (%v, %v), want (0, nil)", delay, err)
+	}
+}
+
+func TestRequestPlanSlowChannel(t *testing.T) {
+	inj, err := New(Config{RequestSlow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, planErr := inj.RequestPlan(rand.New(rand.NewSource(1)))
+	if planErr != nil {
+		t.Fatalf("slow-only plan errored: %v", planErr)
+	}
+	if delay != 50*time.Millisecond {
+		t.Fatalf("default delay = %v, want 50ms", delay)
+	}
+
+	inj, err = New(Config{RequestSlow: 1, RequestDelay: 120 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delay, _ := inj.RequestPlan(rand.New(rand.NewSource(1))); delay != 120*time.Millisecond {
+		t.Fatalf("configured delay = %v, want 120ms", delay)
+	}
+}
+
+func TestRequestPlanFailChannel(t *testing.T) {
+	inj, err := New(Config{RequestFail: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay, planErr := inj.RequestPlan(rand.New(rand.NewSource(1)))
+	if !errors.Is(planErr, ErrInjectedFailure) {
+		t.Fatalf("err = %v, want ErrInjectedFailure", planErr)
+	}
+	if delay != 0 {
+		t.Fatalf("fail-only plan delayed %v", delay)
+	}
+}
+
+// TestRequestPlanStreamDiscipline pins the documented draw budget: one
+// uniform per enabled channel, none for disabled ones, so adding request
+// faults never shifts other channels' rng streams.
+func TestRequestPlanStreamDiscipline(t *testing.T) {
+	inj, err := New(Config{RequestSlow: 0.5, RequestFail: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	if _, err := inj.RequestPlan(rng); err != nil && !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("RequestPlan: %v", err)
+	}
+	got := rng.Int63()
+	control := rand.New(rand.NewSource(11))
+	control.Float64()
+	control.Float64()
+	if want := control.Int63(); got != want {
+		t.Fatal("plan with both channels enabled consumed != 2 draws")
+	}
+
+	// Request channels disabled: the stream is untouched even when other
+	// fault channels are on.
+	inj, err = New(Config{Dropout: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng = rand.New(rand.NewSource(11))
+	if _, err := inj.RequestPlan(rng); err != nil {
+		t.Fatalf("RequestPlan: %v", err)
+	}
+	if got, want := rng.Int63(), rand.New(rand.NewSource(11)).Int63(); got != want {
+		t.Fatal("disabled request channels consumed rng draws")
+	}
+}
+
+func TestRequestConfigValidateAndEnabled(t *testing.T) {
+	bad := []Config{
+		{RequestSlow: -0.1},
+		{RequestSlow: 1.5},
+		{RequestFail: 2},
+		{RequestDelay: -time.Second},
+	}
+	for _, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid config", cfg)
+		}
+	}
+	if (Config{RequestDelay: time.Second}).Enabled() {
+		t.Fatal("a bare delay with zero RequestSlow should not enable the injector")
+	}
+	for _, cfg := range []Config{{RequestSlow: 0.1}, {RequestFail: 0.1}} {
+		if !cfg.Enabled() {
+			t.Errorf("Enabled(%+v) = false", cfg)
+		}
+	}
+}
+
+func TestRequestPlanTelemetry(t *testing.T) {
+	reg := telemetry.Enable()
+	defer telemetry.Disable()
+	inj, err := New(Config{RequestSlow: 1, RequestFail: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.RequestPlan(rand.New(rand.NewSource(1))); !errors.Is(err, ErrInjectedFailure) {
+		t.Fatalf("err = %v, want ErrInjectedFailure", err)
+	}
+	if got := reg.Counter("faults_request_slow_total").Value(); got != 1 {
+		t.Fatalf("faults_request_slow_total = %d, want 1", got)
+	}
+	if got := reg.Counter("faults_request_failed_total").Value(); got != 1 {
+		t.Fatalf("faults_request_failed_total = %d, want 1", got)
+	}
+}

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+)
+
+// epanetBed caches a trained EPA-NET system fixture for the load test —
+// built once per binary because the baseline EPS and training solves are
+// the expensive part.
+var epanetBed struct {
+	once sync.Once
+	err  error
+	sys  *core.System
+}
+
+func epanetSystem() (*core.System, error) {
+	epanetBed.once.Do(func() {
+		net := network.BuildEPANet()
+		base, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{Duration: 2 * time.Hour, Step: time.Hour}, nil)
+		if err != nil {
+			epanetBed.err = fmt.Errorf("baseline EPS: %w", err)
+			return
+		}
+		placer, err := sensor.NewPlacer(net, base)
+		if err != nil {
+			epanetBed.err = err
+			return
+		}
+		sensors, err := placer.KMedoids(placer.CountForPercent(30), rand.New(rand.NewSource(4)))
+		if err != nil {
+			epanetBed.err = err
+			return
+		}
+		factory, err := dataset.NewFactory(net, sensors, dataset.Config{
+			Noise: sensor.DefaultNoise,
+			Leaks: leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2},
+		})
+		if err != nil {
+			epanetBed.err = err
+			return
+		}
+		sys := core.NewSystem(factory, net, core.SystemConfig{})
+		err = sys.Train(120, core.ProfileConfig{Technique: core.TechniqueLinear, Seed: 5},
+			rand.New(rand.NewSource(3)))
+		if err != nil {
+			epanetBed.err = fmt.Errorf("train: %w", err)
+			return
+		}
+		epanetBed.sys = sys
+	})
+	return epanetBed.sys, epanetBed.err
+}
+
+// TestEPANetSustains500Concurrent is the serving acceptance bar: 500
+// concurrent in-flight localize requests against one shared EPA-NET
+// system — with profile hot-swaps racing the traffic — all complete, and
+// every result is bit-identical to the offline answer for its evidence.
+func TestEPANetSustains500Concurrent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("EPA-NET training is slow")
+	}
+	const jobs = 500
+	sys, err := epanetSystem()
+	if err != nil {
+		t.Fatalf("epanet fixture: %v", err)
+	}
+	s, err := New(sys, Config{Workers: 8, QueueSize: jobs, RequestTimeout: 60 * time.Second})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+
+	feats := testFeatures(sys, 21)
+	want, _, err := sys.Localize(core.Observation{Features: feats})
+	if err != nil {
+		t.Fatalf("offline Localize: %v", err)
+	}
+
+	profile := sys.Profile()
+	var wg sync.WaitGroup
+	errCh := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+			if err != nil {
+				errCh <- fmt.Errorf("submit %d: %w", i, err)
+				return
+			}
+			<-j.Done()
+			_, res, err := j.Status()
+			if err != nil {
+				errCh <- fmt.Errorf("job %d: %w", i, err)
+				return
+			}
+			for v := range want.Proba {
+				if res.Proba[v] != want.Proba[v] {
+					errCh <- fmt.Errorf("job %d: proba[%d] = %v, offline %v", i, v, res.Proba[v], want.Proba[v])
+					return
+				}
+			}
+		}(i)
+	}
+	swapDone := make(chan struct{})
+	go func() {
+		defer close(swapDone)
+		for i := 0; i < 25; i++ {
+			if err := s.SwapProfile(profile); err != nil {
+				errCh <- fmt.Errorf("swap %d: %w", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-swapDone
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+	st := s.Status()
+	if st.Done != jobs || st.Failed != 0 {
+		t.Fatalf("done = %d, failed = %d, want %d/0", st.Done, st.Failed, jobs)
+	}
+}

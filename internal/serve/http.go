@@ -1,0 +1,257 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/faults"
+	"github.com/aquascale/aquascale/internal/social"
+	"github.com/aquascale/aquascale/internal/telemetry"
+	"github.com/aquascale/aquascale/internal/weather"
+)
+
+// ObserveRequest is the POST /v1/observe body: one live observation for
+// the served network.
+type ObserveRequest struct {
+	// Features are the IoT sensor reading deltas, one per placed sensor
+	// in placement order. Required; the length must match the served
+	// sensor set.
+	Features []float64 `json:"features"`
+
+	// TemperatureF is the current air temperature (°F). When set and not
+	// freezing (per weather.Freezing), any FrozenNodes evidence is
+	// discarded — frost bursts need frost. Unset means "trust
+	// FrozenNodes as-is".
+	TemperatureF *float64 `json:"temperature_f,omitempty"`
+
+	// FrozenNodes lists node indices detected frozen by the
+	// pressure-pattern analyzer (weather evidence). Optional.
+	FrozenNodes []int `json:"frozen_nodes,omitempty"`
+
+	// Reports are geotagged human reports ("water on the street") for
+	// clique extraction. Optional.
+	Reports []ReportIn `json:"reports,omitempty"`
+
+	// GammaM overrides the server's clique coarseness γ (meters) for
+	// this request. Zero means the server default.
+	GammaM float64 `json:"gamma_m,omitempty"`
+
+	// Seed isolates this request's rng stream (consumed only by fault
+	// injection — localization itself is deterministic). Zero means a
+	// server-assigned per-job seed.
+	Seed int64 `json:"seed,omitempty"`
+
+	// Wait makes the POST synchronous: the response is the finished
+	// job's result (or error) instead of 202 + job id.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// ReportIn is one human report in an ObserveRequest.
+type ReportIn struct {
+	// X, Y is the report's geotag in network plan coordinates (m).
+	X float64 `json:"x"`
+	Y float64 `json:"y"`
+
+	// Slot is the IoT sampling interval the report arrived in.
+	Slot int `json:"slot"`
+}
+
+// RequestError is a client-side validation failure (HTTP 400).
+type RequestError struct {
+	Msg string
+}
+
+func (e *RequestError) Error() string { return "serve: bad request: " + e.Msg }
+
+func badRequest(format string, args ...any) error {
+	return &RequestError{Msg: fmt.Sprintf(format, args...)}
+}
+
+// buildObservation validates req against the served network and converts
+// it to the exact core.Observation the offline pipeline uses, so served
+// results are bit-identical to System.Localize on the same evidence.
+func (s *Server) buildObservation(req ObserveRequest) (core.Observation, error) {
+	want := s.sys.Factory().SensorCount()
+	if len(req.Features) != want {
+		return core.Observation{}, badRequest("got %d features, served sensor set has %d", len(req.Features), want)
+	}
+	obs := core.Observation{Features: req.Features}
+
+	net := s.sys.Network()
+	freezing := req.TemperatureF == nil || weather.Freezing(*req.TemperatureF)
+	if len(req.FrozenNodes) > 0 && freezing {
+		frozen := make([]bool, len(net.Nodes))
+		for _, v := range req.FrozenNodes {
+			if v < 0 || v >= len(net.Nodes) {
+				return core.Observation{}, badRequest("frozen node %d outside [0, %d)", v, len(net.Nodes))
+			}
+			frozen[v] = true
+		}
+		obs.Frozen = frozen
+	}
+
+	if len(req.Reports) > 0 {
+		gamma := req.GammaM
+		if gamma <= 0 {
+			gamma = s.cfg.GammaM
+		}
+		pe := s.sys.Social().FalsePositiveRate
+		if pe <= 0 {
+			pe = 0.3
+		}
+		reports := make([]social.Report, len(req.Reports))
+		for i, r := range req.Reports {
+			reports[i] = social.Report{X: r.X, Y: r.Y, Slot: r.Slot}
+		}
+		obs.Cliques = social.BuildCliques(net, reports, gamma, pe)
+	}
+	return obs, nil
+}
+
+// jobResponse is the wire shape for job submission and polling.
+type jobResponse struct {
+	Job    string   `json:"job"`
+	State  JobState `json:"state"`
+	Result *Result  `json:"result,omitempty"`
+	Error  string   `json:"error,omitempty"`
+}
+
+// Handler returns the service's HTTP mux:
+//
+//	POST /v1/observe        submit an observation (202 + job id, or the
+//	                        result directly with "wait": true)
+//	GET  /v1/localize/{job} poll a job
+//	GET  /v1/status         service health snapshot
+//	POST /v1/profile        hot-swap the profile (gob body, as written by
+//	                        Profile.Save / aquatrain -out)
+//	/metrics, /metrics.json, /debug/...  telemetry (shared registry)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/observe", s.handleObserve)
+	mux.HandleFunc("GET /v1/localize/{job}", s.handleLocalize)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	if h := telemetry.Default().Handler(); h != nil {
+		mux.Handle("/metrics", h)
+		mux.Handle("/metrics.json", h)
+		mux.Handle("/debug/", h)
+	}
+	return mux
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	var req ObserveRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad request body: %w", err))
+		return
+	}
+	if r.URL.Query().Get("wait") == "1" {
+		req.Wait = true
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	if !req.Wait {
+		w.Header().Set("Location", "/v1/localize/"+j.ID())
+		writeJSON(w, http.StatusAccepted, jobResponse{Job: j.ID(), State: JobQueued})
+		return
+	}
+	select {
+	case <-j.Done():
+	case <-r.Context().Done():
+		// Client went away; the job still runs and stays pollable.
+		return
+	}
+	s.writeJob(w, j)
+}
+
+func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("job")
+	j := s.Lookup(id)
+	if j == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
+		return
+	}
+	s.writeJob(w, j)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Status())
+}
+
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	p, err := core.LoadProfile(http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.SwapProfile(p); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":    "profile swapped",
+		"technique": p.Technique().String(),
+	})
+}
+
+// writeJob renders a job's current state, mapping failure causes to
+// status codes: timeouts 504, drain 503, injected or internal errors 500.
+func (s *Server) writeJob(w http.ResponseWriter, j *Job) {
+	state, res, err := j.Status()
+	resp := jobResponse{Job: j.ID(), State: state, Result: res}
+	code := http.StatusOK
+	if err != nil {
+		resp.Error = err.Error()
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			code = http.StatusGatewayTimeout
+		case errors.Is(err, ErrDraining):
+			code = http.StatusServiceUnavailable
+		case errors.Is(err, faults.ErrInjectedFailure):
+			code = http.StatusInternalServerError
+		default:
+			code = http.StatusInternalServerError
+		}
+	}
+	writeJSON(w, code, resp)
+}
+
+// writeSubmitError maps Submit failures onto the documented status codes:
+// queue full 429 + Retry-After, draining 503, invalid evidence 400.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var re *RequestError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)+1))
+		writeError(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &re):
+		writeError(w, http.StatusBadRequest, err)
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,521 @@
+// Package serve is the online localization service behind the aquad
+// daemon: a long-running HTTP/JSON front end over one trained
+// core.System that ingests live observations (IoT reading deltas,
+// temperature, human reports), runs Phase-II fusion concurrently across
+// a bounded worker pool, and answers job polls and status queries.
+//
+// Concurrency model:
+//
+//   - One immutable System/Profile snapshot is shared by every worker.
+//     The only mutable piece — the profile — sits behind an atomic
+//     pointer in core.System, so a hot reload (Server.SwapProfile /
+//     POST /v1/profile) is one pointer store; in-flight jobs finish on
+//     the profile they started with.
+//   - Jobs flow through one bounded channel. When it is full, Submit
+//     refuses with ErrQueueFull (HTTP 429 + Retry-After) instead of
+//     queueing unboundedly — latency stays flat under overload and the
+//     process cannot OOM on a traffic spike.
+//   - Every job carries its own rng (seeded per request), used only by
+//     the fault injector's degradation draws. Localization itself is
+//     deterministic: a served result is bit-identical to calling
+//     System.Localize offline with the same observation.
+//   - Shutdown drains: new submissions are refused, jobs already running
+//     finish and stay retrievable, and jobs still queued fail with
+//     ErrDraining (HTTP 503).
+package serve
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/faults"
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+// Config parameterizes a Server. The zero value serves with sensible
+// defaults (NumCPU workers, a 1024-deep queue, 5s request timeout).
+type Config struct {
+	// Workers is the localization worker-pool size. Zero means
+	// runtime.NumCPU().
+	Workers int
+
+	// QueueSize bounds the job queue; submissions beyond it are refused
+	// with ErrQueueFull. Zero means 1024.
+	QueueSize int
+
+	// RequestTimeout bounds a job's total latency from enqueue: a job
+	// still unfinished past it fails with context.DeadlineExceeded.
+	// Zero means 5s.
+	RequestTimeout time.Duration
+
+	// RetryAfter is the backoff hint returned with queue-full refusals.
+	// Zero means 1s.
+	RetryAfter time.Duration
+
+	// GammaM is the default tweet-coarseness γ (meters) for clique
+	// extraction when a request does not set its own. Zero means 30,
+	// the paper's default.
+	GammaM float64
+
+	// ResultCap bounds how many finished jobs stay retrievable; the
+	// oldest are evicted first. Zero means 4096.
+	ResultCap int
+
+	// Faults enables deterministic request-level degradation (slow and
+	// forced-failed localize jobs; see faults.Config.RequestSlow /
+	// RequestFail). The zero value injects nothing.
+	Faults faults.Config
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.NumCPU()
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 1024
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 5 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.GammaM <= 0 {
+		c.GammaM = 30
+	}
+	if c.ResultCap <= 0 {
+		c.ResultCap = 4096
+	}
+	return c
+}
+
+// ErrQueueFull is returned by Submit when the bounded job queue is at
+// capacity — the backpressure signal (HTTP 429 + Retry-After).
+var ErrQueueFull = fmt.Errorf("serve: job queue full")
+
+// ErrDraining is returned when the server is shutting down: new
+// submissions are refused and still-queued jobs fail with it (HTTP 503).
+var ErrDraining = fmt.Errorf("serve: server draining")
+
+// JobState is a job's lifecycle position.
+type JobState string
+
+// Job lifecycle states.
+const (
+	JobQueued  JobState = "queued"
+	JobRunning JobState = "running"
+	JobDone    JobState = "done"
+	JobFailed  JobState = "failed"
+)
+
+// Result is one completed localization.
+type Result struct {
+	// LeakNodes are the node indices in the predicted leak set S.
+	LeakNodes []int `json:"leak_nodes"`
+
+	// LeakIDs are the same nodes by network ID.
+	LeakIDs []string `json:"leak_ids"`
+
+	// Proba is the full fused per-node leak belief — bit-identical to
+	// the offline System.Localize prediction for the same observation.
+	Proba []float64 `json:"proba"`
+
+	// HumanAdded are the nodes forced into S by human-report cliques.
+	HumanAdded []int `json:"human_added,omitempty"`
+
+	// LatencySeconds is the job's enqueue-to-done latency.
+	LatencySeconds float64 `json:"latency_seconds"`
+}
+
+// Job is one queued/running/finished localization request.
+type Job struct {
+	id       string
+	obs      core.Observation
+	seed     int64
+	enqueued time.Time
+
+	mu     sync.Mutex
+	state  JobState
+	result *Result
+	err    error
+	done   chan struct{}
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Done returns a channel closed when the job finishes (either way).
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Status returns the job's state and, once finished, its result or error.
+func (j *Job) Status() (JobState, *Result, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, j.result, j.err
+}
+
+func (j *Job) setRunning() {
+	j.mu.Lock()
+	j.state = JobRunning
+	j.mu.Unlock()
+}
+
+func (j *Job) complete(res *Result) {
+	j.mu.Lock()
+	j.state = JobDone
+	j.result = res
+	j.mu.Unlock()
+	close(j.done)
+}
+
+func (j *Job) fail(err error) {
+	j.mu.Lock()
+	j.state = JobFailed
+	j.err = err
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// serveMetrics are the server's telemetry handles; all nil no-ops when
+// telemetry is disabled at construction time.
+type serveMetrics struct {
+	submitted      *telemetry.Counter
+	rejectedFull   *telemetry.Counter
+	rejectedDrain  *telemetry.Counter
+	jobsDone       *telemetry.Counter
+	jobsFailed     *telemetry.Counter
+	profileSwaps   *telemetry.Counter
+	queueDepth     *telemetry.Gauge
+	inflight       *telemetry.Gauge
+	requestSeconds *telemetry.Histogram
+}
+
+func bindServeMetrics() serveMetrics {
+	reg := telemetry.Default()
+	return serveMetrics{
+		submitted:      reg.Counter("serve_jobs_submitted_total"),
+		rejectedFull:   reg.Counter("serve_rejected_queue_full_total"),
+		rejectedDrain:  reg.Counter("serve_rejected_draining_total"),
+		jobsDone:       reg.Counter("serve_jobs_done_total"),
+		jobsFailed:     reg.Counter("serve_jobs_failed_total"),
+		profileSwaps:   reg.Counter("serve_profile_swaps_total"),
+		queueDepth:     reg.Gauge("serve_queue_depth"),
+		inflight:       reg.Gauge("serve_inflight_jobs"),
+		requestSeconds: reg.Histogram("serve_request_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
+	}
+}
+
+// Server is the online localization service. Create one with New, mount
+// Handler on an HTTP server, and Shutdown to drain.
+type Server struct {
+	sys *core.System
+	cfg Config
+	inj *faults.Injector // nil when request faults are disabled
+
+	queue chan *Job
+	wg    sync.WaitGroup // worker goroutines
+
+	mu       sync.Mutex // guards draining transition, job map, eviction order
+	jobs     map[string]*Job
+	finished []string // finished job ids in completion order (eviction queue)
+	draining bool
+
+	drainOnce sync.Once
+	seq       atomic.Int64
+	running   atomic.Int64
+	start     time.Time
+
+	// Per-server counters backing Status; the telemetry handles in met
+	// mirror them onto the shared /metrics registry when telemetry is on.
+	nSubmitted    atomic.Int64
+	nDone         atomic.Int64
+	nFailed       atomic.Int64
+	nRejectedFull atomic.Int64
+	nSwaps        atomic.Int64
+
+	met serveMetrics
+}
+
+// New builds a Server over a trained system and starts its worker pool.
+// The system must already hold a profile (trained or loaded).
+func New(sys *core.System, cfg Config) (*Server, error) {
+	if sys == nil {
+		return nil, fmt.Errorf("serve: nil system")
+	}
+	if sys.Profile() == nil {
+		return nil, fmt.Errorf("serve: system has no profile (train or load one first)")
+	}
+	cfg = cfg.withDefaults()
+	inj, err := faults.New(cfg.Faults)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	s := &Server{
+		sys:   sys,
+		cfg:   cfg,
+		inj:   inj,
+		queue: make(chan *Job, cfg.QueueSize),
+		jobs:  make(map[string]*Job),
+		start: time.Now(),
+		met:   bindServeMetrics(),
+	}
+	s.wg.Add(cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// Config returns the server's effective (defaulted) configuration.
+func (s *Server) Config() Config { return s.cfg }
+
+// System returns the served system.
+func (s *Server) System() *core.System { return s.sys }
+
+// Submit validates a request, enqueues its localization job and returns
+// it. It never blocks: a full queue returns ErrQueueFull and a draining
+// server ErrDraining; invalid evidence returns a *RequestError.
+func (s *Server) Submit(req ObserveRequest) (*Job, error) {
+	obs, err := s.buildObservation(req)
+	if err != nil {
+		return nil, err
+	}
+	id := fmt.Sprintf("j-%08d", s.seq.Add(1))
+	seed := req.Seed
+	if seed == 0 {
+		// Distinct per-job default so fault draws are isolated between
+		// requests even when clients never set a seed.
+		seed = s.seq.Load()
+	}
+	j := &Job{
+		id:       id,
+		obs:      obs,
+		seed:     seed,
+		enqueued: time.Now(),
+		state:    JobQueued,
+		done:     make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.met.rejectedDrain.Inc()
+		return nil, ErrDraining
+	}
+	select {
+	case s.queue <- j:
+		s.jobs[id] = j
+	default:
+		s.mu.Unlock()
+		s.nRejectedFull.Add(1)
+		s.met.rejectedFull.Inc()
+		return nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.nSubmitted.Add(1)
+	s.met.submitted.Inc()
+	s.met.queueDepth.Set(float64(len(s.queue)))
+	return j, nil
+}
+
+// Lookup returns a submitted job by id (nil when unknown or evicted).
+func (s *Server) Lookup(id string) *Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+// worker drains the queue. After Shutdown closes the queue, jobs still
+// buffered in it are failed with ErrDraining instead of run — only the
+// job a worker already held (in-flight) completes normally.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		s.met.queueDepth.Set(float64(len(s.queue)))
+		if s.isDraining() {
+			s.finishJob(j, nil, ErrDraining)
+			continue
+		}
+		s.run(j)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// run executes one job under the request deadline.
+func (s *Server) run(j *Job) {
+	j.setRunning()
+	s.running.Add(1)
+	s.met.inflight.Set(float64(s.running.Load()))
+	defer func() {
+		s.running.Add(-1)
+		s.met.inflight.Set(float64(s.running.Load()))
+	}()
+
+	// The deadline covers queue wait too: a job that sat queued past the
+	// request timeout fails instead of serving a stale answer.
+	ctx, cancel := context.WithDeadline(context.Background(), j.enqueued.Add(s.cfg.RequestTimeout))
+	defer cancel()
+
+	// Per-request rng isolation: the only stochastic element of serving
+	// is fault injection, drawn from this job's own stream.
+	rng := rand.New(rand.NewSource(j.seed))
+	delay, injErr := s.inj.RequestPlan(rng)
+	if delay > 0 {
+		t := time.NewTimer(delay)
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			s.finishJob(j, nil, ctx.Err())
+			return
+		}
+	}
+	if injErr != nil {
+		s.finishJob(j, nil, injErr)
+		return
+	}
+	if err := ctx.Err(); err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+
+	pred, added, err := s.sys.Localize(j.obs)
+	if err != nil {
+		s.finishJob(j, nil, err)
+		return
+	}
+	net := s.sys.Network()
+	leakNodes := pred.LeakNodes()
+	ids := make([]string, len(leakNodes))
+	for i, v := range leakNodes {
+		ids[i] = net.Nodes[v].ID
+	}
+	s.finishJob(j, &Result{
+		LeakNodes:      leakNodes,
+		LeakIDs:        ids,
+		Proba:          pred.Proba,
+		HumanAdded:     added,
+		LatencySeconds: time.Since(j.enqueued).Seconds(),
+	}, nil)
+}
+
+// finishJob completes or fails a job, records metrics, and evicts the
+// oldest finished jobs beyond ResultCap.
+func (s *Server) finishJob(j *Job, res *Result, err error) {
+	if err != nil {
+		j.fail(err)
+		s.nFailed.Add(1)
+		s.met.jobsFailed.Inc()
+	} else {
+		j.complete(res)
+		s.nDone.Add(1)
+		s.met.jobsDone.Inc()
+	}
+	s.met.requestSeconds.ObserveDuration(time.Since(j.enqueued))
+
+	s.mu.Lock()
+	s.finished = append(s.finished, j.id)
+	for len(s.finished) > s.cfg.ResultCap {
+		delete(s.jobs, s.finished[0])
+		s.finished = s.finished[1:]
+	}
+	s.mu.Unlock()
+}
+
+// SwapProfile atomically installs a new profile; concurrent jobs see
+// either the old or the new one in full. The profile must cover the
+// served network (checked by core.System.SetProfile).
+func (s *Server) SwapProfile(p *core.Profile) error {
+	if err := s.sys.SetProfile(p); err != nil {
+		return err
+	}
+	s.nSwaps.Add(1)
+	s.met.profileSwaps.Inc()
+	return nil
+}
+
+// Shutdown drains the server: new submissions are refused immediately,
+// in-flight jobs finish (and stay retrievable), queued-but-unstarted
+// jobs fail with ErrDraining, and the worker pool exits. It returns
+// ctx.Err() if the pool has not drained by the context deadline.
+// Shutdown is idempotent; concurrent calls all wait for the drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		// Safe: all sends are guarded by s.mu and refused once draining
+		// is set, so nothing can send on the closed channel.
+		close(s.queue)
+		s.mu.Unlock()
+	})
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Status is the service health snapshot behind GET /v1/status.
+type Status struct {
+	Network       string  `json:"network"`
+	Nodes         int     `json:"nodes"`
+	Sensors       int     `json:"sensors"`
+	Technique     string  `json:"technique"`
+	Workers       int     `json:"workers"`
+	QueueDepth    int     `json:"queue_depth"`
+	QueueCap      int     `json:"queue_cap"`
+	Inflight      int     `json:"inflight"`
+	Draining      bool    `json:"draining"`
+	Submitted     int64   `json:"jobs_submitted"`
+	Done          int64   `json:"jobs_done"`
+	Failed        int64   `json:"jobs_failed"`
+	RejectedFull  int64   `json:"rejected_queue_full"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	ProfileSwaps  int64   `json:"profile_swaps"`
+}
+
+// Status reports the current service snapshot. The counters are
+// per-server (independent of the telemetry registry, which mirrors them
+// on /metrics when telemetry is enabled).
+func (s *Server) Status() Status {
+	prof := s.sys.Profile()
+	technique := ""
+	if prof != nil {
+		technique = prof.Technique().String()
+	}
+	net := s.sys.Network()
+	return Status{
+		Network:       net.Name,
+		Nodes:         len(net.Nodes),
+		Sensors:       s.sys.Factory().SensorCount(),
+		Technique:     technique,
+		Workers:       s.cfg.Workers,
+		QueueDepth:    len(s.queue),
+		QueueCap:      s.cfg.QueueSize,
+		Inflight:      int(s.running.Load()),
+		Draining:      s.isDraining(),
+		Submitted:     s.nSubmitted.Load(),
+		Done:          s.nDone.Load(),
+		Failed:        s.nFailed.Load(),
+		RejectedFull:  s.nRejectedFull.Load(),
+		UptimeSeconds: time.Since(s.start).Seconds(),
+		ProfileSwaps:  s.nSwaps.Load(),
+	}
+}

@@ -1,0 +1,714 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/faults"
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+)
+
+// testbed caches the expensive shared fixtures — a trained profile over
+// the 8-node test network — once per test binary. Systems are rebuilt
+// per test (cheap) so profile-swap tests can't leak state across tests.
+var testbed struct {
+	once    sync.Once
+	err     error
+	net     *network.Network
+	sensors []sensor.Sensor
+	profile *core.Profile
+}
+
+func initTestbed() error {
+	testbed.once.Do(func() {
+		net := network.BuildTestNet()
+		base, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{Duration: 2 * time.Hour, Step: time.Hour}, nil)
+		if err != nil {
+			testbed.err = fmt.Errorf("baseline EPS: %w", err)
+			return
+		}
+		placer, err := sensor.NewPlacer(net, base)
+		if err != nil {
+			testbed.err = err
+			return
+		}
+		sensors, err := placer.KMedoids(5, rand.New(rand.NewSource(2)))
+		if err != nil {
+			testbed.err = err
+			return
+		}
+		factory, err := newTestFactory(net, sensors)
+		if err != nil {
+			testbed.err = err
+			return
+		}
+		sys := core.NewSystem(factory, net, core.SystemConfig{})
+		err = sys.Train(60, core.ProfileConfig{Technique: core.TechniqueLinear, Seed: 5},
+			rand.New(rand.NewSource(3)))
+		if err != nil {
+			testbed.err = fmt.Errorf("train: %w", err)
+			return
+		}
+		testbed.net = net
+		testbed.sensors = sensors
+		testbed.profile = sys.Profile()
+	})
+	return testbed.err
+}
+
+func newTestFactory(net *network.Network, sensors []sensor.Sensor) (*dataset.Factory, error) {
+	return dataset.NewFactory(net, sensors, dataset.Config{
+		Noise: sensor.DefaultNoise,
+		Leaks: leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2},
+	})
+}
+
+// newTestSystem builds a fresh trained System over the shared fixtures.
+func newTestSystem(t *testing.T) *core.System {
+	t.Helper()
+	if err := initTestbed(); err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
+	factory, err := newTestFactory(testbed.net, testbed.sensors)
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	sys := core.NewSystem(factory, testbed.net, core.SystemConfig{})
+	if err := sys.SetProfile(testbed.profile); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	return sys
+}
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(newTestSystem(t), cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	})
+	return s
+}
+
+// testFeatures returns a deterministic feature vector of the served width.
+func testFeatures(sys *core.System, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, sys.Factory().SensorCount())
+	for i := range out {
+		out[i] = rng.NormFloat64()
+	}
+	return out
+}
+
+func waitResult(t *testing.T, j *Job) *Result {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(30 * time.Second):
+		t.Fatalf("job %s did not finish", j.ID())
+	}
+	state, res, err := j.Status()
+	if err != nil {
+		t.Fatalf("job %s failed: %v", j.ID(), err)
+	}
+	if state != JobDone || res == nil {
+		t.Fatalf("job %s state = %v, result = %v", j.ID(), state, res)
+	}
+	return res
+}
+
+func TestNewRejectsUntrainedSystem(t *testing.T) {
+	if err := initTestbed(); err != nil {
+		t.Fatalf("testbed: %v", err)
+	}
+	factory, err := newTestFactory(testbed.net, testbed.sensors)
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	sys := core.NewSystem(factory, testbed.net, core.SystemConfig{})
+	if _, err := New(sys, Config{}); err == nil {
+		t.Fatal("New should reject a system without a profile")
+	}
+	if _, err := New(nil, Config{}); err == nil {
+		t.Fatal("New should reject a nil system")
+	}
+}
+
+// TestServedResultMatchesOffline is the parity guarantee: a served job is
+// bit-identical to calling System.Localize offline on the same evidence.
+func TestServedResultMatchesOffline(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	sys := s.System()
+
+	req := ObserveRequest{
+		Features:    testFeatures(sys, 7),
+		FrozenNodes: []int{1, 3},
+		Reports: []ReportIn{
+			{X: testbed.net.Nodes[1].X + 5, Y: testbed.net.Nodes[1].Y - 5, Slot: 0},
+			{X: testbed.net.Nodes[1].X - 8, Y: testbed.net.Nodes[1].Y + 3, Slot: 1},
+		},
+		Seed: 99,
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got := waitResult(t, j)
+
+	obs, err := s.buildObservation(req)
+	if err != nil {
+		t.Fatalf("buildObservation: %v", err)
+	}
+	pred, added, err := sys.Localize(obs)
+	if err != nil {
+		t.Fatalf("Localize: %v", err)
+	}
+	if len(got.Proba) != len(pred.Proba) {
+		t.Fatalf("proba length %d != offline %d", len(got.Proba), len(pred.Proba))
+	}
+	for v := range pred.Proba {
+		if got.Proba[v] != pred.Proba[v] {
+			t.Fatalf("proba[%d] = %v, offline %v (must be bit-identical)", v, got.Proba[v], pred.Proba[v])
+		}
+	}
+	if len(got.HumanAdded) != len(added) {
+		t.Fatalf("human added %v, offline %v", got.HumanAdded, added)
+	}
+	wantNodes := pred.LeakNodes()
+	if len(got.LeakNodes) != len(wantNodes) {
+		t.Fatalf("leak nodes %v, offline %v", got.LeakNodes, wantNodes)
+	}
+	for i, v := range wantNodes {
+		if got.LeakNodes[i] != v {
+			t.Fatalf("leak nodes %v, offline %v", got.LeakNodes, wantNodes)
+		}
+		if got.LeakIDs[i] != testbed.net.Nodes[v].ID {
+			t.Fatalf("leak id %q, want %q", got.LeakIDs[i], testbed.net.Nodes[v].ID)
+		}
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	var re *RequestError
+
+	if _, err := s.Submit(ObserveRequest{Features: []float64{1}}); !errors.As(err, &re) {
+		t.Fatalf("short features: err = %v, want RequestError", err)
+	}
+	feats := testFeatures(s.System(), 1)
+	if _, err := s.Submit(ObserveRequest{Features: feats, FrozenNodes: []int{99}}); !errors.As(err, &re) {
+		t.Fatalf("out-of-range frozen node: err = %v, want RequestError", err)
+	}
+}
+
+// TestWarmTemperatureDiscardsFreezeEvidence checks the weather gate: 60°F
+// means no frost bursts, so frozen-node evidence must be dropped.
+func TestWarmTemperatureDiscardsFreezeEvidence(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	feats := testFeatures(s.System(), 1)
+
+	warm := 60.0
+	obs, err := s.buildObservation(ObserveRequest{Features: feats, TemperatureF: &warm, FrozenNodes: []int{1}})
+	if err != nil {
+		t.Fatalf("buildObservation: %v", err)
+	}
+	if obs.Frozen != nil {
+		t.Fatalf("warm observation kept frozen mask %v", obs.Frozen)
+	}
+	cold := 10.0
+	obs, err = s.buildObservation(ObserveRequest{Features: feats, TemperatureF: &cold, FrozenNodes: []int{1}})
+	if err != nil {
+		t.Fatalf("buildObservation: %v", err)
+	}
+	if obs.Frozen == nil || !obs.Frozen[1] {
+		t.Fatalf("cold observation lost frozen mask %v", obs.Frozen)
+	}
+}
+
+// TestConcurrentLocalizeUnderHotSwap is the acceptance-bar race test:
+// hundreds of concurrent in-flight localize requests against one shared
+// System while the profile is hot-swapped under load.
+func TestConcurrentLocalizeUnderHotSwap(t *testing.T) {
+	const jobs = 500
+	s := newTestServer(t, Config{Workers: 8, QueueSize: jobs})
+	sys := s.System()
+	feats := testFeatures(sys, 13)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, jobs)
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+			if err != nil {
+				errCh <- err
+				return
+			}
+			<-j.Done()
+			if _, _, err := j.Status(); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	// Hot-swap the profile repeatedly while the requests are in flight.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if err := s.SwapProfile(testbed.profile); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("concurrent serving: %v", err)
+	}
+	if got := s.Status().Done; got != jobs {
+		t.Fatalf("jobs done = %d, want %d", got, jobs)
+	}
+}
+
+func TestQueueFullBackpressure(t *testing.T) {
+	// One worker pinned on a slow job, a queue of 2: the 4th submission
+	// (1 running + 2 queued) must be refused with ErrQueueFull.
+	s := newTestServer(t, Config{
+		Workers:        1,
+		QueueSize:      2,
+		RequestTimeout: 30 * time.Second,
+		Faults:         faults.Config{RequestSlow: 1, RequestDelay: 500 * time.Millisecond},
+	})
+	feats := testFeatures(s.System(), 13)
+
+	var accepted []*Job
+	var sawFull bool
+	for i := 0; i < 10; i++ {
+		j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+			break
+		}
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		accepted = append(accepted, j)
+	}
+	if !sawFull {
+		t.Fatal("never hit ErrQueueFull with a 2-deep queue and one slow worker")
+	}
+	if len(accepted) > 3 {
+		t.Fatalf("accepted %d jobs, want at most 1 running + 2 queued", len(accepted))
+	}
+	for _, j := range accepted {
+		waitResult(t, j)
+	}
+}
+
+// TestDrain proves the shutdown contract: in-flight requests finish,
+// queued ones fail with ErrDraining, new submissions are refused.
+func TestDrain(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:        1,
+		QueueSize:      8,
+		RequestTimeout: 30 * time.Second,
+		Faults:         faults.Config{RequestSlow: 1, RequestDelay: 400 * time.Millisecond},
+	})
+	feats := testFeatures(s.System(), 13)
+
+	inflight, err := s.Submit(ObserveRequest{Features: feats, Seed: 1})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Let the single worker pick the job up before draining.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if state, _, _ := inflight.Status(); state == JobRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var queued []*Job
+	for i := 0; i < 3; i++ {
+		j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 2)})
+		if err != nil {
+			t.Fatalf("Submit queued: %v", err)
+		}
+		queued = append(queued, j)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The in-flight job finished normally.
+	state, res, err := inflight.Status()
+	if err != nil || state != JobDone || res == nil {
+		t.Fatalf("in-flight job: state %v, res %v, err %v; want done", state, res, err)
+	}
+	// Every queued job failed with ErrDraining.
+	for _, j := range queued {
+		_, _, err := j.Status()
+		if !errors.Is(err, ErrDraining) {
+			t.Fatalf("queued job err = %v, want ErrDraining", err)
+		}
+	}
+	// New submissions are refused.
+	if _, err := s.Submit(ObserveRequest{Features: feats}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain Submit err = %v, want ErrDraining", err)
+	}
+	// Shutdown is idempotent.
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+func TestResultEviction(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueSize: 16, ResultCap: 2})
+	feats := testFeatures(s.System(), 13)
+
+	var jobs []*Job
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitResult(t, j)
+		jobs = append(jobs, j)
+	}
+	if s.Lookup(jobs[0].ID()) != nil {
+		t.Fatal("oldest finished job should have been evicted")
+	}
+	if s.Lookup(jobs[3].ID()) == nil {
+		t.Fatal("newest finished job should be retrievable")
+	}
+}
+
+func TestInjectedRequestFailure(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers: 1,
+		Faults:  faults.Config{RequestFail: 1},
+	})
+	j, err := s.Submit(ObserveRequest{Features: testFeatures(s.System(), 13), Seed: 4})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	<-j.Done()
+	if _, _, err := j.Status(); !errors.Is(err, faults.ErrInjectedFailure) {
+		t.Fatalf("err = %v, want ErrInjectedFailure", err)
+	}
+	if got := s.Status().Failed; got != 1 {
+		t.Fatalf("failed count = %d, want 1", got)
+	}
+}
+
+// ---- HTTP layer ----
+
+func postObserve(t *testing.T, ts *httptest.Server, req ObserveRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/observe: %v", err)
+	}
+	return resp
+}
+
+func decodeJob(t *testing.T, resp *http.Response) jobResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	var jr jobResponse
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode job response: %v", err)
+	}
+	return jr
+}
+
+func TestHTTPRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	feats := testFeatures(s.System(), 13)
+
+	// Async submit → 202 + Location, then poll until done.
+	resp := postObserve(t, ts, ObserveRequest{Features: feats, Seed: 1})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("status = %d, want 202", resp.StatusCode)
+	}
+	loc := resp.Header.Get("Location")
+	jr := decodeJob(t, resp)
+	if jr.Job == "" || loc != "/v1/localize/"+jr.Job {
+		t.Fatalf("job %q, location %q", jr.Job, loc)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		r, err := ts.Client().Get(ts.URL + loc)
+		if err != nil {
+			t.Fatalf("GET %s: %v", loc, err)
+		}
+		got := decodeJob(t, r)
+		if got.State == JobDone {
+			if r.StatusCode != http.StatusOK || got.Result == nil {
+				t.Fatalf("done poll: status %d, result %v", r.StatusCode, got.Result)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in state %q", got.State)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Synchronous submit matches the async result shape.
+	resp = postObserve(t, ts, ObserveRequest{Features: feats, Seed: 1, Wait: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("wait status = %d, want 200", resp.StatusCode)
+	}
+	if jr := decodeJob(t, resp); jr.State != JobDone || jr.Result == nil {
+		t.Fatalf("wait response: state %q, result %v", jr.State, jr.Result)
+	}
+
+	// Status endpoint.
+	r, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatalf("GET /v1/status: %v", err)
+	}
+	var st Status
+	if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+		t.Fatalf("decode status: %v", err)
+	}
+	r.Body.Close()
+	if st.Network != testbed.net.Name || st.Sensors != len(feats) || st.Technique != "linear" {
+		t.Fatalf("status = %+v", st)
+	}
+
+	// Unknown job → 404; bad body → 400; wrong method → 405.
+	if r, _ := ts.Client().Get(ts.URL + "/v1/localize/j-404"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status = %d, want 404", r.StatusCode)
+	}
+	r, err = ts.Client().Post(ts.URL+"/v1/observe", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatalf("bad body POST: %v", err)
+	}
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad body status = %d, want 400", r.StatusCode)
+	}
+	if r, _ := ts.Client().Get(ts.URL + "/v1/observe"); r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET observe status = %d, want 405", r.StatusCode)
+	}
+}
+
+func TestHTTPQueueFull429(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:        1,
+		QueueSize:      1,
+		RequestTimeout: 30 * time.Second,
+		RetryAfter:     2 * time.Second,
+		Faults:         faults.Config{RequestSlow: 1, RequestDelay: 500 * time.Millisecond},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	feats := testFeatures(s.System(), 13)
+
+	var saw429 bool
+	for i := 0; i < 6; i++ {
+		resp := postObserve(t, ts, ObserveRequest{Features: feats, Seed: int64(i + 1)})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			if ra := resp.Header.Get("Retry-After"); ra == "" {
+				t.Fatal("429 without Retry-After")
+			}
+			saw429 = true
+			resp.Body.Close()
+			break
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("status = %d, want 202 or 429", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	if !saw429 {
+		t.Fatal("never saw 429 past the queue bound")
+	}
+}
+
+// TestHTTPDrain drives the shutdown contract through httptest: the
+// in-flight wait request completes 200, queued jobs answer 503, and a
+// post-drain POST answers 503.
+func TestHTTPDrain(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:        1,
+		QueueSize:      8,
+		RequestTimeout: 30 * time.Second,
+		Faults:         faults.Config{RequestSlow: 1, RequestDelay: 400 * time.Millisecond},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	feats := testFeatures(s.System(), 13)
+
+	// In-flight synchronous request on the only worker. No t.Fatalf in
+	// the goroutine — failures are reported through the channel.
+	type waitOut struct {
+		code int
+		jr   jobResponse
+		err  error
+	}
+	waitCh := make(chan waitOut, 1)
+	go func() {
+		body, _ := json.Marshal(ObserveRequest{Features: feats, Seed: 1, Wait: true})
+		resp, err := ts.Client().Post(ts.URL+"/v1/observe", "application/json", bytes.NewReader(body))
+		if err != nil {
+			waitCh <- waitOut{err: err}
+			return
+		}
+		defer resp.Body.Close()
+		var jr jobResponse
+		if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+			waitCh <- waitOut{err: err}
+			return
+		}
+		waitCh <- waitOut{code: resp.StatusCode, jr: jr}
+	}()
+
+	// Wait until the worker holds it, then queue more behind it.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Status().Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight request never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	var queuedIDs []string
+	for i := 0; i < 3; i++ {
+		resp := postObserve(t, ts, ObserveRequest{Features: feats, Seed: int64(i + 2)})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("queued submit status = %d, want 202", resp.StatusCode)
+		}
+		queuedIDs = append(queuedIDs, decodeJob(t, resp).Job)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The in-flight request finished with a real result.
+	out := <-waitCh
+	if out.err != nil {
+		t.Fatalf("in-flight wait request: %v", out.err)
+	}
+	if out.code != http.StatusOK || out.jr.State != JobDone || out.jr.Result == nil {
+		t.Fatalf("in-flight wait: code %d, state %q, result %v; want 200/done", out.code, out.jr.State, out.jr.Result)
+	}
+	// Queued jobs report 503 with the draining error.
+	for _, id := range queuedIDs {
+		r, err := ts.Client().Get(ts.URL + "/v1/localize/" + id)
+		if err != nil {
+			t.Fatalf("GET queued job: %v", err)
+		}
+		if r.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("queued job status = %d, want 503", r.StatusCode)
+		}
+		r.Body.Close()
+	}
+	// A fresh POST is refused with 503.
+	resp := postObserve(t, ts, ObserveRequest{Features: feats})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain POST status = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+// TestHTTPProfileHotSwap reloads the profile over HTTP while requests
+// stream against the server.
+func TestHTTPProfileHotSwap(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 256})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	feats := testFeatures(s.System(), 13)
+
+	var buf bytes.Buffer
+	if err := testbed.profile.Save(&buf); err != nil {
+		t.Fatalf("save profile: %v", err)
+	}
+	profileBytes := buf.Bytes()
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, _ := json.Marshal(ObserveRequest{Features: feats, Seed: int64(i + 1), Wait: true})
+			resp, err := ts.Client().Post(ts.URL+"/v1/observe", "application/json", bytes.NewReader(body))
+			if err != nil {
+				errCh <- err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errCh <- fmt.Errorf("observe status %d", resp.StatusCode)
+			}
+		}(i)
+	}
+	for i := 0; i < 8; i++ {
+		resp, err := ts.Client().Post(ts.URL+"/v1/profile", "application/octet-stream",
+			bytes.NewReader(profileBytes))
+		if err != nil {
+			t.Fatalf("POST /v1/profile: %v", err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("profile swap status = %d, want 200", resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("request under hot swap: %v", err)
+	}
+	if got := s.Status().ProfileSwaps; got != 8 {
+		t.Fatalf("profile swaps = %d, want 8", got)
+	}
+
+	// Garbage body → 400.
+	resp, err := ts.Client().Post(ts.URL+"/v1/profile", "application/octet-stream",
+		strings.NewReader("not a profile"))
+	if err != nil {
+		t.Fatalf("POST garbage profile: %v", err)
+	}
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("garbage profile status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
