@@ -529,6 +529,9 @@ var (
 	ErrQueueFull = serve.ErrQueueFull
 	// ErrDraining means the server is shutting down (HTTP 503).
 	ErrDraining = serve.ErrDraining
+	// ErrEvicted means a job's finished result aged out of the bounded
+	// result window (HTTP 410 Gone) — distinct from an unknown id (404).
+	ErrEvicted = serve.ErrEvicted
 )
 
 // NewServer starts a localization service over a trained system.

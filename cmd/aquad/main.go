@@ -137,9 +137,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
-	fmt.Fprintf(out, "aquad: %s profile on %s (%d nodes, %d sensors), %d workers, queue %d\n",
+	path := "pointer path"
+	if server.Status().Compiled {
+		path = "compiled observe path"
+	}
+	fmt.Fprintf(out, "aquad: %s profile on %s (%d nodes, %d sensors), %d workers, queue %d, %s\n",
 		profile.Technique(), nw.Name, len(nw.Nodes), factory.SensorCount(),
-		server.Config().Workers, server.Config().QueueSize)
+		server.Config().Workers, server.Config().QueueSize, path)
 	fmt.Fprintf(out, "serving on http://%s\n", ln.Addr())
 
 	select {

@@ -1,0 +1,174 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/fusion"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// ServingLatency measures the Phase-II observe hot path the way the
+// serving daemon drives it: per-request Localize latency on EPA-NET,
+// pointer-tree path (pre-compile, one allocation-heavy Localize per
+// request) vs. the compiled flattened path (System.Compile +
+// LocalizeInto on a reused buffer). Both paths replay the same recorded
+// observations; the figure also asserts the two paths stay bit-identical,
+// which is the correctness contract the fast path ships under. Structural
+// columns are deterministic; the latency columns are wall-clock.
+func ServingLatency(scale Scale) (*Figure, error) {
+	scale = scale.withDefaults()
+	fig := &Figure{
+		ID:    "serving-latency",
+		Title: "Serving hot path: pointer-tree vs. compiled flattened inference",
+	}
+
+	tb, err := newTestbed(network.BuildEPANet)
+	if err != nil {
+		return nil, err
+	}
+	sensors, err := tb.sensorsAtPercent(60, scale.Seed+5)
+	if err != nil {
+		return nil, err
+	}
+	leakCfg := leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2}
+	sys, err := tb.trainedSystem(sensors, leakCfg, scale)
+	if err != nil {
+		return nil, err
+	}
+
+	// Record a small pool of real observations once, then replay them:
+	// latency is a property of the inference path, not the leak draw.
+	const obsPool = 8
+	rng := rand.New(rand.NewSource(scale.Seed + 23))
+	observations := make([]core.Observation, 0, obsPool)
+	for len(observations) < obsPool {
+		sc, err := sys.GenerateColdScenario(leakCfg, rng)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serving-latency scenario: %w", err)
+		}
+		obs, err := sys.Observe(sc, core.ObserveOptions{}, rng)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serving-latency observe: %w", err)
+		}
+		observations = append(observations, obs)
+	}
+
+	requests := scale.TestScenarios * 25
+	if requests < 500 {
+		requests = 500
+	}
+
+	// Pointer path first, recording its probabilities for the parity check.
+	pointerProba := make([][]float64, len(observations))
+	for i, obs := range observations {
+		pred, _, err := sys.Localize(obs)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serving-latency pointer: %w", err)
+		}
+		pointerProba[i] = pred.Proba
+	}
+	pointerLat, err := timeRequests(requests, func(i int) error {
+		_, _, err := sys.Localize(observations[i%len(observations)])
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serving-latency pointer: %w", err)
+	}
+
+	if err := sys.Compile(); err != nil {
+		return nil, fmt.Errorf("bench: serving-latency compile: %w", err)
+	}
+
+	// Parity: the compiled path must be bit-identical to the pointer path.
+	mismatches := 0
+	pred := &fusion.Prediction{Proba: make([]float64, len(tb.net.Nodes))}
+	for i, obs := range observations {
+		if _, err := sys.LocalizeInto(pred, obs); err != nil {
+			return nil, fmt.Errorf("bench: serving-latency compiled: %w", err)
+		}
+		for v := range pred.Proba {
+			if math.Float64bits(pred.Proba[v]) != math.Float64bits(pointerProba[i][v]) {
+				mismatches++
+			}
+		}
+	}
+	if mismatches > 0 {
+		return nil, fmt.Errorf("bench: serving-latency: compiled path diverged at %d probabilities", mismatches)
+	}
+
+	compiledLat, err := timeRequests(requests, func(i int) error {
+		_, err := sys.LocalizeInto(pred, observations[i%len(observations)])
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serving-latency compiled: %w", err)
+	}
+
+	table := Table{
+		Title: fmt.Sprintf("per-request observe latency, EPA-NET, %d sensors, %d requests over %d recorded observations",
+			len(sensors), requests, len(observations)),
+		Columns: []string{"path", "p50 us", "p99 us", "mean us", "speedup"},
+	}
+	table.Rows = append(table.Rows,
+		latencyRow("pointer", pointerLat, pointerLat),
+		latencyRow("compiled", compiledLat, pointerLat),
+	)
+	fig.Tables = append(fig.Tables, table)
+	fig.Notes = append(fig.Notes,
+		fmt.Sprintf("compiled probabilities bit-identical to pointer path on all %d observations", len(observations)),
+		"compiled path uses System.Compile + LocalizeInto on a reused buffer (0 allocs/op; see BenchmarkObserve)",
+	)
+	return fig, nil
+}
+
+// timeRequests runs n sequential requests and returns their individual
+// latencies in microseconds.
+func timeRequests(n int, do func(i int) error) ([]float64, error) {
+	lat := make([]float64, n)
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if err := do(i); err != nil {
+			return nil, err
+		}
+		lat[i] = float64(time.Since(start)) / float64(time.Microsecond)
+	}
+	return lat, nil
+}
+
+func latencyRow(name string, lat, baseline []float64) []string {
+	return []string{
+		name,
+		fmt.Sprintf("%.1f", latPercentile(lat, 50)),
+		fmt.Sprintf("%.1f", latPercentile(lat, 99)),
+		fmt.Sprintf("%.1f", latMean(lat)),
+		fmt.Sprintf("%.1fx", latMean(baseline)/latMean(lat)),
+	}
+}
+
+// latPercentile returns the pth percentile (nearest-rank) of latencies.
+func latPercentile(lat []float64, p float64) float64 {
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	rank := int(math.Ceil(p / 100 * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func latMean(lat []float64) float64 {
+	total := 0.0
+	for _, v := range lat {
+		total += v
+	}
+	return total / float64(len(lat))
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/mlearn"
+)
+
+// CompiledProfile is the flattened, allocation-free inference form of a
+// Profile: every per-node classifier compiled via mlearn.Compile, all
+// evaluated against one shared feature vector, with the junction→node
+// scatter done in place. Predictions are bit-identical to
+// Profile.PredictProba.
+type CompiledProfile struct {
+	model        *mlearn.CompiledMultiOutput
+	junctions    []int // label column → node index, strictly increasing
+	nonJunctions []int // fixed-grade node indices (probability 0)
+	nodeCount    int
+}
+
+// Compile flattens the profile's classifier bank.
+func (p *Profile) Compile() (*CompiledProfile, error) {
+	cm, err := p.model.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("core: compile profile: %w", err)
+	}
+	// The in-place scatter below needs junctions[col] ≥ col, which holds
+	// exactly when the column→node map is strictly increasing (as
+	// TrainProfile builds it from JunctionIndices). Reject anything else
+	// rather than corrupt the buffer silently.
+	for col, nodeIdx := range p.junctions {
+		if nodeIdx < 0 || nodeIdx >= p.nodeCount || (col > 0 && nodeIdx <= p.junctions[col-1]) {
+			return nil, fmt.Errorf("core: compile profile: junction columns are not strictly increasing node indices")
+		}
+	}
+	isJunction := make([]bool, p.nodeCount)
+	for _, v := range p.junctions {
+		isJunction[v] = true
+	}
+	var nonJ []int
+	for v, ok := range isJunction {
+		if !ok {
+			nonJ = append(nonJ, v)
+		}
+	}
+	return &CompiledProfile{
+		model:        cm,
+		junctions:    append([]int(nil), p.junctions...),
+		nonJunctions: nonJ,
+		nodeCount:    p.nodeCount,
+	}, nil
+}
+
+// NodeCount returns the network's |V| — the required buffer length for
+// PredictProbaInto.
+func (cp *CompiledProfile) NodeCount() int { return cp.nodeCount }
+
+// PredictProbaInto writes per-node leak probabilities into out
+// (len == NodeCount()). The per-junction columns are evaluated into the
+// buffer's prefix, scattered in place to their node indices in
+// descending column order (safe because junctions[col] ≥ col), then the
+// fixed-grade positions are zeroed. No heap allocations when features
+// are finite.
+func (cp *CompiledProfile) PredictProbaInto(features, out []float64) error {
+	if len(out) != cp.nodeCount {
+		return fmt.Errorf("core: probability buffer has %d slots, want %d", len(out), cp.nodeCount)
+	}
+	if err := cp.model.PredictProbaInto(features, out[:len(cp.junctions)]); err != nil {
+		return err
+	}
+	for col := len(cp.junctions) - 1; col >= 0; col-- {
+		out[cp.junctions[col]] = out[col]
+	}
+	for _, v := range cp.nonJunctions {
+		out[v] = 0
+	}
+	return nil
+}
+
+// memoKey is the baseline memo key: the paper's quiescent profile is a
+// function of the network and the point in the daily demand cycle.
+type memoKey struct {
+	fingerprint uint64
+	hour        int
+}
+
+// baselineMemo caches quiescent (leak-free, noise-free) sensor readings
+// by (network fingerprint, pattern hour). Demand patterns repeat daily,
+// so hour h and h+24 share one entry — unlike the factory's raw-duration
+// solver cache, which re-solves for every distinct clock time.
+type baselineMemo struct {
+	fingerprint uint64
+	mu          sync.RWMutex
+	byKey       map[memoKey][]float64
+}
+
+func newBaselineMemo(fingerprint uint64) *baselineMemo {
+	return &baselineMemo{fingerprint: fingerprint, byKey: make(map[memoKey][]float64)}
+}
+
+func (m *baselineMemo) get(hour int) ([]float64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	vals, ok := m.byKey[memoKey{m.fingerprint, hour}]
+	return vals, ok
+}
+
+func (m *baselineMemo) put(hour int, vals []float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byKey[memoKey{m.fingerprint, hour}] = vals
+}
+
+// compiledSnapshot binds a compiled profile to the exact *Profile it was
+// built from, plus the baseline memo. Localize uses the snapshot only
+// while its source profile is still the installed one, so a profile
+// hot-swap implicitly invalidates both the flattened models and the memo
+// (and TrainOn/SetProfile additionally drop the snapshot outright).
+type compiledSnapshot struct {
+	profile *Profile
+	model   *CompiledProfile
+	memo    *baselineMemo
+}
+
+// Compile pre-builds the serving fast path for the installed profile:
+// every per-node classifier is flattened (mlearn.Compile) and the
+// quiescent baseline for the factory's base hour is memoized, so observe
+// requests neither chase tree pointers nor re-run the hydraulic solve.
+// The snapshot is bound to the current profile; TrainOn and SetProfile
+// drop it, and callers hot-swapping profiles must Compile again.
+func (s *System) Compile() error {
+	p := s.profile.Load()
+	if p == nil {
+		return fmt.Errorf("core: compile: system not trained")
+	}
+	cp, err := p.Compile()
+	if err != nil {
+		return err
+	}
+	memo := newBaselineMemo(s.net.Fingerprint())
+	base := s.factory.BaseTime()
+	vals, err := s.factory.BaselineReadings(base)
+	if err != nil {
+		return fmt.Errorf("core: compile: baseline: %w", err)
+	}
+	memo.put(patternHour(base), vals)
+	s.compiled.Store(&compiledSnapshot{profile: p, model: cp, memo: memo})
+	return nil
+}
+
+// Compiled reports whether a compiled snapshot matching the installed
+// profile is active — i.e. whether Localize takes the fast path.
+func (s *System) Compiled() bool {
+	snap := s.compiled.Load()
+	return snap != nil && snap.profile == s.profile.Load()
+}
+
+// QuiescentBaseline returns the leak-free noise-free sensor readings for
+// the given pattern hour (hours outside [0,24) wrap into the daily
+// cycle). With a compiled snapshot installed the result is memoized by
+// (network fingerprint, hour); otherwise it falls back to the factory's
+// solver cache. The returned slice is shared — treat it as read-only.
+func (s *System) QuiescentBaseline(hour int) ([]float64, error) {
+	h := ((hour % 24) + 24) % 24
+	t := time.Duration(h) * time.Hour
+	snap := s.compiled.Load()
+	if snap == nil {
+		return s.factory.BaselineReadings(t)
+	}
+	if vals, ok := snap.memo.get(h); ok {
+		return vals, nil
+	}
+	vals, err := s.factory.BaselineReadings(t)
+	if err != nil {
+		return nil, err
+	}
+	snap.memo.put(h, vals)
+	return vals, nil
+}
+
+func patternHour(t time.Duration) int {
+	h := int(t/time.Hour) % 24
+	if h < 0 {
+		h += 24
+	}
+	return h
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/fusion"
+	"github.com/aquascale/aquascale/internal/network"
+)
+
+// trainOnNet fits a profile over a network's real junction set using the
+// synthetic indicator dataset, so compile tests cover the true column→node
+// scatter of each evaluation network without slow hydraulic generation.
+func trainOnNet(t *testing.T, net *network.Network, technique Technique, samples int) *System {
+	t.Helper()
+	sys := NewSystem(testFactory(t, net), net, SystemConfig{})
+	ds := syntheticDataset(net.JunctionIndices(), samples, rand.New(rand.NewSource(17)))
+	if err := sys.TrainOn(ds, ProfileConfig{Technique: technique, Seed: 5}); err != nil {
+		t.Fatalf("TrainOn: %v", err)
+	}
+	return sys
+}
+
+// leakFeatures builds a feature vector with a leak signature at column
+// hot, plus small noise everywhere.
+func leakFeatures(rng *rand.Rand, dims, hot int) []float64 {
+	x := make([]float64, dims)
+	for j := range x {
+		x[j] = rng.NormFloat64() * 0.1
+	}
+	x[hot] = -2
+	return x
+}
+
+// TestCompiledLocalizeBitIdentical pins the acceptance criterion: on both
+// evaluation networks the compiled observe path must produce bit-identical
+// probabilities to the pointer path.
+func TestCompiledLocalizeBitIdentical(t *testing.T) {
+	cases := []struct {
+		name      string
+		net       *network.Network
+		technique Technique
+		samples   int
+	}{
+		{"EPA-NET/hybrid", network.BuildEPANet(), TechniqueHybridRSL, 50},
+		{"WSSC/rf", network.BuildWSSCSubnet(), TechniqueRF, 30},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			sys := trainOnNet(t, tc.net, tc.technique, tc.samples)
+			dims := len(tc.net.JunctionIndices())
+			rng := rand.New(rand.NewSource(23))
+
+			probeSet := make([][]float64, 0, 6)
+			for i := 0; i < 5; i++ {
+				probeSet = append(probeSet, leakFeatures(rng, dims, rng.Intn(dims)))
+			}
+			dirty := leakFeatures(rng, dims, 0)
+			dirty[1] = math.NaN()
+			probeSet = append(probeSet, dirty)
+
+			want := make([]*fusion.Prediction, len(probeSet))
+			for i, x := range probeSet {
+				pred, _, err := sys.Localize(Observation{Features: x})
+				if err != nil {
+					t.Fatalf("pointer Localize: %v", err)
+				}
+				want[i] = pred
+			}
+
+			if sys.Compiled() {
+				t.Fatal("Compiled() true before Compile")
+			}
+			if err := sys.Compile(); err != nil {
+				t.Fatalf("Compile: %v", err)
+			}
+			if !sys.Compiled() {
+				t.Fatal("Compiled() false after Compile")
+			}
+
+			for i, x := range probeSet {
+				pred, _, err := sys.Localize(Observation{Features: x})
+				if err != nil {
+					t.Fatalf("compiled Localize: %v", err)
+				}
+				if len(pred.Proba) != len(tc.net.Nodes) {
+					t.Fatalf("proba length = %d, want %d", len(pred.Proba), len(tc.net.Nodes))
+				}
+				for v := range pred.Proba {
+					if math.Float64bits(pred.Proba[v]) != math.Float64bits(want[i].Proba[v]) {
+						t.Fatalf("probe %d node %d: compiled %v != pointer %v",
+							i, v, pred.Proba[v], want[i].Proba[v])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCompileInvalidation pins the hot-swap rule: TrainOn and SetProfile
+// drop the compiled snapshot, and a recompile restores the fast path.
+func TestCompileInvalidation(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := NewSystem(testFactory(t, net), net, SystemConfig{})
+	if err := sys.Compile(); err == nil {
+		t.Fatal("Compile on an untrained system should error")
+	}
+
+	ds := syntheticDataset(net.JunctionIndices(), 30, rand.New(rand.NewSource(1)))
+	if err := sys.TrainOn(ds, ProfileConfig{Technique: TechniqueLinear, Seed: 1}); err != nil {
+		t.Fatalf("TrainOn: %v", err)
+	}
+	if err := sys.Compile(); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	if !sys.Compiled() {
+		t.Fatal("not compiled after Compile")
+	}
+
+	// Retraining installs a fresh profile: the snapshot must be gone.
+	if err := sys.TrainOn(ds, ProfileConfig{Technique: TechniqueLinear, Seed: 2}); err != nil {
+		t.Fatalf("TrainOn: %v", err)
+	}
+	if sys.Compiled() {
+		t.Fatal("snapshot survived TrainOn")
+	}
+
+	if err := sys.Compile(); err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if !sys.Compiled() {
+		t.Fatal("recompile did not restore the fast path")
+	}
+
+	// Hot-swapping a loaded profile must drop both snapshot and memo.
+	p2, err := TrainProfile(ds, len(net.Nodes), ProfileConfig{Technique: TechniqueLinear, Seed: 3})
+	if err != nil {
+		t.Fatalf("TrainProfile: %v", err)
+	}
+	if err := sys.SetProfile(p2); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	if sys.Compiled() {
+		t.Fatal("snapshot survived SetProfile")
+	}
+	if err := sys.Compile(); err != nil {
+		t.Fatalf("Compile after swap: %v", err)
+	}
+	if !sys.Compiled() {
+		t.Fatal("not compiled after swap + Compile")
+	}
+}
+
+// TestQuiescentBaselineMemo pins the memo semantics: hours wrap into the
+// daily demand cycle, memoized lookups return the shared slice without
+// re-solving, and the uncompiled path still works via the factory.
+func TestQuiescentBaselineMemo(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := trainOnNet(t, net, TechniqueLinear, 20)
+
+	// Uncompiled fallback.
+	cold, err := sys.QuiescentBaseline(8)
+	if err != nil {
+		t.Fatalf("uncompiled QuiescentBaseline: %v", err)
+	}
+	if len(cold) != sys.Factory().SensorCount() {
+		t.Fatalf("baseline length = %d, want %d", len(cold), sys.Factory().SensorCount())
+	}
+
+	if err := sys.Compile(); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	a, err := sys.QuiescentBaseline(8)
+	if err != nil {
+		t.Fatalf("QuiescentBaseline(8): %v", err)
+	}
+	b, err := sys.QuiescentBaseline(32) // same point in the daily cycle
+	if err != nil {
+		t.Fatalf("QuiescentBaseline(32): %v", err)
+	}
+	c, err := sys.QuiescentBaseline(-16) // ditto, wrapped from below
+	if err != nil {
+		t.Fatalf("QuiescentBaseline(-16): %v", err)
+	}
+	if &a[0] != &b[0] || &a[0] != &c[0] {
+		t.Fatal("wrapped hours missed the memo entry")
+	}
+
+	want, err := sys.Factory().BaselineReadings(8 * time.Hour)
+	if err != nil {
+		t.Fatalf("BaselineReadings: %v", err)
+	}
+	for i := range want {
+		if math.Float64bits(a[i]) != math.Float64bits(want[i]) {
+			t.Fatalf("memoized baseline[%d] = %v, factory says %v", i, a[i], want[i])
+		}
+	}
+
+	// The factory's base hour was warmed by Compile itself.
+	baseHour := int(sys.Factory().BaseTime() / time.Hour)
+	if _, err := sys.QuiescentBaseline(baseHour); err != nil {
+		t.Fatalf("QuiescentBaseline(base): %v", err)
+	}
+}
+
+// TestLocalizeIntoZeroAlloc pins the tentpole's allocation guarantee: the
+// compiled observe path allocates nothing per request.
+func TestLocalizeIntoZeroAlloc(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := trainOnNet(t, net, TechniqueHybridRSL, 40)
+	if err := sys.Compile(); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	dims := len(net.JunctionIndices())
+	x := leakFeatures(rand.New(rand.NewSource(3)), dims, 7)
+	pred := &fusion.Prediction{Proba: make([]float64, len(net.Nodes))}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := sys.LocalizeInto(pred, Observation{Features: x}); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("compiled LocalizeInto allocated %v times per run, want 0", got)
+	}
+}
+
+// TestLocalizeIntoValidatesBuffer pins the buffer-length contract.
+func TestLocalizeIntoValidatesBuffer(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := trainOnNet(t, net, TechniqueLinear, 20)
+	dims := len(net.JunctionIndices())
+	x := make([]float64, dims)
+	short := &fusion.Prediction{Proba: make([]float64, len(net.Nodes)-1)}
+	if _, err := sys.LocalizeInto(short, Observation{Features: x}); err == nil {
+		t.Fatal("short prediction buffer accepted")
+	}
+}
+
+// BenchmarkObserve measures the Phase-II observe hot path. The compiled
+// variant is the serving configuration and must report 0 B/op.
+func BenchmarkObserve(b *testing.B) {
+	net := network.BuildEPANet()
+	sys := benchSystem(b, net)
+	dims := len(net.JunctionIndices())
+	x := leakFeatures(rand.New(rand.NewSource(3)), dims, 7)
+	pred := &fusion.Prediction{Proba: make([]float64, len(net.Nodes))}
+
+	b.Run("pointer", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.LocalizeInto(pred, Observation{Features: x}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	if err := sys.Compile(); err != nil {
+		b.Fatalf("Compile: %v", err)
+	}
+	b.Run("compiled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.LocalizeInto(pred, Observation{Features: x}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func benchSystem(b *testing.B, net *network.Network) *System {
+	b.Helper()
+	sys := NewSystem(testFactory(b, net), net, SystemConfig{})
+	ds := syntheticDataset(net.JunctionIndices(), 40, rand.New(rand.NewSource(17)))
+	if err := sys.TrainOn(ds, ProfileConfig{Technique: TechniqueHybridRSL, Seed: 5}); err != nil {
+		b.Fatalf("TrainOn: %v", err)
+	}
+	return sys
+}

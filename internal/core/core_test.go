@@ -193,10 +193,9 @@ func TestGenerateColdScenario(t *testing.T) {
 	}
 }
 
-func testFactory(t *testing.T, net *network.Network) *dataset.Factory {
+func testFactory(t testing.TB, net *network.Network) *dataset.Factory {
 	t.Helper()
-	j40, _ := net.NodeIndex("J40")
-	sensors := []sensor.Sensor{{Kind: sensor.Pressure, Index: j40}}
+	sensors := []sensor.Sensor{{Kind: sensor.Pressure, Index: net.JunctionIndices()[0]}}
 	f, err := dataset.NewFactory(net, sensors, dataset.Config{})
 	if err != nil {
 		t.Fatalf("NewFactory: %v", err)

@@ -68,7 +68,9 @@ func LoadProfile(r io.Reader) (*Profile, error) {
 // SetProfile installs a pre-trained (e.g. loaded) profile into the system.
 // The swap is atomic: concurrent Localize calls see either the old or the
 // new profile in full, never a mix, so online services can hot-reload a
-// profile under load.
+// profile under load. Any compiled snapshot (and its baseline memo) is
+// dropped — it was built from the previous profile — so callers on the
+// fast path must Compile again after swapping.
 func (s *System) SetProfile(p *Profile) error {
 	if p == nil {
 		return fmt.Errorf("core: nil profile")
@@ -78,5 +80,6 @@ func (s *System) SetProfile(p *Profile) error {
 			p.nodeCount, len(s.net.Nodes))
 	}
 	s.profile.Store(p)
+	s.compiled.Store(nil)
 	return nil
 }

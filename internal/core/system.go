@@ -41,12 +41,13 @@ type Observation struct {
 // share across goroutines: concurrent Localize calls may run against a
 // concurrent SetProfile hot-swap and always see a complete profile.
 type System struct {
-	net     *network.Network
-	factory *dataset.Factory
-	profile atomic.Pointer[Profile]
-	engine  *fusion.Engine
-	freeze  weather.FreezeModel
-	social  social.Config
+	net      *network.Network
+	factory  *dataset.Factory
+	profile  atomic.Pointer[Profile]
+	compiled atomic.Pointer[compiledSnapshot]
+	engine   *fusion.Engine
+	freeze   weather.FreezeModel
+	social   social.Config
 }
 
 // SystemConfig wires a System.
@@ -110,13 +111,15 @@ func (s *System) TrainContext(ctx context.Context, samples int, cfg ProfileConfi
 	return s.TrainOn(ds, cfg)
 }
 
-// TrainOn fits the profile on a pre-built dataset.
+// TrainOn fits the profile on a pre-built dataset. Any compiled snapshot
+// is dropped — it belongs to the previous profile.
 func (s *System) TrainOn(ds *dataset.Dataset, cfg ProfileConfig) error {
 	p, err := TrainProfile(ds, len(s.net.Nodes), cfg)
 	if err != nil {
 		return err
 	}
 	s.profile.Store(p)
+	s.compiled.Store(nil)
 	return nil
 }
 
@@ -130,16 +133,44 @@ func (s *System) Profile() *Profile { return s.profile.Load() }
 // Localize is safe for concurrent use — it reads the profile pointer
 // once and touches no mutable System state — and is deterministic: the
 // result depends only on the observation and the installed profile.
+// After Compile it evaluates through the flattened snapshot, which is
+// bit-identical to the pointer path.
 func (s *System) Localize(obs Observation) (*fusion.Prediction, []int, error) {
-	p := s.profile.Load()
-	if p == nil {
-		return nil, nil, fmt.Errorf("core: system not trained")
-	}
-	proba, err := p.PredictProba(obs.Features)
+	pred := &fusion.Prediction{Proba: make([]float64, len(s.net.Nodes))}
+	added, err := s.LocalizeInto(pred, obs)
 	if err != nil {
 		return nil, nil, err
 	}
-	return s.engine.Infer(proba, obs.Frozen, obs.Cliques)
+	return pred, added, nil
+}
+
+// LocalizeInto is Localize writing into a caller-owned prediction whose
+// Proba buffer has one slot per network node. With a compiled snapshot
+// installed (see Compile) the evaluation itself is allocation-free;
+// without one it falls back to the pointer path and copies. Reusing pred
+// across calls overwrites earlier results, so callers must not retain
+// predictions they hand back in.
+func (s *System) LocalizeInto(pred *fusion.Prediction, obs Observation) ([]int, error) {
+	p := s.profile.Load()
+	if p == nil {
+		return nil, fmt.Errorf("core: system not trained")
+	}
+	if len(pred.Proba) != len(s.net.Nodes) {
+		return nil, fmt.Errorf("core: prediction buffer has %d slots, network has %d",
+			len(pred.Proba), len(s.net.Nodes))
+	}
+	if snap := s.compiled.Load(); snap != nil && snap.profile == p {
+		if err := snap.model.PredictProbaInto(obs.Features, pred.Proba); err != nil {
+			return nil, err
+		}
+	} else {
+		proba, err := p.PredictProba(obs.Features)
+		if err != nil {
+			return nil, err
+		}
+		copy(pred.Proba, proba)
+	}
+	return s.engine.Refine(pred, obs.Frozen, obs.Cliques)
 }
 
 // ColdScenario is a leak scenario caused by low temperature: leak

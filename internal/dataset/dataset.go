@@ -282,6 +282,17 @@ func (f *Factory) Junctions() []int {
 // SensorCount returns the feature dimension.
 func (f *Factory) SensorCount() int { return len(f.sensors) }
 
+// BaseTime returns the configured leak-onset clock time within the
+// demand-pattern day.
+func (f *Factory) BaseTime() time.Duration { return f.cfg.BaseTime }
+
+// BaselineReadings returns the noise-free leak-free sensor readings at
+// clock time t, solving at most once per distinct t (the result is
+// cached). The returned slice is shared — treat it as read-only.
+func (f *Factory) BaselineReadings(t time.Duration) ([]float64, error) {
+	return f.baselineAt(t)
+}
+
 // JunctionColumn maps a node index to its label column (-1 if the node is
 // not a junction).
 func (f *Factory) JunctionColumn(nodeIdx int) int {

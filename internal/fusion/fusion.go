@@ -177,16 +177,29 @@ func (e *Engine) ApplyCliques(p *Prediction, cliques []social.Clique) []int {
 	return added
 }
 
+// Refine runs the full Phase-II pipeline in place on an existing
+// prediction: freeze fusion then clique tuning. It mutates p.Proba and
+// returns the nodes added by human input. Callers that need to keep the
+// profile-model probabilities should pass a copy (as Infer does); the
+// serving fast path refines its per-request buffer directly, avoiding
+// the copy.
+func (e *Engine) Refine(p *Prediction, frozen []bool, cliques []social.Clique) ([]int, error) {
+	if frozen != nil {
+		if _, err := e.ApplyFreezeEvidence(p, frozen); err != nil {
+			return nil, err
+		}
+	}
+	return e.ApplyCliques(p, cliques), nil
+}
+
 // Infer runs the full Phase-II pipeline on profile-model probabilities:
 // freeze fusion then clique tuning. It returns the refined prediction and
 // the list of nodes added by human input.
 func (e *Engine) Infer(proba []float64, frozen []bool, cliques []social.Clique) (*Prediction, []int, error) {
 	p := NewPrediction(proba)
-	if frozen != nil {
-		if _, err := e.ApplyFreezeEvidence(p, frozen); err != nil {
-			return nil, nil, err
-		}
+	added, err := e.Refine(p, frozen, cliques)
+	if err != nil {
+		return nil, nil, err
 	}
-	added := e.ApplyCliques(p, cliques)
 	return p, added, nil
 }

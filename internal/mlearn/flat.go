@@ -1,0 +1,423 @@
+package mlearn
+
+// Flat, compiled inference for the Phase-II serving hot path.
+//
+// Compile converts a fitted classifier into a read-only form that
+// evaluates without heap allocations: tree ensembles are flattened into
+// contiguous node-major arrays traversed with a branchless child select,
+// and the linear family inlines feature standardization into the weight
+// accumulation loop. Compiled predictions are bit-identical to the
+// source classifier: the flat traversal preserves the
+// `x[f] <= threshold → left` split predicate (including its
+// NaN-goes-right behavior), and the linear path keeps the exact
+// transform-then-dot operation order of scaler.transform + matrix.Dot —
+// the scaler is never algebraically folded into the weights, which would
+// change floating-point rounding.
+
+import "fmt"
+
+// Compiled is the inference-only form of a fitted classifier produced by
+// Compile. Implementations in this package are safe for concurrent use
+// and allocate nothing on PredictProba when the input is finite.
+type Compiled interface {
+	// PredictProba returns P(y=1 | x), bit-identical to the source
+	// classifier's PredictProba on the same input.
+	PredictProba(x []float64) float64
+}
+
+// cleanPredictor is the internal fast-path contract: predictClean
+// assumes x already passed cleanFeatures, letting CompiledMultiOutput
+// sanitize once and share the vector across every per-node model.
+type cleanPredictor interface {
+	predictClean(x []float64) float64
+}
+
+const flatLeaf = int32(-1)
+
+// flatArena stores one or more flattened trees in node-major parallel
+// arrays. Node i's split feature is feature[i] (flatLeaf marks a leaf,
+// whose prediction is stored in threshold[i]); its children are
+// child[2i] (left) and child[2i+1] (right). Trees are laid out in
+// preorder so a node's left child is adjacent to it.
+type flatArena struct {
+	feature   []int32
+	threshold []float64
+	child     []int32
+	roots     []int32
+}
+
+// appendTree flattens the pointer tree rooted at n into the arena and
+// records its root offset.
+func (a *flatArena) appendTree(n *treeNode) {
+	a.roots = append(a.roots, a.walk(n))
+}
+
+func (a *flatArena) walk(n *treeNode) int32 {
+	idx := int32(len(a.feature))
+	if n.leaf {
+		a.feature = append(a.feature, flatLeaf)
+		a.threshold = append(a.threshold, n.value)
+		a.child = append(a.child, 0, 0)
+		return idx
+	}
+	a.feature = append(a.feature, int32(n.feature))
+	a.threshold = append(a.threshold, n.threshold)
+	a.child = append(a.child, 0, 0)
+	a.child[2*idx] = a.walk(n.left)
+	a.child[2*idx+1] = a.walk(n.right)
+	return idx
+}
+
+// predict traverses the tree at root r. The branch predicate mirrors
+// treeNode.predict exactly — left iff x[f] <= threshold, so NaN (never
+// ≤) goes right — but the child index is computed as a select instead
+// of a pointer chase through two possible fields.
+func (a *flatArena) predict(r int32, x []float64) float64 {
+	i := r
+	f := a.feature[i]
+	for f >= 0 {
+		b := int32(1)
+		if x[f] <= a.threshold[i] {
+			b = 0
+		}
+		i = a.child[2*i+b]
+		f = a.feature[i]
+	}
+	return a.threshold[i]
+}
+
+// nodes returns the total flattened node count across all trees.
+func (a *flatArena) nodes() int { return len(a.feature) }
+
+// FlatTree is the compiled form of DecisionTree.
+type FlatTree struct {
+	a flatArena
+}
+
+var _ Compiled = (*FlatTree)(nil)
+
+// Compile flattens the fitted tree into a contiguous arena.
+func (m *DecisionTree) Compile() (*FlatTree, error) {
+	if m.root == nil {
+		return nil, fmt.Errorf("mlearn: compile decision tree: %w", ErrNotFitted)
+	}
+	t := &FlatTree{}
+	t.a.appendTree(m.root)
+	return t, nil
+}
+
+// PredictProba returns the leaf's positive fraction.
+func (t *FlatTree) PredictProba(x []float64) float64 { return t.predictClean(cleanFeatures(x)) }
+
+func (t *FlatTree) predictClean(x []float64) float64 {
+	return clamp01(t.a.predict(t.a.roots[0], x))
+}
+
+// Nodes reports the flattened node count.
+func (t *FlatTree) Nodes() int { return t.a.nodes() }
+
+// FlatForest is the compiled form of RandomForest: all trees share one
+// arena, walked root by root.
+type FlatForest struct {
+	a flatArena
+	n float64 // float64(#trees), the divisor of the ensemble mean
+}
+
+var _ Compiled = (*FlatForest)(nil)
+
+// Compile flattens the fitted ensemble into one shared arena.
+func (m *RandomForest) Compile() (*FlatForest, error) {
+	if len(m.trees) == 0 {
+		return nil, fmt.Errorf("mlearn: compile random forest: %w", ErrNotFitted)
+	}
+	f := &FlatForest{n: float64(len(m.trees))}
+	for _, root := range m.trees {
+		f.a.appendTree(root)
+	}
+	return f, nil
+}
+
+// PredictProba averages the trees' leaf probabilities.
+func (f *FlatForest) PredictProba(x []float64) float64 { return f.predictClean(cleanFeatures(x)) }
+
+func (f *FlatForest) predictClean(x []float64) float64 {
+	sum := 0.0
+	for _, r := range f.a.roots {
+		sum += f.a.predict(r, x)
+	}
+	return clamp01(sum / f.n)
+}
+
+// Nodes reports the flattened node count across all trees.
+func (f *FlatForest) Nodes() int { return f.a.nodes() }
+
+// FlatGBM is the compiled form of GradientBoosting.
+type FlatGBM struct {
+	a    flatArena
+	bias float64
+	lr   float64
+}
+
+var _ Compiled = (*FlatGBM)(nil)
+
+// Compile flattens the fitted boosting stages into one shared arena.
+func (m *GradientBoosting) Compile() (*FlatGBM, error) {
+	if m.trees == nil {
+		return nil, fmt.Errorf("mlearn: compile gradient boosting: %w", ErrNotFitted)
+	}
+	g := &FlatGBM{bias: m.bias, lr: m.cfg.LearningRate}
+	for _, root := range m.trees {
+		g.a.appendTree(root)
+	}
+	return g, nil
+}
+
+// PredictProba returns the sigmoid of the boosted score.
+func (g *FlatGBM) PredictProba(x []float64) float64 { return g.predictClean(cleanFeatures(x)) }
+
+func (g *FlatGBM) predictClean(x []float64) float64 {
+	// Stages accumulate sequentially in training order — the same
+	// rounding sequence as the pointer path.
+	score := g.bias
+	for _, r := range g.a.roots {
+		score += g.lr * g.a.predict(r, x)
+	}
+	return sigmoid(score)
+}
+
+// Nodes reports the flattened node count across all stages.
+func (g *FlatGBM) Nodes() int { return g.a.nodes() }
+
+// scaledDot standardizes x on the fly and accumulates the weighted sum
+// in index order — exactly the operations of scaler.transform followed
+// by matrix.Dot, without the transform's per-call allocation.
+func scaledDot(w, mean, inv, x []float64) float64 {
+	s := 0.0
+	for j, wj := range w {
+		s += wj * ((x[j] - mean[j]) * inv[j])
+	}
+	return s
+}
+
+// FlatLinear is the compiled form of LinearRegression.
+type FlatLinear struct {
+	mean, inv, w []float64
+	bias         float64
+}
+
+var _ Compiled = (*FlatLinear)(nil)
+
+// Compile snapshots the fitted coefficients and scaler.
+func (m *LinearRegression) Compile() (*FlatLinear, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("mlearn: compile linear regression: %w", ErrNotFitted)
+	}
+	return &FlatLinear{
+		mean: cloneFloats(m.scale.mean),
+		inv:  cloneFloats(m.scale.inv),
+		w:    cloneFloats(m.w),
+		bias: m.bias,
+	}, nil
+}
+
+// PredictProba returns the clipped linear response.
+func (l *FlatLinear) PredictProba(x []float64) float64 { return l.predictClean(cleanFeatures(x)) }
+
+func (l *FlatLinear) predictClean(x []float64) float64 {
+	return clamp01(scaledDot(l.w, l.mean, l.inv, x) + l.bias)
+}
+
+// FlatLogistic is the compiled form of LogisticRegression.
+type FlatLogistic struct {
+	mean, inv, w []float64
+	bias         float64
+}
+
+var _ Compiled = (*FlatLogistic)(nil)
+
+// Compile snapshots the fitted coefficients and scaler.
+func (m *LogisticRegression) Compile() (*FlatLogistic, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("mlearn: compile logistic regression: %w", ErrNotFitted)
+	}
+	return &FlatLogistic{
+		mean: cloneFloats(m.scale.mean),
+		inv:  cloneFloats(m.scale.inv),
+		w:    cloneFloats(m.w),
+		bias: m.bias,
+	}, nil
+}
+
+// PredictProba returns the sigmoid response.
+func (l *FlatLogistic) PredictProba(x []float64) float64 { return l.predictClean(cleanFeatures(x)) }
+
+func (l *FlatLogistic) predictClean(x []float64) float64 {
+	return sigmoid(scaledDot(l.w, l.mean, l.inv, x) + l.bias)
+}
+
+// FlatSVM is the compiled form of SVM.
+type FlatSVM struct {
+	mean, inv, w   []float64
+	bias           float64
+	plattA, plattB float64
+}
+
+var _ Compiled = (*FlatSVM)(nil)
+
+// Compile snapshots the fitted hyperplane, scaler and Platt sigmoid.
+func (m *SVM) Compile() (*FlatSVM, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("mlearn: compile svm: %w", ErrNotFitted)
+	}
+	return &FlatSVM{
+		mean:   cloneFloats(m.scale.mean),
+		inv:    cloneFloats(m.scale.inv),
+		w:      cloneFloats(m.w),
+		bias:   m.bias,
+		plattA: m.plattA,
+		plattB: m.plattB,
+	}, nil
+}
+
+// PredictProba returns the Platt-scaled margin.
+func (s *FlatSVM) PredictProba(x []float64) float64 { return s.predictClean(cleanFeatures(x)) }
+
+func (s *FlatSVM) predictClean(x []float64) float64 {
+	margin := scaledDot(s.w, s.mean, s.inv, x) + s.bias
+	return sigmoid(s.plattA*margin + s.plattB)
+}
+
+// FlatHybrid is the compiled form of HybridRSL: compiled RF and SVM legs
+// fused through the compiled logistic meta layer over a stack-allocated
+// meta-feature vector.
+type FlatHybrid struct {
+	rf   *FlatForest
+	svm  *FlatSVM
+	meta *FlatLogistic
+}
+
+var _ Compiled = (*FlatHybrid)(nil)
+
+// Compile flattens both legs and the fusion layer.
+func (m *HybridRSL) Compile() (*FlatHybrid, error) {
+	if !m.fitted {
+		return nil, fmt.Errorf("mlearn: compile hybrid-rsl: %w", ErrNotFitted)
+	}
+	rf, err := m.rf.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("mlearn: compile hybrid-rsl: %w", err)
+	}
+	svm, err := m.svm.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("mlearn: compile hybrid-rsl: %w", err)
+	}
+	meta, err := m.meta.Compile()
+	if err != nil {
+		return nil, fmt.Errorf("mlearn: compile hybrid-rsl: %w", err)
+	}
+	return &FlatHybrid{rf: rf, svm: svm, meta: meta}, nil
+}
+
+// PredictProba fuses the two legs through the logistic layer.
+func (h *FlatHybrid) PredictProba(x []float64) float64 { return h.predictClean(cleanFeatures(x)) }
+
+func (h *FlatHybrid) predictClean(x []float64) float64 {
+	rfP := h.rf.predictClean(x)
+	svmP := h.svm.predictClean(x)
+	// Same layout as metaFeatures, but on the stack: probabilities are
+	// finite by construction, so the meta layer can skip sanitization.
+	mf := [4]float64{rfP, svmP, clippedLogit(rfP), clippedLogit(svmP)}
+	return h.meta.predictClean(mf[:])
+}
+
+// passthrough serves classifier types Compile does not recognize through
+// their own PredictProba: semantics are preserved, the compiled-path
+// zero-allocation guarantee is not.
+type passthrough struct{ c Classifier }
+
+func (p passthrough) PredictProba(x []float64) float64 { return p.c.PredictProba(x) }
+func (p passthrough) predictClean(x []float64) float64 { return p.c.PredictProba(x) }
+
+// Compile returns the allocation-free compiled form of a fitted
+// classifier. Every classifier in this package flattens to a dedicated
+// representation; unknown types fall back to their own PredictProba.
+func Compile(c Classifier) (Compiled, error) {
+	switch m := c.(type) {
+	case *DecisionTree:
+		return m.Compile()
+	case *RandomForest:
+		return m.Compile()
+	case *GradientBoosting:
+		return m.Compile()
+	case *LinearRegression:
+		return m.Compile()
+	case *LogisticRegression:
+		return m.Compile()
+	case *SVM:
+		return m.Compile()
+	case *HybridRSL:
+		return m.Compile()
+	default:
+		return passthrough{c}, nil
+	}
+}
+
+// CompiledMultiOutput is the compiled form of MultiOutput: every
+// per-node classifier flattened, all evaluated against one shared
+// sanitized feature vector.
+type CompiledMultiOutput struct {
+	models []cleanPredictor
+}
+
+// Compile flattens every fitted per-output classifier.
+func (m *MultiOutput) Compile() (*CompiledMultiOutput, error) {
+	if m.models == nil {
+		return nil, ErrNotFitted
+	}
+	out := &CompiledMultiOutput{models: make([]cleanPredictor, len(m.models))}
+	for v, c := range m.models {
+		cc, err := Compile(c)
+		if err != nil {
+			return nil, fmt.Errorf("mlearn: compile output %d: %w", v, err)
+		}
+		cp, ok := cc.(cleanPredictor)
+		if !ok {
+			cp = passthrough{c}
+		}
+		out.models[v] = cp
+	}
+	return out, nil
+}
+
+// Outputs returns the number of compiled outputs.
+func (c *CompiledMultiOutput) Outputs() int { return len(c.models) }
+
+// PredictProbaInto writes P(y_v = 1 | x) for every output v into out,
+// sanitizing x once and sharing it across all per-node models. It
+// performs no heap allocations when x is finite. len(out) must equal
+// Outputs().
+func (c *CompiledMultiOutput) PredictProbaInto(x, out []float64) error {
+	if len(out) != len(c.models) {
+		return fmt.Errorf("mlearn: output buffer has %d slots, want %d", len(out), len(c.models))
+	}
+	x = cleanFeatures(x)
+	for v, m := range c.models {
+		out[v] = m.predictClean(x)
+	}
+	return nil
+}
+
+// PredictProba is the allocating convenience form of PredictProbaInto.
+func (c *CompiledMultiOutput) PredictProba(x []float64) ([]float64, error) {
+	out := make([]float64, len(c.models))
+	if err := c.PredictProbaInto(x, out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func cloneFloats(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

@@ -139,11 +139,13 @@ func (m *RandomForest) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
-// PredictProba averages the trees' leaf probabilities.
+// PredictProba averages the trees' leaf probabilities. Non-finite
+// features are treated as 0 (see Classifier).
 func (m *RandomForest) PredictProba(x []float64) float64 {
 	if len(m.trees) == 0 {
 		return 0
 	}
+	x = cleanFeatures(x)
 	sum := 0.0
 	for _, t := range m.trees {
 		sum += t.predict(x)

@@ -145,11 +145,13 @@ func (m *GradientBoosting) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
-// PredictProba returns the sigmoid of the boosted score.
+// PredictProba returns the sigmoid of the boosted score. Non-finite
+// features are treated as 0 (see Classifier).
 func (m *GradientBoosting) PredictProba(x []float64) float64 {
 	if m.trees == nil {
 		return 0
 	}
+	x = cleanFeatures(x)
 	score := m.bias
 	for _, t := range m.trees {
 		score += m.cfg.LearningRate * t.predict(x)

@@ -158,9 +158,11 @@ func clippedLogit(p float64) float64 {
 }
 
 // PredictProba fuses the two legs through the logistic layer.
+// Non-finite features are treated as 0 (see Classifier).
 func (m *HybridRSL) PredictProba(x []float64) float64 {
 	if !m.fitted {
 		return 0
 	}
+	x = cleanFeatures(x)
 	return m.meta.PredictProba(metaFeatures(m.rf.PredictProba(x), m.svm.PredictProba(x)))
 }

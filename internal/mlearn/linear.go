@@ -128,12 +128,13 @@ func (m *LinearRegression) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
-// PredictProba returns the clipped linear response.
+// PredictProba returns the clipped linear response. Non-finite features
+// are treated as 0 (see Classifier).
 func (m *LinearRegression) PredictProba(x []float64) float64 {
 	if !m.fitted {
 		return 0
 	}
-	xi := m.scale.transform(x)
+	xi := m.scale.transform(cleanFeatures(x))
 	return clamp01(matrix.Dot(m.w, xi) + m.bias)
 }
 
@@ -224,11 +225,12 @@ func (m *LogisticRegression) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
-// PredictProba returns the sigmoid response.
+// PredictProba returns the sigmoid response. Non-finite features are
+// treated as 0 (see Classifier).
 func (m *LogisticRegression) PredictProba(x []float64) float64 {
 	if !m.fitted {
 		return 0
 	}
-	xi := m.scale.transform(x)
+	xi := m.scale.transform(cleanFeatures(x))
 	return sigmoid(matrix.Dot(m.w, xi) + m.bias)
 }

@@ -17,6 +17,7 @@ package mlearn
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 )
@@ -25,6 +26,12 @@ import (
 var ErrNotFitted = errors.New("mlearn: model not fitted")
 
 // Classifier is a binary classifier with probabilistic output.
+//
+// All implementations in this package share the non-finite input
+// contract: PredictProba treats NaN and ±Inf feature values as 0 — the
+// neutral "no deviation from baseline" delta, the same substitution the
+// dataset pipeline applies to solver output — so a corrupt reading can
+// never silently propagate into probabilities.
 type Classifier interface {
 	// Fit trains on feature rows X and labels y ∈ {0,1}.
 	Fit(x [][]float64, y []int) error
@@ -134,6 +141,28 @@ func classWeights(y []int) [2]float64 {
 	}
 	return w
 }
+
+// cleanFeatures enforces the package's non-finite input contract: NaN
+// and ±Inf feature values are replaced with 0. The common all-finite
+// path returns x unchanged without allocating; a dirty vector yields a
+// sanitized copy, leaving the caller's slice untouched.
+func cleanFeatures(x []float64) []float64 {
+	for i, v := range x {
+		if nonFinite(v) {
+			out := make([]float64, len(x))
+			copy(out, x[:i])
+			for j := i + 1; j < len(x); j++ {
+				if v := x[j]; !nonFinite(v) {
+					out[j] = v
+				}
+			}
+			return out
+		}
+	}
+	return x
+}
+
+func nonFinite(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
 
 // clamp01 clips p into [0, 1].
 func clamp01(p float64) float64 {

@@ -84,11 +84,14 @@ func (m *MultiOutput) Fit(x [][]float64, y [][]int) error {
 func (m *MultiOutput) Outputs() int { return len(m.models) }
 
 // PredictProba returns P(y_v = 1 | x) for every output v — the paper's
-// predict_proba.
+// predict_proba. Non-finite features are treated as 0 (see Classifier);
+// sanitization happens once here and the cleaned vector is shared by
+// every per-node model.
 func (m *MultiOutput) PredictProba(x []float64) ([]float64, error) {
 	if m.models == nil {
 		return nil, ErrNotFitted
 	}
+	x = cleanFeatures(x)
 	out := make([]float64, len(m.models))
 	for v, c := range m.models {
 		out[v] = c.PredictProba(x)

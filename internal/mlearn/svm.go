@@ -139,12 +139,13 @@ func fitPlatt(margins []float64, y []int) (a, b float64) {
 	return a, b
 }
 
-// PredictProba returns the Platt-scaled margin.
+// PredictProba returns the Platt-scaled margin. Non-finite features are
+// treated as 0 (see Classifier).
 func (m *SVM) PredictProba(x []float64) float64 {
 	if !m.fitted {
 		return 0
 	}
-	xi := m.scale.transform(x)
+	xi := m.scale.transform(cleanFeatures(x))
 	margin := matrix.Dot(m.w, xi) + m.bias
 	return sigmoid(m.plattA*margin + m.plattB)
 }
@@ -155,6 +156,6 @@ func (m *SVM) Margin(x []float64) float64 {
 	if !m.fitted {
 		return 0
 	}
-	xi := m.scale.transform(x)
+	xi := m.scale.transform(cleanFeatures(x))
 	return matrix.Dot(m.w, xi) + m.bias
 }

@@ -304,10 +304,11 @@ func (m *DecisionTree) Fit(x [][]float64, y []int) error {
 	return nil
 }
 
-// PredictProba returns the leaf's positive fraction.
+// PredictProba returns the leaf's positive fraction. Non-finite
+// features are treated as 0 (see Classifier).
 func (m *DecisionTree) PredictProba(x []float64) float64 {
 	if m.root == nil {
 		return 0
 	}
-	return clamp01(m.root.predict(x))
+	return clamp01(m.root.predict(cleanFeatures(x)))
 }

@@ -1,0 +1,83 @@
+package network
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+	"time"
+)
+
+// Fingerprint returns a stable FNV-1a hash of everything that determines
+// the network's hydraulic behavior: name, node attributes (including tank
+// geometry), link attributes (including pump curves), demand patterns and
+// the pattern step. Two networks with equal fingerprints produce equal
+// quiescent baselines, which is what lets the serving layer key its
+// memoized baseline on (fingerprint, pattern hour) and survive network
+// swaps without serving stale readings.
+func (n *Network) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	u64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	f64 := func(v float64) { u64(math.Float64bits(v)) }
+	str := func(s string) {
+		u64(uint64(len(s)))
+		h.Write([]byte(s))
+	}
+
+	str(n.Name)
+	u64(uint64(n.PatternStep / time.Nanosecond))
+
+	u64(uint64(len(n.Nodes)))
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		str(nd.ID)
+		u64(uint64(nd.Type))
+		f64(nd.Elevation)
+		f64(nd.X)
+		f64(nd.Y)
+		f64(nd.BaseDemand)
+		str(nd.PatternID)
+		f64(nd.TankDiameter)
+		f64(nd.InitLevel)
+		f64(nd.MinLevel)
+		f64(nd.MaxLevel)
+	}
+
+	u64(uint64(len(n.Links)))
+	for i := range n.Links {
+		l := &n.Links[i]
+		str(l.ID)
+		u64(uint64(l.Type))
+		u64(uint64(l.From))
+		u64(uint64(l.To))
+		u64(uint64(l.Status))
+		f64(l.Length)
+		f64(l.Diameter)
+		f64(l.Roughness)
+		f64(l.MinorLoss)
+		f64(l.PumpH0)
+		f64(l.PumpR)
+		f64(l.PumpN)
+	}
+
+	// Map iteration order is randomized; hash patterns in sorted-id order.
+	ids := make([]string, 0, len(n.Patterns))
+	for id := range n.Patterns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	u64(uint64(len(ids)))
+	for _, id := range ids {
+		p := n.Patterns[id]
+		str(id)
+		u64(uint64(len(p.Multipliers)))
+		for _, m := range p.Multipliers {
+			f64(m)
+		}
+	}
+	return h.Sum64()
+}

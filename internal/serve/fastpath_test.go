@@ -1,0 +1,253 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/faults"
+)
+
+// TestServedFastPathMatchesUncompiled pins the tentpole parity guarantee
+// from the other side: the server (which compiles at New) must produce
+// results bit-identical to an uncompiled system running the pointer path
+// on the same observation.
+func TestServedFastPathMatchesUncompiled(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	if !s.Status().Compiled {
+		t.Fatal("server not compiled after New")
+	}
+
+	req := ObserveRequest{
+		Features:    testFeatures(s.System(), 7),
+		FrozenNodes: []int{1, 3},
+		Seed:        42,
+	}
+	j, err := s.Submit(req)
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	got := waitResult(t, j)
+
+	// A fresh system with the same profile, never compiled: pointer path.
+	ref := newTestSystem(t)
+	if ref.Compiled() {
+		t.Fatal("reference system unexpectedly compiled")
+	}
+	obs, err := s.buildObservation(req)
+	if err != nil {
+		t.Fatalf("buildObservation: %v", err)
+	}
+	pred, _, err := ref.Localize(obs)
+	if err != nil {
+		t.Fatalf("pointer Localize: %v", err)
+	}
+	for v := range pred.Proba {
+		if math.Float64bits(got.Proba[v]) != math.Float64bits(pred.Proba[v]) {
+			t.Fatalf("proba[%d]: served %v != pointer %v", v, got.Proba[v], pred.Proba[v])
+		}
+	}
+	if st := s.Status(); st.FastPathJobs < 1 {
+		t.Fatalf("fast-path jobs = %d, want ≥ 1", st.FastPathJobs)
+	}
+}
+
+// TestReadingsIngestion pins the absolute-readings request path: the
+// server subtracts the memoized quiescent baseline to form the feature
+// deltas, and validates the readings/features exclusivity.
+func TestReadingsIngestion(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	sys := s.System()
+	want := sys.Factory().SensorCount()
+
+	hour := 8
+	base, err := sys.QuiescentBaseline(hour)
+	if err != nil {
+		t.Fatalf("QuiescentBaseline: %v", err)
+	}
+	deltas := testFeatures(sys, 3)
+	readings := make([]float64, want)
+	for i := range readings {
+		readings[i] = base[i] + deltas[i]
+	}
+
+	obs, err := s.buildObservation(ObserveRequest{Readings: readings, PatternHour: &hour})
+	if err != nil {
+		t.Fatalf("buildObservation(readings): %v", err)
+	}
+	for i := range obs.Features {
+		exp := readings[i] - base[i]
+		if math.Float64bits(obs.Features[i]) != math.Float64bits(exp) {
+			t.Fatalf("feature[%d] = %v, want %v", i, obs.Features[i], exp)
+		}
+	}
+
+	// Unset PatternHour falls back to the profile's training base hour.
+	if _, err := s.buildObservation(ObserveRequest{Readings: readings}); err != nil {
+		t.Fatalf("buildObservation(readings, no hour): %v", err)
+	}
+
+	var re *RequestError
+	if _, err := s.buildObservation(ObserveRequest{Readings: readings, Features: deltas}); !errors.As(err, &re) {
+		t.Fatalf("features+readings: err = %v, want RequestError", err)
+	}
+	if _, err := s.buildObservation(ObserveRequest{Readings: readings[:1]}); !errors.As(err, &re) {
+		t.Fatalf("short readings: err = %v, want RequestError", err)
+	}
+}
+
+// TestEvictedJobGone410 pins the eviction-ambiguity fix: polling an
+// evicted job answers 410 Gone with a machine-readable "evicted" code,
+// distinct from a never-submitted id's 404.
+func TestEvictedJobGone410(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueSize: 16, ResultCap: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	feats := testFeatures(s.System(), 13)
+
+	var ids []string
+	for i := 0; i < 4; i++ {
+		j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitResult(t, j)
+		ids = append(ids, j.ID())
+	}
+
+	// Filled past ResultCap=2: the two oldest results are gone.
+	if j, evicted := s.LookupState(ids[0]); j != nil || !evicted {
+		t.Fatalf("LookupState(evicted) = (%v, %v), want (nil, true)", j, evicted)
+	}
+	if j, evicted := s.LookupState(ids[3]); j == nil || evicted {
+		t.Fatalf("LookupState(live) = (%v, %v), want (job, false)", j, evicted)
+	}
+	if j, evicted := s.LookupState("j-never-was"); j != nil || evicted {
+		t.Fatalf("LookupState(unknown) = (%v, %v), want (nil, false)", j, evicted)
+	}
+
+	r, err := ts.Client().Get(ts.URL + "/v1/localize/" + ids[0])
+	if err != nil {
+		t.Fatalf("GET evicted: %v", err)
+	}
+	if r.StatusCode != http.StatusGone {
+		t.Fatalf("evicted poll status = %d, want 410", r.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		t.Fatalf("decode 410 body: %v", err)
+	}
+	r.Body.Close()
+	if body["code"] != "evicted" || body["error"] == "" {
+		t.Fatalf("410 body = %v, want code=evicted and an error message", body)
+	}
+
+	if r, _ := ts.Client().Get(ts.URL + "/v1/localize/j-never-was"); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown poll status = %d, want 404", r.StatusCode)
+	}
+}
+
+// TestTombstoneAging pins the bound: tombstones past TombstoneLimit age
+// out oldest-first and revert to 404.
+func TestTombstoneAging(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueSize: 16, ResultCap: 1, TombstoneLimit: 2})
+	feats := testFeatures(s.System(), 13)
+
+	var ids []string
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("Submit: %v", err)
+		}
+		waitResult(t, j)
+		ids = append(ids, j.ID())
+	}
+	// ResultCap=1 evicted ids[0..3]; TombstoneLimit=2 keeps only the two
+	// newest tombstones (ids[2], ids[3]).
+	if _, evicted := s.LookupState(ids[0]); evicted {
+		t.Fatal("oldest tombstone did not age out")
+	}
+	if _, evicted := s.LookupState(ids[3]); !evicted {
+		t.Fatal("recent eviction lost its tombstone")
+	}
+}
+
+// TestRetryAfterDynamic pins the 429 backoff hint: once jobs have
+// completed, Retry-After is derived from queue depth and the observed
+// per-job service time, stays a positive integer, and respects the
+// configured cap.
+func TestRetryAfterDynamic(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:        1,
+		QueueSize:      2,
+		RequestTimeout: 30 * time.Second,
+		RetryAfter:     time.Second,
+		RetryAfterMax:  10 * time.Second,
+		Faults:         faults.Config{RequestSlow: 1, RequestDelay: 400 * time.Millisecond},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	feats := testFeatures(s.System(), 13)
+
+	// Cold server: falls back to the configured hint.
+	if got := s.retryAfterSeconds(); got != 1 {
+		t.Fatalf("cold retryAfterSeconds = %d, want 1", got)
+	}
+
+	// Seed the EWMA as if jobs were taking ~3s of worker time each. With
+	// a full 2-deep queue + 1 running + the refused job, the estimate is
+	// 4 × 3s / 1 worker = 12s, clamped to the 10s cap.
+	s.observeService(3 * time.Second)
+
+	var header string
+	for i := 0; i < 8; i++ {
+		resp := postObserve(t, ts, ObserveRequest{Features: feats, Seed: int64(i + 1)})
+		if resp.StatusCode == http.StatusTooManyRequests {
+			header = resp.Header.Get("Retry-After")
+			resp.Body.Close()
+			break
+		}
+		resp.Body.Close()
+	}
+	if header == "" {
+		t.Fatal("never saw a 429 with Retry-After")
+	}
+	secs, err := strconv.Atoi(header)
+	if err != nil {
+		t.Fatalf("Retry-After %q is not an integer: %v", header, err)
+	}
+	if secs < 2 {
+		t.Fatalf("Retry-After = %d, want ≥ 2 (load-derived, not the 1s fallback)", secs)
+	}
+	if secs > 10 {
+		t.Fatalf("Retry-After = %d exceeds the 10s cap", secs)
+	}
+
+	// Even an absurd service time stays clamped.
+	s.observeService(20 * time.Minute)
+	s.observeService(20 * time.Minute)
+	if got := s.retryAfterSeconds(); got < 1 || got > 10 {
+		t.Fatalf("clamped retryAfterSeconds = %d, want within [1, 10]", got)
+	}
+}
+
+// TestSwapProfileRecompiles pins the hot-swap invariant end to end: a
+// swap drops the old snapshot and SwapProfile recompiles, so the fast
+// path survives profile reloads.
+func TestSwapProfileRecompiles(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	if !s.System().Compiled() {
+		t.Fatal("not compiled after New")
+	}
+	if err := s.SwapProfile(testbed.profile); err != nil {
+		t.Fatalf("SwapProfile: %v", err)
+	}
+	if !s.System().Compiled() {
+		t.Fatal("fast path lost after SwapProfile")
+	}
+}

@@ -20,9 +20,20 @@ import (
 // the served network.
 type ObserveRequest struct {
 	// Features are the IoT sensor reading deltas, one per placed sensor
-	// in placement order. Required; the length must match the served
-	// sensor set.
+	// in placement order. The length must match the served sensor set.
+	// Either Features or Readings is required, never both.
 	Features []float64 `json:"features"`
+
+	// Readings are absolute sensor readings (same order as Features).
+	// The server subtracts the memoized quiescent baseline for
+	// PatternHour to form the feature deltas — no hydraulic solve on the
+	// request path after the first hit per hour.
+	Readings []float64 `json:"readings,omitempty"`
+
+	// PatternHour is the hour of the demand-pattern day the Readings
+	// were taken at (wrapped into [0,24)). Only meaningful with
+	// Readings; unset means the profile's training base hour.
+	PatternHour *int `json:"pattern_hour,omitempty"`
 
 	// TemperatureF is the current air temperature (°F). When set and not
 	// freezing (per weather.Freezing), any FrozenNodes evidence is
@@ -78,6 +89,27 @@ func badRequest(format string, args ...any) error {
 // results are bit-identical to System.Localize on the same evidence.
 func (s *Server) buildObservation(req ObserveRequest) (core.Observation, error) {
 	want := s.sys.Factory().SensorCount()
+	if len(req.Readings) > 0 {
+		if len(req.Features) > 0 {
+			return core.Observation{}, badRequest("set features or readings, not both")
+		}
+		if len(req.Readings) != want {
+			return core.Observation{}, badRequest("got %d readings, served sensor set has %d", len(req.Readings), want)
+		}
+		hour := int(s.sys.Factory().BaseTime() / time.Hour)
+		if req.PatternHour != nil {
+			hour = *req.PatternHour
+		}
+		base, err := s.sys.QuiescentBaseline(hour)
+		if err != nil {
+			return core.Observation{}, fmt.Errorf("serve: quiescent baseline: %w", err)
+		}
+		features := make([]float64, want)
+		for i, r := range req.Readings {
+			features[i] = r - base[i]
+		}
+		req.Features = features
+	}
 	if len(req.Features) != want {
 		return core.Observation{}, badRequest("got %d features, served sensor set has %d", len(req.Features), want)
 	}
@@ -177,8 +209,12 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("job")
-	j := s.Lookup(id)
+	j, evicted := s.LookupState(id)
 	if j == nil {
+		if evicted {
+			writeErrorCode(w, http.StatusGone, "evicted", fmt.Errorf("serve: job %q: %w", id, ErrEvicted))
+			return
+		}
 		writeError(w, http.StatusNotFound, fmt.Errorf("serve: unknown job %q", id))
 		return
 	}
@@ -228,12 +264,13 @@ func (s *Server) writeJob(w http.ResponseWriter, j *Job) {
 }
 
 // writeSubmitError maps Submit failures onto the documented status codes:
-// queue full 429 + Retry-After, draining 503, invalid evidence 400.
+// queue full 429 + Retry-After, draining 503, invalid evidence 400. The
+// Retry-After hint is load-derived (see retryAfterSeconds).
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 	var re *RequestError
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", strconv.Itoa(int(s.cfg.RetryAfter/time.Second)+1))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusTooManyRequests, err)
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
@@ -254,4 +291,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+// writeErrorCode is writeError with a machine-readable "code" field so
+// clients can distinguish error classes sharing a status (e.g. an
+// evicted job vs. any other gone resource).
+func writeErrorCode(w http.ResponseWriter, code int, errCode string, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error(), "code": errCode})
 }

@@ -54,9 +54,14 @@ type Config struct {
 	// Zero means 5s.
 	RequestTimeout time.Duration
 
-	// RetryAfter is the backoff hint returned with queue-full refusals.
+	// RetryAfter is the backoff hint returned with queue-full refusals
+	// before any job has completed (once jobs flow, the hint is computed
+	// from the observed per-job service time; see retryAfterSeconds).
 	// Zero means 1s.
 	RetryAfter time.Duration
+
+	// RetryAfterMax caps the computed Retry-After hint. Zero means 60s.
+	RetryAfterMax time.Duration
 
 	// GammaM is the default tweet-coarseness γ (meters) for clique
 	// extraction when a request does not set its own. Zero means 30,
@@ -66,6 +71,11 @@ type Config struct {
 	// ResultCap bounds how many finished jobs stay retrievable; the
 	// oldest are evicted first. Zero means 4096.
 	ResultCap int
+
+	// TombstoneLimit bounds how many evicted job ids are remembered so
+	// polls for them can answer 410 Gone instead of 404 (the tombstones
+	// age out oldest-first). Zero means 4096.
+	TombstoneLimit int
 
 	// Faults enables deterministic request-level degradation (slow and
 	// forced-failed localize jobs; see faults.Config.RequestSlow /
@@ -86,11 +96,17 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.RetryAfterMax <= 0 {
+		c.RetryAfterMax = 60 * time.Second
+	}
 	if c.GammaM <= 0 {
 		c.GammaM = 30
 	}
 	if c.ResultCap <= 0 {
 		c.ResultCap = 4096
+	}
+	if c.TombstoneLimit <= 0 {
+		c.TombstoneLimit = 4096
 	}
 	return c
 }
@@ -102,6 +118,11 @@ var ErrQueueFull = fmt.Errorf("serve: job queue full")
 // ErrDraining is returned when the server is shutting down: new
 // submissions are refused and still-queued jobs fail with it (HTTP 503).
 var ErrDraining = fmt.Errorf("serve: server draining")
+
+// ErrEvicted marks a job id whose finished result was evicted from the
+// bounded result window (HTTP 410 Gone) — distinct from an id that was
+// never submitted (HTTP 404).
+var ErrEvicted = fmt.Errorf("serve: job result evicted")
 
 // JobState is a job's lifecycle position.
 type JobState string
@@ -194,6 +215,8 @@ type serveMetrics struct {
 	queueDepth     *telemetry.Gauge
 	inflight       *telemetry.Gauge
 	requestSeconds *telemetry.Histogram
+	fastPath       *telemetry.Counter
+	flatEvalSecs   *telemetry.Histogram
 }
 
 func bindServeMetrics() serveMetrics {
@@ -208,6 +231,8 @@ func bindServeMetrics() serveMetrics {
 		queueDepth:     reg.Gauge("serve_queue_depth"),
 		inflight:       reg.Gauge("serve_inflight_jobs"),
 		requestSeconds: reg.Histogram("serve_request_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
+		fastPath:       reg.Counter("serve_observe_fast_path_total"),
+		flatEvalSecs:   reg.Histogram("serve_flat_eval_seconds", telemetry.ExpBuckets(1e-6, 2, 16)),
 	}
 }
 
@@ -221,15 +246,22 @@ type Server struct {
 	queue chan *Job
 	wg    sync.WaitGroup // worker goroutines
 
-	mu       sync.Mutex // guards draining transition, job map, eviction order
-	jobs     map[string]*Job
-	finished []string // finished job ids in completion order (eviction queue)
-	draining bool
+	mu         sync.Mutex // guards draining transition, job map, eviction order
+	jobs       map[string]*Job
+	finished   []string // finished job ids in completion order (eviction queue)
+	tombstones map[string]struct{}
+	tombOrder  []string // tombstone ids in eviction order (aging queue)
+	draining   bool
 
 	drainOnce sync.Once
 	seq       atomic.Int64
 	running   atomic.Int64
 	start     time.Time
+
+	// ewmaServiceNs tracks the exponentially-weighted moving average
+	// (α = 0.2) of per-job worker-occupancy time in nanoseconds, feeding
+	// the Retry-After hint.
+	ewmaServiceNs atomic.Int64
 
 	// Per-server counters backing Status; the telemetry handles in met
 	// mirror them onto the shared /metrics registry when telemetry is on.
@@ -238,12 +270,15 @@ type Server struct {
 	nFailed       atomic.Int64
 	nRejectedFull atomic.Int64
 	nSwaps        atomic.Int64
+	nFastPath     atomic.Int64
 
 	met serveMetrics
 }
 
 // New builds a Server over a trained system and starts its worker pool.
-// The system must already hold a profile (trained or loaded).
+// The system must already hold a profile (trained or loaded); it is
+// compiled (core.System.Compile) so workers evaluate observations
+// through the flattened zero-allocation snapshot.
 func New(sys *core.System, cfg Config) (*Server, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("serve: nil system")
@@ -251,19 +286,23 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 	if sys.Profile() == nil {
 		return nil, fmt.Errorf("serve: system has no profile (train or load one first)")
 	}
+	if err := sys.Compile(); err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
 	cfg = cfg.withDefaults()
 	inj, err := faults.New(cfg.Faults)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
 	}
 	s := &Server{
-		sys:   sys,
-		cfg:   cfg,
-		inj:   inj,
-		queue: make(chan *Job, cfg.QueueSize),
-		jobs:  make(map[string]*Job),
-		start: time.Now(),
-		met:   bindServeMetrics(),
+		sys:        sys,
+		cfg:        cfg,
+		inj:        inj,
+		queue:      make(chan *Job, cfg.QueueSize),
+		jobs:       make(map[string]*Job),
+		tombstones: make(map[string]struct{}),
+		start:      time.Now(),
+		met:        bindServeMetrics(),
 	}
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -325,10 +364,24 @@ func (s *Server) Submit(req ObserveRequest) (*Job, error) {
 }
 
 // Lookup returns a submitted job by id (nil when unknown or evicted).
+// Use LookupState to distinguish the two.
 func (s *Server) Lookup(id string) *Job {
+	j, _ := s.LookupState(id)
+	return j
+}
+
+// LookupState returns the job by id plus an eviction marker: (job, false)
+// for live jobs, (nil, true) when the id's finished result was evicted
+// from the bounded result window, and (nil, false) when the id was never
+// submitted (or its tombstone itself aged out of TombstoneLimit).
+func (s *Server) LookupState(id string) (*Job, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.jobs[id]
+	if j, ok := s.jobs[id]; ok {
+		return j, false
+	}
+	_, evicted := s.tombstones[id]
+	return nil, evicted
 }
 
 // worker drains the queue. After Shutdown closes the queue, jobs still
@@ -357,7 +410,11 @@ func (s *Server) run(j *Job) {
 	j.setRunning()
 	s.running.Add(1)
 	s.met.inflight.Set(float64(s.running.Load()))
+	started := time.Now()
 	defer func() {
+		// Worker-occupancy time (not queue wait — that would feed the
+		// backlog back into the estimate) drives the Retry-After EWMA.
+		s.observeService(time.Since(started))
 		s.running.Add(-1)
 		s.met.inflight.Set(float64(s.running.Load()))
 	}()
@@ -390,7 +447,13 @@ func (s *Server) run(j *Job) {
 		return
 	}
 
+	evalStart := time.Now()
 	pred, added, err := s.sys.Localize(j.obs)
+	if s.sys.Compiled() {
+		s.nFastPath.Add(1)
+		s.met.fastPath.Inc()
+		s.met.flatEvalSecs.ObserveDuration(time.Since(evalStart))
+	}
 	if err != nil {
 		s.finishJob(j, nil, err)
 		return
@@ -427,21 +490,81 @@ func (s *Server) finishJob(j *Job, res *Result, err error) {
 	s.mu.Lock()
 	s.finished = append(s.finished, j.id)
 	for len(s.finished) > s.cfg.ResultCap {
-		delete(s.jobs, s.finished[0])
+		id := s.finished[0]
+		delete(s.jobs, id)
 		s.finished = s.finished[1:]
+		// Leave a tombstone so polls for the evicted id get 410 Gone
+		// instead of an indistinguishable 404.
+		s.tombstones[id] = struct{}{}
+		s.tombOrder = append(s.tombOrder, id)
+	}
+	for len(s.tombOrder) > s.cfg.TombstoneLimit {
+		delete(s.tombstones, s.tombOrder[0])
+		s.tombOrder = s.tombOrder[1:]
 	}
 	s.mu.Unlock()
 }
 
+// observeService folds one job's worker-occupancy time into the EWMA
+// (α = 0.2) behind retryAfterSeconds.
+func (s *Server) observeService(d time.Duration) {
+	for {
+		old := s.ewmaServiceNs.Load()
+		next := int64(d)
+		if old > 0 {
+			next = old + (int64(d)-old)/5
+		}
+		if next < 1 {
+			next = 1
+		}
+		if s.ewmaServiceNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds computes the backoff hint returned with 429s from
+// observed load: draining the current backlog (queued + running + the
+// refused job) across the worker pool at the EWMA per-job service time.
+// The result is clamped to [1s, RetryAfterMax] so the header is always
+// a positive integer; before any job has completed it falls back to the
+// configured RetryAfter.
+func (s *Server) retryAfterSeconds() int {
+	ewma := time.Duration(s.ewmaServiceNs.Load())
+	if ewma <= 0 {
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		return secs
+	}
+	pending := len(s.queue) + int(s.running.Load()) + 1
+	est := time.Duration(pending) * ewma / time.Duration(s.cfg.Workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if max := int(s.cfg.RetryAfterMax / time.Second); secs > max {
+		secs = max
+	}
+	return secs
+}
+
 // SwapProfile atomically installs a new profile; concurrent jobs see
 // either the old or the new one in full. The profile must cover the
-// served network (checked by core.System.SetProfile).
+// served network (checked by core.System.SetProfile). The swap drops the
+// compiled snapshot and its baseline memo, so the new profile is
+// recompiled here; if that fails the swap stands and serving continues
+// correctly on the pointer path.
 func (s *Server) SwapProfile(p *core.Profile) error {
 	if err := s.sys.SetProfile(p); err != nil {
 		return err
 	}
 	s.nSwaps.Add(1)
 	s.met.profileSwaps.Inc()
+	if err := s.sys.Compile(); err != nil {
+		return fmt.Errorf("serve: profile swapped but compile failed: %w", err)
+	}
 	return nil
 }
 
@@ -489,6 +612,8 @@ type Status struct {
 	RejectedFull  int64   `json:"rejected_queue_full"`
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	ProfileSwaps  int64   `json:"profile_swaps"`
+	Compiled      bool    `json:"compiled"`
+	FastPathJobs  int64   `json:"fast_path_jobs"`
 }
 
 // Status reports the current service snapshot. The counters are
@@ -517,5 +642,7 @@ func (s *Server) Status() Status {
 		RejectedFull:  s.nRejectedFull.Load(),
 		UptimeSeconds: time.Since(s.start).Seconds(),
 		ProfileSwaps:  s.nSwaps.Load(),
+		Compiled:      s.sys.Compiled(),
+		FastPathJobs:  s.nFastPath.Load(),
 	}
 }
