@@ -44,6 +44,7 @@ package aquascale
 
 import (
 	"io"
+	"log/slog"
 	"math/rand"
 
 	"github.com/aquascale/aquascale/internal/bench"
@@ -560,6 +561,33 @@ func DisableTelemetry() { telemetry.Disable() }
 // TelemetryDefault returns the global registry, or nil when disabled
 // (every method on the nil registry is a safe no-op).
 func TelemetryDefault() *TelemetryRegistry { return telemetry.Default() }
+
+// Per-request tracing and structured logging.
+type (
+	// TraceSnapshot is one completed request trace: the stage timeline a
+	// Server's flight recorder retains and GET /v1/trace/{job} replays.
+	TraceSnapshot = telemetry.TraceSnapshot
+	// TraceRecorder is the bounded lock-free flight recorder behind
+	// GET /debug/requests.
+	TraceRecorder = telemetry.Recorder
+	// RuntimeHealth is one poll of the process-health gauges
+	// (goroutines, heap in-use, cumulative GC pause).
+	RuntimeHealth = telemetry.RuntimeHealth
+)
+
+// NewLogger builds the project's structured logger: log/slog with a JSON
+// handler, one object per line, trace-id-correlated via ServeConfig.Logger.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return telemetry.NewLogger(w, level)
+}
+
+// NewTextLogger is NewLogger with the human-readable key=value handler.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return telemetry.NewTextLogger(w, level)
+}
+
+// ReadRuntimeHealth samples the Go runtime's health gauges once.
+func ReadRuntimeHealth() RuntimeHealth { return telemetry.ReadRuntimeHealth() }
 
 // Rand is the random source used across the API.
 type Rand = *rand.Rand

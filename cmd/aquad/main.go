@@ -4,8 +4,14 @@
 //
 // Endpoints: POST /v1/observe (submit an observation; add "wait": true or
 // ?wait=1 for a synchronous answer), GET /v1/localize/{job}, GET
-// /v1/status, POST /v1/profile (hot-swap), plus /metrics, /metrics.json
-// and /debug/pprof from the telemetry layer.
+// /v1/trace/{job} (replay a request's stage timeline), GET /v1/status,
+// POST /v1/profile (hot-swap), GET /debug/requests (the flight recorder),
+// plus /metrics, /metrics.json and /debug/pprof from the telemetry layer.
+//
+// Every observe response carries an X-Trace-Id header; inbound W3C
+// traceparent headers are honored (the id is adopted, a set sampled flag
+// forces capture). Structured JSON request logs go to stdout (-log text
+// for key=value, -log off to silence).
 //
 // The -net, -iot and -seed flags must match the aquatrain invocation that
 // produced the profile — sensor placement is seeded, and a profile only
@@ -24,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"net/http"
@@ -63,6 +70,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		fSlow        = fs.Float64("fault-request-slow", 0, "injected per-request slow-localize probability")
 		fDelay       = fs.Duration("fault-request-delay", 0, "injected delay for a slowed request (0 = 50ms)")
 		fFail        = fs.Float64("fault-request-fail", 0, "injected per-request forced-failure probability")
+		traceSample  = fs.Float64("trace-sample", 0, "head-based trace sampling fraction (0 = capture all, <0 = sampled captures off; errors and slow requests are always captured)")
+		traceSlow    = fs.Duration("trace-slow", 0, "latency above which a request trace is always captured (0 = 250ms)")
+		traceBuffer  = fs.Int("trace-buffer", 0, "flight-recorder capacity in traces (0 = 256, <0 = tracing off)")
+		logMode      = fs.String("log", "json", "structured request logging: json, text or off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,9 +82,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return fmt.Errorf("missing -profile (train one with: aquatrain -save profile.gob)")
 	}
 
+	var logger *slog.Logger
+	switch *logMode {
+	case "json":
+		logger = aquascale.NewLogger(out, slog.LevelInfo)
+	case "text":
+		logger = aquascale.NewTextLogger(out, slog.LevelInfo)
+	case "off":
+	default:
+		return fmt.Errorf("unknown -log mode %q (want json, text or off)", *logMode)
+	}
+
 	// Bind telemetry before building the solver-backed factory so every
-	// component's handles land on the registry the daemon serves.
-	aquascale.EnableTelemetry()
+	// component's handles land on the registry the daemon serves; the
+	// runtime health gauges poll onto the same registry until shutdown.
+	reg := aquascale.EnableTelemetry()
+	stopGauges := reg.StartRuntimeGauges(0)
+	defer stopGauges()
 
 	nw, err := buildNetwork(*netName)
 	if err != nil {
@@ -115,10 +140,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	server, err := aquascale.NewServer(sys, aquascale.ServeConfig{
-		Workers:        *workers,
-		QueueSize:      *queueSize,
-		RequestTimeout: *timeout,
-		GammaM:         *gamma,
+		Workers:            *workers,
+		QueueSize:          *queueSize,
+		RequestTimeout:     *timeout,
+		GammaM:             *gamma,
+		TraceSample:        *traceSample,
+		TraceSlowThreshold: *traceSlow,
+		TraceBuffer:        *traceBuffer,
+		Logger:             logger,
 		Faults: aquascale.FaultConfig{
 			RequestSlow:  *fSlow,
 			RequestDelay: *fDelay,

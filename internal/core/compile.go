@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
 
 	"github.com/aquascale/aquascale/internal/mlearn"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // CompiledProfile is the flattened, allocation-free inference form of a
@@ -163,15 +165,29 @@ func (s *System) Compiled() bool {
 // (network fingerprint, hour); otherwise it falls back to the factory's
 // solver cache. The returned slice is shared — treat it as read-only.
 func (s *System) QuiescentBaseline(hour int) ([]float64, error) {
+	return s.QuiescentBaselineContext(context.Background(), hour)
+}
+
+// QuiescentBaselineContext is QuiescentBaseline with per-request trace
+// propagation: a trace carried by ctx records whether the lookup hit the
+// (fingerprint, hour) memo or fell through to a hydraulic solve — the
+// difference between a ~100ns map read and a multi-millisecond Newton
+// solve, which is exactly the latency cliff a flight-recorder entry
+// needs to explain.
+func (s *System) QuiescentBaselineContext(ctx context.Context, hour int) ([]float64, error) {
+	tr := telemetry.TraceFrom(ctx)
 	h := ((hour % 24) + 24) % 24
 	t := time.Duration(h) * time.Hour
 	snap := s.compiled.Load()
 	if snap == nil {
+		tr.EventValue(telemetry.StageBaselineMemoMiss, float64(h))
 		return s.factory.BaselineReadings(t)
 	}
 	if vals, ok := snap.memo.get(h); ok {
+		tr.EventValue(telemetry.StageBaselineMemoHit, float64(h))
 		return vals, nil
 	}
+	tr.EventValue(telemetry.StageBaselineMemoMiss, float64(h))
 	vals, err := s.factory.BaselineReadings(t)
 	if err != nil {
 		return nil, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -8,6 +9,7 @@ import (
 
 	"github.com/aquascale/aquascale/internal/fusion"
 	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // trainOnNet fits a profile over a network's real junction set using the
@@ -226,6 +228,85 @@ func TestLocalizeIntoZeroAlloc(t *testing.T) {
 	}
 }
 
+// TestLocalizeIntoContextZeroAlloc pins the tracing-compiled-in-but-
+// unsampled guarantee: threading an untraced context through
+// LocalizeIntoContext costs nothing — same 0 allocs/op as LocalizeInto,
+// and bit-identical output.
+func TestLocalizeIntoContextZeroAlloc(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := trainOnNet(t, net, TechniqueHybridRSL, 40)
+	if err := sys.Compile(); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	dims := len(net.JunctionIndices())
+	x := leakFeatures(rand.New(rand.NewSource(3)), dims, 7)
+	ctx := context.Background()
+
+	plain := &fusion.Prediction{Proba: make([]float64, len(net.Nodes))}
+	if _, err := sys.LocalizeInto(plain, Observation{Features: x}); err != nil {
+		t.Fatalf("LocalizeInto: %v", err)
+	}
+	pred := &fusion.Prediction{Proba: make([]float64, len(net.Nodes))}
+	if got := testing.AllocsPerRun(100, func() {
+		if _, err := sys.LocalizeIntoContext(ctx, pred, Observation{Features: x}); err != nil {
+			t.Fatal(err)
+		}
+	}); got != 0 {
+		t.Errorf("untraced LocalizeIntoContext allocated %v times per run, want 0", got)
+	}
+	for v := range pred.Proba {
+		if pred.Proba[v] != plain.Proba[v] {
+			t.Fatalf("node %d: context path %v != plain path %v", v, pred.Proba[v], plain.Proba[v])
+		}
+	}
+}
+
+// TestLocalizeIntoContextRecordsStages pins the traced variant: a trace
+// on the context sees the compiled-path stages.
+func TestLocalizeIntoContextRecordsStages(t *testing.T) {
+	net := network.BuildEPANet()
+	sys := trainOnNet(t, net, TechniqueHybridRSL, 40)
+	dims := len(net.JunctionIndices())
+	x := leakFeatures(rand.New(rand.NewSource(3)), dims, 7)
+	pred := &fusion.Prediction{Proba: make([]float64, len(net.Nodes))}
+
+	// Pointer path first (not compiled yet).
+	tr := telemetry.NewTrace(telemetry.TraceID{})
+	ctx := telemetry.ContextWithTrace(context.Background(), tr)
+	if _, err := sys.LocalizeIntoContext(ctx, pred, Observation{Features: x}); err != nil {
+		t.Fatalf("LocalizeIntoContext: %v", err)
+	}
+	snap := tr.Snapshot()
+	if len(snap.Events) != 1 || snap.Events[0].Stage != string(telemetry.StageEvalPointer) {
+		t.Fatalf("pointer-path events = %+v", snap.Events)
+	}
+
+	if err := sys.Compile(); err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	tr = telemetry.NewTrace(telemetry.TraceID{})
+	ctx = telemetry.ContextWithTrace(context.Background(), tr)
+	if _, err := sys.LocalizeIntoContext(ctx, pred, Observation{Features: x}); err != nil {
+		t.Fatalf("LocalizeIntoContext: %v", err)
+	}
+	snap = tr.Snapshot()
+	var sawEval, sawScatter bool
+	for _, e := range snap.Events {
+		switch e.Stage {
+		case string(telemetry.StageEvalCompiled):
+			sawEval = true
+		case string(telemetry.StageJunctionScatter):
+			sawScatter = true
+			if e.Value != float64(len(net.JunctionIndices())) {
+				t.Fatalf("scatter value = %v, want %d", e.Value, len(net.JunctionIndices()))
+			}
+		}
+	}
+	if !sawEval || !sawScatter {
+		t.Fatalf("compiled-path events = %+v", snap.Events)
+	}
+}
+
 // TestLocalizeIntoValidatesBuffer pins the buffer-length contract.
 func TestLocalizeIntoValidatesBuffer(t *testing.T) {
 	net := network.BuildEPANet()
@@ -263,6 +344,18 @@ func BenchmarkObserve(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sys.LocalizeInto(pred, Observation{Features: x}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	// The serving configuration with tracing compiled in but this request
+	// unsampled: context threading must keep the 0 B/op guarantee.
+	ctx := context.Background()
+	b.Run("compiled-traced-unsampled", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sys.LocalizeIntoContext(ctx, pred, Observation{Features: x}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -35,7 +35,7 @@ func bindEvalMetrics() evalMetrics {
 		scenarios:      reg.Counter("core_eval_scenarios_total"),
 		retries:        reg.Counter("core_eval_retries_total"),
 		skipped:        reg.Counter("core_eval_skipped_total"),
-		observeSeconds: reg.Histogram("core_observe_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
+		observeSeconds: reg.Histogram("core_observe_seconds", telemetry.EvalLatencyBuckets()),
 		workerBusy:     reg.Gauge("core_eval_worker_busy_seconds_total"),
 		rate:           reg.Gauge("core_eval_scenarios_per_second"),
 	}
@@ -124,6 +124,16 @@ func scenarioRetries(err error) int {
 		return se.Retries
 	}
 	return 0
+}
+
+// scenarioSteps extracts the retry ladder carried by a
+// dataset.ScenarioError (nil for any other error).
+func scenarioSteps(err error) []hydraulic.RetryStep {
+	var se *dataset.ScenarioError
+	if errors.As(err, &se) {
+		return se.Steps
+	}
+	return nil
 }
 
 // evaluateScenario runs the full Phase-II pipeline on one pre-drawn cold
@@ -285,7 +295,12 @@ dispatch:
 		if opt.FailFast || !errors.Is(err, hydraulic.ErrNotConverged) {
 			return EvalResult{}, err
 		}
-		skipped = append(skipped, SkippedScenario{Index: i, Err: err, Retries: retries[i]})
+		skipped = append(skipped, SkippedScenario{
+			Index:   i,
+			Err:     err,
+			Retries: retries[i],
+			Trace:   dataset.RetryTrace(fmt.Sprintf("scenario-%d", i), scenarioSteps(err), err),
+		})
 	}
 	met.retries.Add(int64(totalRetries))
 	met.skipped.Add(int64(len(skipped)))

@@ -12,6 +12,7 @@ import (
 	"github.com/aquascale/aquascale/internal/leak"
 	"github.com/aquascale/aquascale/internal/network"
 	"github.com/aquascale/aquascale/internal/social"
+	"github.com/aquascale/aquascale/internal/telemetry"
 	"github.com/aquascale/aquascale/internal/weather"
 )
 
@@ -136,8 +137,17 @@ func (s *System) Profile() *Profile { return s.profile.Load() }
 // After Compile it evaluates through the flattened snapshot, which is
 // bit-identical to the pointer path.
 func (s *System) Localize(obs Observation) (*fusion.Prediction, []int, error) {
+	return s.LocalizeContext(context.Background(), obs)
+}
+
+// LocalizeContext is Localize with per-request trace propagation: when
+// ctx carries a telemetry.Trace (see telemetry.ContextWithTrace) the
+// evaluation path records its stage events — compiled vs. pointer eval
+// and the junction scatter — onto it. An untraced context adds one nil
+// check and nothing else; the result is identical either way.
+func (s *System) LocalizeContext(ctx context.Context, obs Observation) (*fusion.Prediction, []int, error) {
 	pred := &fusion.Prediction{Proba: make([]float64, len(s.net.Nodes))}
-	added, err := s.LocalizeInto(pred, obs)
+	added, err := s.localizeInto(pred, obs, telemetry.TraceFrom(ctx))
 	if err != nil {
 		return nil, nil, err
 	}
@@ -151,6 +161,18 @@ func (s *System) Localize(obs Observation) (*fusion.Prediction, []int, error) {
 // across calls overwrites earlier results, so callers must not retain
 // predictions they hand back in.
 func (s *System) LocalizeInto(pred *fusion.Prediction, obs Observation) ([]int, error) {
+	return s.localizeInto(pred, obs, nil)
+}
+
+// LocalizeIntoContext is LocalizeInto with per-request trace propagation
+// (see LocalizeContext). With no trace on ctx it preserves the compiled
+// path's zero-allocation contract bit for bit — the tracing hooks cost
+// one nil check each, the same contract the telemetry registry honors.
+func (s *System) LocalizeIntoContext(ctx context.Context, pred *fusion.Prediction, obs Observation) ([]int, error) {
+	return s.localizeInto(pred, obs, telemetry.TraceFrom(ctx))
+}
+
+func (s *System) localizeInto(pred *fusion.Prediction, obs Observation, tr *telemetry.Trace) ([]int, error) {
 	p := s.profile.Load()
 	if p == nil {
 		return nil, fmt.Errorf("core: system not trained")
@@ -160,10 +182,13 @@ func (s *System) LocalizeInto(pred *fusion.Prediction, obs Observation) ([]int, 
 			len(pred.Proba), len(s.net.Nodes))
 	}
 	if snap := s.compiled.Load(); snap != nil && snap.profile == p {
+		tr.Event(telemetry.StageEvalCompiled)
 		if err := snap.model.PredictProbaInto(obs.Features, pred.Proba); err != nil {
 			return nil, err
 		}
+		tr.EventValue(telemetry.StageJunctionScatter, float64(len(snap.model.junctions)))
 	} else {
+		tr.Event(telemetry.StageEvalPointer)
 		proba, err := p.PredictProba(obs.Features)
 		if err != nil {
 			return nil, err
@@ -308,6 +333,11 @@ type SkippedScenario struct {
 
 	// Retries is the retry budget consumed before the skip.
 	Retries int
+
+	// Trace replays the scenario's solver retry ladder (relaxation
+	// factor, warm/cold restart, injection provenance per re-attempt) so
+	// fault-tolerance reports name the exact retry sequence.
+	Trace *telemetry.TraceSnapshot
 }
 
 // EvalResult summarizes an evaluation run.

@@ -104,6 +104,11 @@ type Sample struct {
 	// Retries is the number of solver re-attempts this sample's leak
 	// solve consumed (0 when the first attempt converged).
 	Retries int
+
+	// RetrySteps is the exact retry sequence (relaxation factor,
+	// warm/cold restart, injected or real failure) behind Retries — nil
+	// on clean first-attempt solves.
+	RetrySteps []hydraulic.RetryStep
 }
 
 // ScenarioError wraps a scenario's hydraulic solve failure with the retry
@@ -112,6 +117,10 @@ type Sample struct {
 type ScenarioError struct {
 	Retries int
 	Err     error
+
+	// Steps is the retry ladder the failing solve walked before giving
+	// up, in attempt order.
+	Steps []hydraulic.RetryStep
 }
 
 // Error implements the error interface.
@@ -138,6 +147,12 @@ type SkippedScenario struct {
 
 	// Retries is the retry budget consumed before the skip.
 	Retries int
+
+	// Trace replays the scenario's solver retry ladder (one solver_retry
+	// event per re-attempt with the relaxation factor, warm/cold restart
+	// and injection provenance) so fault-tolerance reports can name the
+	// exact degradation sequence instead of just counting retries.
+	Trace *telemetry.TraceSnapshot
 }
 
 // Dataset is a set of samples with its feature/label geometry.
@@ -389,7 +404,7 @@ func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elaps
 	res, stats, err := solver.SolveSteadyRetry(readTime, sc.Emitters(), nil, f.cfg.Retry)
 	f.met.retries.Add(int64(stats.Retries))
 	if err != nil {
-		return Sample{}, &ScenarioError{Retries: stats.Retries, Err: err}
+		return Sample{}, &ScenarioError{Retries: stats.Retries, Err: err, Steps: stats.Steps}
 	}
 	after := sensor.Read(f.sensors, res, f.cfg.Noise, rng)
 	baseTruth, err := f.baselineAt(readTime)
@@ -424,11 +439,38 @@ func (f *Factory) fromScenario(solver *hydraulic.Solver, sc leak.Scenario, elaps
 		f.met.sampleSeconds.ObserveDuration(time.Since(start))
 	}
 	return Sample{
-		Features: features,
-		Labels:   labels,
-		Scenario: sc,
-		Retries:  stats.Retries,
+		Features:   features,
+		Labels:     labels,
+		Scenario:   sc,
+		Retries:    stats.Retries,
+		RetrySteps: stats.Steps,
 	}, nil
+}
+
+// RetryTrace synthesizes a trace snapshot replaying a scenario's solver
+// retry ladder: one solver_retry event per re-attempt carrying the
+// relaxation factor and a warm/cold + injected/real detail, plus the
+// terminal error when the ladder was exhausted. Returns nil when the
+// scenario never retried (no trace to tell).
+func RetryTrace(job string, steps []hydraulic.RetryStep, err error) *telemetry.TraceSnapshot {
+	if len(steps) == 0 && err == nil {
+		return nil
+	}
+	tr := telemetry.NewTrace(telemetry.TraceID{})
+	tr.SetJob(job)
+	for _, st := range steps {
+		detail := "cold"
+		if st.Warm {
+			detail = "warm"
+		}
+		if st.Injected {
+			detail += ",injected"
+		}
+		tr.EventDetail(telemetry.StageSolverRetry, st.Relaxation, detail)
+	}
+	tr.Fail(err)
+	tr.Event(telemetry.StageDone)
+	return tr.Snapshot()
 }
 
 // noisyBaseline perturbs noise-free baseline readings with fresh
@@ -538,11 +580,19 @@ dispatch:
 			return nil, err
 		}
 		retries := 0
+		var steps []hydraulic.RetryStep
 		var se *ScenarioError
 		if errors.As(err, &se) {
 			retries = se.Retries
+			steps = se.Steps
 		}
-		skipped = append(skipped, SkippedScenario{Index: i, Scenario: scenarios[i], Err: err, Retries: retries})
+		skipped = append(skipped, SkippedScenario{
+			Index:    i,
+			Scenario: scenarios[i],
+			Err:      err,
+			Retries:  retries,
+			Trace:    RetryTrace(fmt.Sprintf("scenario-%d", i), steps, err),
+		})
 	}
 	f.met.skipped.Add(int64(len(skipped)))
 	if ctxErr := ctx.Err(); ctxErr != nil {

@@ -11,6 +11,7 @@ import (
 	"github.com/aquascale/aquascale/internal/hydraulic"
 	"github.com/aquascale/aquascale/internal/leak"
 	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/telemetry"
 )
 
 // faultyFactory builds an EPA-NET factory with the given fault config and
@@ -61,6 +62,55 @@ func TestGenerateSkipsExhaustedScenarios(t *testing.T) {
 		if len(sk.Scenario.Events) == 0 {
 			t.Fatalf("skipped scenario %d lost its scenario payload", sk.Index)
 		}
+		if sk.Trace == nil {
+			t.Fatalf("skipped scenario %d carries no trace", sk.Index)
+		}
+		var retrySteps int
+		for _, e := range sk.Trace.Events {
+			if e.Stage == string(telemetry.StageSolverRetry) {
+				retrySteps++
+			}
+		}
+		if retrySteps != sk.Retries {
+			t.Fatalf("skipped scenario %d trace records %d retry steps, stats say %d",
+				sk.Index, retrySteps, sk.Retries)
+		}
+		if sk.Trace.Error == "" {
+			t.Fatalf("skipped scenario %d trace has no error", sk.Index)
+		}
+	}
+}
+
+// TestRetryTrace pins the offline trace-synthesis helper: clean solves
+// yield no trace, retried/failed ones replay the ladder with warm/cold
+// and injected provenance.
+func TestRetryTrace(t *testing.T) {
+	if RetryTrace("s", nil, nil) != nil {
+		t.Fatal("clean solve must not synthesize a trace")
+	}
+	steps := []hydraulic.RetryStep{
+		{Attempt: 1, Relaxation: 0.5, Warm: true},
+		{Attempt: 2, Relaxation: 0.25, Warm: false, Injected: true},
+	}
+	snap := RetryTrace("scenario-3", steps, hydraulic.ErrNotConverged)
+	if snap == nil || snap.Job != "scenario-3" {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	var got []string
+	for _, e := range snap.Events {
+		got = append(got, e.Stage+":"+e.Detail)
+	}
+	want := []string{
+		"solver_retry:warm",
+		"solver_retry:cold,injected",
+		"error:" + hydraulic.ErrNotConverged.Error(),
+		"done:",
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("timeline = %q, want %q", got, want)
+	}
+	if snap.Events[0].Value != 0.5 || snap.Events[1].Value != 0.25 {
+		t.Fatalf("relaxation values = %v, %v", snap.Events[0].Value, snap.Events[1].Value)
 	}
 }
 

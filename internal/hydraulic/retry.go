@@ -35,6 +35,27 @@ func (p RetryPolicy) relaxAt(k int) float64 {
 	return r
 }
 
+// RetryStep records one rung of a retry ladder — the exact degradation
+// sequence a scenario walked, in attempt order. Steps feed the tracing
+// layer so fault-tolerance reports can name each re-attempt instead of
+// just counting them.
+type RetryStep struct {
+	// Attempt is the 1-based re-attempt number.
+	Attempt int
+
+	// Relaxation is the Newton flow-update fraction this attempt used
+	// (see RetryPolicy.relaxAt — halved per rung, floored at 0.05).
+	Relaxation float64
+
+	// Warm reports whether the attempt resumed from the failed attempt's
+	// final iterate instead of cold-starting.
+	Warm bool
+
+	// Injected reports whether the failure that triggered this attempt
+	// was fault-injected rather than a real non-convergence.
+	Injected bool
+}
+
 // RetryStats reports what a retry ladder did.
 type RetryStats struct {
 	// Retries is the number of re-attempts consumed (0 = the first
@@ -46,6 +67,10 @@ type RetryStats struct {
 	// injected failure cold-starts (the failed attempt never iterated),
 	// so WarmStarts <= Retries.
 	WarmStarts int
+
+	// Steps is the per-attempt retry sequence, nil when the first attempt
+	// succeeded — the common case allocates nothing.
+	Steps []RetryStep
 }
 
 // SolveSteadyRetry is SolveSteady with bounded retry-with-degradation: on
@@ -93,7 +118,14 @@ func (s *Solver) retryLadder(t time.Duration, emitters []Emitter, policy RetryPo
 		}
 		stats.Retries++
 		s.mRetries.Inc()
-		res, err = s.solveOnce(t, emitters, attempt, warm, policy.relaxAt(attempt))
+		relax := policy.relaxAt(attempt)
+		stats.Steps = append(stats.Steps, RetryStep{
+			Attempt:    attempt,
+			Relaxation: relax,
+			Warm:       warm,
+			Injected:   ce.Injected,
+		})
+		res, err = s.solveOnce(t, emitters, attempt, warm, relax)
 	}
 	if err == nil && stats.Retries > 0 {
 		s.mRecoveries.Inc()

@@ -107,7 +107,7 @@ func TestSolveSteadyRetryZeroPolicyIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatalf("SolveSteadyRetry: %v", err)
 	}
-	if stats != (RetryStats{}) {
+	if stats.Retries != 0 || stats.WarmStarts != 0 || stats.Steps != nil {
 		t.Fatalf("stats = %+v, want zero", stats)
 	}
 	if !reflect.DeepEqual(plain, retried) {

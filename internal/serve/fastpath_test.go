@@ -39,7 +39,7 @@ func TestServedFastPathMatchesUncompiled(t *testing.T) {
 	if ref.Compiled() {
 		t.Fatal("reference system unexpectedly compiled")
 	}
-	obs, err := s.buildObservation(req)
+	obs, err := s.buildObservation(req, nil)
 	if err != nil {
 		t.Fatalf("buildObservation: %v", err)
 	}
@@ -76,7 +76,7 @@ func TestReadingsIngestion(t *testing.T) {
 		readings[i] = base[i] + deltas[i]
 	}
 
-	obs, err := s.buildObservation(ObserveRequest{Readings: readings, PatternHour: &hour})
+	obs, err := s.buildObservation(ObserveRequest{Readings: readings, PatternHour: &hour}, nil)
 	if err != nil {
 		t.Fatalf("buildObservation(readings): %v", err)
 	}
@@ -88,15 +88,15 @@ func TestReadingsIngestion(t *testing.T) {
 	}
 
 	// Unset PatternHour falls back to the profile's training base hour.
-	if _, err := s.buildObservation(ObserveRequest{Readings: readings}); err != nil {
+	if _, err := s.buildObservation(ObserveRequest{Readings: readings}, nil); err != nil {
 		t.Fatalf("buildObservation(readings, no hour): %v", err)
 	}
 
 	var re *RequestError
-	if _, err := s.buildObservation(ObserveRequest{Readings: readings, Features: deltas}); !errors.As(err, &re) {
+	if _, err := s.buildObservation(ObserveRequest{Readings: readings, Features: deltas}, nil); !errors.As(err, &re) {
 		t.Fatalf("features+readings: err = %v, want RequestError", err)
 	}
-	if _, err := s.buildObservation(ObserveRequest{Readings: readings[:1]}); !errors.As(err, &re) {
+	if _, err := s.buildObservation(ObserveRequest{Readings: readings[:1]}, nil); !errors.As(err, &re) {
 		t.Fatalf("short readings: err = %v, want RequestError", err)
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
 	"time"
@@ -61,6 +62,13 @@ type ObserveRequest struct {
 	// Wait makes the POST synchronous: the response is the finished
 	// job's result (or error) instead of 202 + job id.
 	Wait bool `json:"wait,omitempty"`
+
+	// TraceParent is the inbound W3C trace-context header
+	// ("00-<trace-id>-<parent-id>-<flags>"). The HTTP front end fills it
+	// from the traceparent request header; programmatic Submit callers may
+	// set it directly. The trace id is adopted and a set sampled flag
+	// forces flight-recorder capture. Never serialized in request bodies.
+	TraceParent string `json:"-"`
 }
 
 // ReportIn is one human report in an ObserveRequest.
@@ -86,8 +94,10 @@ func badRequest(format string, args ...any) error {
 
 // buildObservation validates req against the served network and converts
 // it to the exact core.Observation the offline pipeline uses, so served
-// results are bit-identical to System.Localize on the same evidence.
-func (s *Server) buildObservation(req ObserveRequest) (core.Observation, error) {
+// results are bit-identical to System.Localize on the same evidence. A
+// non-nil trace records whether the readings→features conversion hit the
+// quiescent-baseline memo.
+func (s *Server) buildObservation(req ObserveRequest, tr *telemetry.Trace) (core.Observation, error) {
 	want := s.sys.Factory().SensorCount()
 	if len(req.Readings) > 0 {
 		if len(req.Features) > 0 {
@@ -100,7 +110,7 @@ func (s *Server) buildObservation(req ObserveRequest) (core.Observation, error) 
 		if req.PatternHour != nil {
 			hour = *req.PatternHour
 		}
-		base, err := s.sys.QuiescentBaseline(hour)
+		base, err := s.sys.QuiescentBaselineContext(telemetry.ContextWithTrace(context.Background(), tr), hour)
 		if err != nil {
 			return core.Observation{}, fmt.Errorf("serve: quiescent baseline: %w", err)
 		}
@@ -159,22 +169,74 @@ type jobResponse struct {
 //	POST /v1/observe        submit an observation (202 + job id, or the
 //	                        result directly with "wait": true)
 //	GET  /v1/localize/{job} poll a job
+//	GET  /v1/trace/{job}    replay a job's stage timeline (live trace or
+//	                        flight-recorder entry)
 //	GET  /v1/status         service health snapshot
 //	POST /v1/profile        hot-swap the profile (gob body, as written by
 //	                        Profile.Save / aquatrain -out)
+//	GET  /debug/requests    the flight recorder: recently captured traces,
+//	                        newest first (?n= bounds the count)
 //	/metrics, /metrics.json, /debug/...  telemetry (shared registry)
+//
+// When a Logger is configured the returned handler writes one structured
+// access-log line per request, correlated by trace id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/observe", s.handleObserve)
 	mux.HandleFunc("GET /v1/localize/{job}", s.handleLocalize)
+	mux.HandleFunc("GET /v1/trace/{job}", s.handleTrace)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("POST /v1/profile", s.handleProfile)
+	// Exact pattern wins over the telemetry "/debug/" subtree below
+	// (Go 1.22 ServeMux precedence), so both coexist.
+	mux.HandleFunc("GET /debug/requests", s.handleDebugRequests)
 	if h := telemetry.Default().Handler(); h != nil {
 		mux.Handle("/metrics", h)
 		mux.Handle("/metrics.json", h)
 		mux.Handle("/debug/", h)
 	}
-	return mux
+	return s.accessLog(mux)
+}
+
+// statusRecorder captures the response status for the access log.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	return r.ResponseWriter.Write(b)
+}
+
+// accessLog wraps the mux with one structured log line per request. With
+// no logger configured it returns the handler unwrapped — zero overhead.
+func (s *Server) accessLog(next http.Handler) http.Handler {
+	if s.log == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(rec, r)
+		if rec.status == 0 {
+			rec.status = http.StatusOK
+		}
+		s.log.Info("request",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", rec.status),
+			slog.Float64("latency_seconds", time.Since(start).Seconds()),
+			slog.String("trace_id", rec.Header().Get("X-Trace-Id")),
+		)
+	})
 }
 
 func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
@@ -188,10 +250,14 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 	if r.URL.Query().Get("wait") == "1" {
 		req.Wait = true
 	}
+	req.TraceParent = r.Header.Get("traceparent")
 	j, err := s.Submit(req)
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
+	}
+	if tid := j.TraceID(); tid != "" {
+		w.Header().Set("X-Trace-Id", tid)
 	}
 	if !req.Wait {
 		w.Header().Set("Location", "/v1/localize/"+j.ID())
@@ -223,6 +289,49 @@ func (s *Server) handleLocalize(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Status())
+}
+
+// handleTrace replays a job's stage timeline: a still-live job answers
+// with its in-flight trace snapshot, a finished one with its
+// flight-recorder entry. 404 covers unknown jobs, jobs whose trace was
+// not captured (sampled out), and tracing disabled outright.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("job")
+	if j := s.Lookup(id); j != nil && j.trace != nil {
+		if state, _, _ := j.Status(); state == JobQueued || state == JobRunning {
+			writeJSON(w, http.StatusOK, j.Trace())
+			return
+		}
+	}
+	if snap := s.recorder.Find(id); snap != nil {
+		writeJSON(w, http.StatusOK, snap)
+		return
+	}
+	writeError(w, http.StatusNotFound, fmt.Errorf("serve: no trace for job %q (unknown, sampled out, or tracing disabled)", id))
+}
+
+// handleDebugRequests dumps the flight recorder, newest first. ?n=K
+// bounds the count (default: everything retained).
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	if s.recorder == nil {
+		writeError(w, http.StatusNotFound, fmt.Errorf("serve: tracing disabled"))
+		return
+	}
+	n := s.recorder.Cap()
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("serve: bad n %q", q))
+			return
+		}
+		n = v
+	}
+	traces := s.recorder.Recent(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"capacity": s.recorder.Cap(),
+		"count":    len(traces),
+		"traces":   traces,
+	})
 }
 
 func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {

@@ -27,6 +27,7 @@ package serve
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sync"
@@ -77,6 +78,30 @@ type Config struct {
 	// age out oldest-first). Zero means 4096.
 	TombstoneLimit int
 
+	// TraceSample is the head-based trace sampling fraction: that share
+	// of requests (chosen by a deterministic hash of the trace id, never
+	// by an rng draw) lands in the flight recorder even when nothing goes
+	// wrong. Failed and slow requests are always captured regardless.
+	// Zero means 1 (capture everything — the recorder is bounded, so
+	// memory stays flat); negative disables head sampling.
+	TraceSample float64
+
+	// TraceSlowThreshold is the latency above which a request's trace is
+	// always captured, whatever the sampling decision. Zero means 250ms.
+	TraceSlowThreshold time.Duration
+
+	// TraceBuffer is the flight-recorder capacity: how many completed
+	// traces GET /debug/requests and GET /v1/trace/{job} can replay
+	// without an external collector. Zero means 256; negative disables
+	// per-request tracing entirely (jobs carry no trace, responses carry
+	// no X-Trace-Id, and the hot path pays one nil check).
+	TraceBuffer int
+
+	// Logger receives structured request logs — one access line per HTTP
+	// request plus job failure events, each correlated by trace id. Nil
+	// disables logging. Build one with telemetry.NewLogger.
+	Logger *slog.Logger
+
 	// Faults enables deterministic request-level degradation (slow and
 	// forced-failed localize jobs; see faults.Config.RequestSlow /
 	// RequestFail). The zero value injects nothing.
@@ -107,6 +132,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.TombstoneLimit <= 0 {
 		c.TombstoneLimit = 4096
+	}
+	if c.TraceSample == 0 {
+		c.TraceSample = 1
+	}
+	if c.TraceSlowThreshold <= 0 {
+		c.TraceSlowThreshold = 250 * time.Millisecond
+	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 256
 	}
 	return c
 }
@@ -160,6 +194,7 @@ type Job struct {
 	obs      core.Observation
 	seed     int64
 	enqueued time.Time
+	trace    *telemetry.Trace // nil when tracing is disabled
 
 	mu     sync.Mutex
 	state  JobState
@@ -170,6 +205,19 @@ type Job struct {
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
+
+// TraceID returns the job's trace id as 32 hex characters, or "" when
+// tracing is disabled.
+func (j *Job) TraceID() string {
+	if j.trace == nil {
+		return ""
+	}
+	return j.trace.ID().String()
+}
+
+// Trace returns a point-in-time snapshot of the job's trace (nil when
+// tracing is disabled). Safe to call while the job is still running.
+func (j *Job) Trace() *telemetry.TraceSnapshot { return j.trace.Snapshot() }
 
 // Done returns a channel closed when the job finishes (either way).
 func (j *Job) Done() <-chan struct{} { return j.done }
@@ -217,6 +265,7 @@ type serveMetrics struct {
 	requestSeconds *telemetry.Histogram
 	fastPath       *telemetry.Counter
 	flatEvalSecs   *telemetry.Histogram
+	traces         *telemetry.Counter
 }
 
 func bindServeMetrics() serveMetrics {
@@ -230,9 +279,10 @@ func bindServeMetrics() serveMetrics {
 		profileSwaps:   reg.Counter("serve_profile_swaps_total"),
 		queueDepth:     reg.Gauge("serve_queue_depth"),
 		inflight:       reg.Gauge("serve_inflight_jobs"),
-		requestSeconds: reg.Histogram("serve_request_seconds", telemetry.ExpBuckets(1e-4, 2, 16)),
+		requestSeconds: reg.Histogram("serve_request_seconds", telemetry.ServingLatencyBuckets()),
 		fastPath:       reg.Counter("serve_observe_fast_path_total"),
-		flatEvalSecs:   reg.Histogram("serve_flat_eval_seconds", telemetry.ExpBuckets(1e-6, 2, 16)),
+		flatEvalSecs:   reg.Histogram("serve_flat_eval_seconds", telemetry.FastPathLatencyBuckets()),
+		traces:         reg.Counter("serve_traces_captured_total"),
 	}
 }
 
@@ -271,6 +321,12 @@ type Server struct {
 	nRejectedFull atomic.Int64
 	nSwaps        atomic.Int64
 	nFastPath     atomic.Int64
+	nTraces       atomic.Int64
+
+	// recorder is the bounded flight recorder holding recently captured
+	// request traces (nil when cfg.TraceBuffer < 0 disabled tracing).
+	recorder *telemetry.Recorder
+	log      *slog.Logger // nil disables structured logging
 
 	met serveMetrics
 }
@@ -302,7 +358,11 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		jobs:       make(map[string]*Job),
 		tombstones: make(map[string]struct{}),
 		start:      time.Now(),
+		log:        cfg.Logger,
 		met:        bindServeMetrics(),
+	}
+	if cfg.TraceBuffer > 0 {
+		s.recorder = telemetry.NewRecorder(cfg.TraceBuffer)
 	}
 	s.wg.Add(cfg.Workers)
 	for w := 0; w < cfg.Workers; w++ {
@@ -321,11 +381,13 @@ func (s *Server) System() *core.System { return s.sys }
 // it. It never blocks: a full queue returns ErrQueueFull and a draining
 // server ErrDraining; invalid evidence returns a *RequestError.
 func (s *Server) Submit(req ObserveRequest) (*Job, error) {
-	obs, err := s.buildObservation(req)
+	tr := s.newTrace(req.TraceParent)
+	obs, err := s.buildObservation(req, tr)
 	if err != nil {
 		return nil, err
 	}
 	id := fmt.Sprintf("j-%08d", s.seq.Add(1))
+	tr.SetJob(id)
 	seed := req.Seed
 	if seed == 0 {
 		// Distinct per-job default so fault draws are isolated between
@@ -337,9 +399,11 @@ func (s *Server) Submit(req ObserveRequest) (*Job, error) {
 		obs:      obs,
 		seed:     seed,
 		enqueued: time.Now(),
+		trace:    tr,
 		state:    JobQueued,
 		done:     make(chan struct{}),
 	}
+	tr.Event(telemetry.StageEnqueue)
 
 	s.mu.Lock()
 	if s.draining {
@@ -361,6 +425,29 @@ func (s *Server) Submit(req ObserveRequest) (*Job, error) {
 	s.met.submitted.Inc()
 	s.met.queueDepth.Set(float64(len(s.queue)))
 	return j, nil
+}
+
+// newTrace starts a per-request trace, honoring an inbound W3C
+// traceparent header (its trace id is adopted; its sampled flag forces
+// capture) and minting a fresh id otherwise. Returns nil — the no-op
+// trace — when tracing is disabled, so untraced requests pay exactly
+// one nil check per stage hook.
+func (s *Server) newTrace(traceParent string) *telemetry.Trace {
+	if s.recorder == nil {
+		return nil
+	}
+	var id telemetry.TraceID
+	var forced bool
+	if traceParent != "" {
+		if pid, sampled, ok := telemetry.ParseTraceParent(traceParent); ok {
+			id, forced = pid, sampled
+		}
+	}
+	tr := telemetry.NewTrace(id) // zero id mints a fresh one
+	if forced {
+		tr.Force()
+	}
+	return tr
 }
 
 // Lookup returns a submitted job by id (nil when unknown or evicted).
@@ -408,6 +495,7 @@ func (s *Server) isDraining() bool {
 // run executes one job under the request deadline.
 func (s *Server) run(j *Job) {
 	j.setRunning()
+	j.trace.EventValue(telemetry.StageQueueWait, time.Since(j.enqueued).Seconds())
 	s.running.Add(1)
 	s.met.inflight.Set(float64(s.running.Load()))
 	started := time.Now()
@@ -423,12 +511,14 @@ func (s *Server) run(j *Job) {
 	// request timeout fails instead of serving a stale answer.
 	ctx, cancel := context.WithDeadline(context.Background(), j.enqueued.Add(s.cfg.RequestTimeout))
 	defer cancel()
+	ctx = telemetry.ContextWithTrace(ctx, j.trace)
 
 	// Per-request rng isolation: the only stochastic element of serving
 	// is fault injection, drawn from this job's own stream.
 	rng := rand.New(rand.NewSource(j.seed))
 	delay, injErr := s.inj.RequestPlan(rng)
 	if delay > 0 {
+		j.trace.EventValue(telemetry.StageFaultDelay, delay.Seconds())
 		t := time.NewTimer(delay)
 		select {
 		case <-t.C:
@@ -439,6 +529,7 @@ func (s *Server) run(j *Job) {
 		}
 	}
 	if injErr != nil {
+		j.trace.Event(telemetry.StageFaultFail)
 		s.finishJob(j, nil, injErr)
 		return
 	}
@@ -448,7 +539,7 @@ func (s *Server) run(j *Job) {
 	}
 
 	evalStart := time.Now()
-	pred, added, err := s.sys.Localize(j.obs)
+	pred, added, err := s.sys.LocalizeContext(ctx, j.obs)
 	if s.sys.Compiled() {
 		s.nFastPath.Add(1)
 		s.met.fastPath.Inc()
@@ -476,16 +567,25 @@ func (s *Server) run(j *Job) {
 // finishJob completes or fails a job, records metrics, and evicts the
 // oldest finished jobs beyond ResultCap.
 func (s *Server) finishJob(j *Job, res *Result, err error) {
+	latency := time.Since(j.enqueued)
 	if err != nil {
 		j.fail(err)
 		s.nFailed.Add(1)
 		s.met.jobsFailed.Inc()
+		if s.log != nil {
+			s.log.Error("job failed",
+				telemetry.TraceAttr(j.trace.ID()),
+				slog.String("job", j.id),
+				slog.Float64("latency_seconds", latency.Seconds()),
+				slog.String("error", err.Error()))
+		}
 	} else {
 		j.complete(res)
 		s.nDone.Add(1)
 		s.met.jobsDone.Inc()
 	}
-	s.met.requestSeconds.ObserveDuration(time.Since(j.enqueued))
+	s.met.requestSeconds.ObserveDuration(latency)
+	s.captureTrace(j, latency, err)
 
 	s.mu.Lock()
 	s.finished = append(s.finished, j.id)
@@ -504,6 +604,33 @@ func (s *Server) finishJob(j *Job, res *Result, err error) {
 	}
 	s.mu.Unlock()
 }
+
+// captureTrace decides whether a finished job's trace lands in the
+// flight recorder: failed, slow (≥ TraceSlowThreshold) and
+// traceparent-forced requests are always captured; everything else goes
+// through head sampling on the trace id (deterministic, no rng draw).
+func (s *Server) captureTrace(j *Job, latency time.Duration, err error) {
+	tr := j.trace
+	if tr == nil || s.recorder == nil {
+		return
+	}
+	tr.Fail(err)
+	tr.Event(telemetry.StageDone)
+	if err == nil && latency < s.cfg.TraceSlowThreshold && !tr.Forced() &&
+		!tr.ID().Sample(s.cfg.TraceSample) {
+		return
+	}
+	s.recorder.Put(tr.Snapshot())
+	s.nTraces.Add(1)
+	s.met.traces.Inc()
+}
+
+// Recorder exposes the flight recorder (nil when tracing is disabled) —
+// the store behind GET /debug/requests and GET /v1/trace/{job}.
+func (s *Server) Recorder() *telemetry.Recorder { return s.recorder }
+
+// Logger returns the server's structured logger (nil when disabled).
+func (s *Server) Logger() *slog.Logger { return s.log }
 
 // observeService folds one job's worker-occupancy time into the EWMA
 // (α = 0.2) behind retryAfterSeconds.
@@ -614,6 +741,13 @@ type Status struct {
 	ProfileSwaps  int64   `json:"profile_swaps"`
 	Compiled      bool    `json:"compiled"`
 	FastPathJobs  int64   `json:"fast_path_jobs"`
+
+	// Runtime health (satellite gauges mirrored from the Go runtime) plus
+	// the flight recorder's capture counter.
+	Goroutines          int     `json:"goroutines"`
+	HeapInuseBytes      uint64  `json:"heap_inuse_bytes"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+	TracesCaptured      int64   `json:"traces_captured"`
 }
 
 // Status reports the current service snapshot. The counters are
@@ -626,6 +760,7 @@ func (s *Server) Status() Status {
 		technique = prof.Technique().String()
 	}
 	net := s.sys.Network()
+	health := telemetry.ReadRuntimeHealth()
 	return Status{
 		Network:       net.Name,
 		Nodes:         len(net.Nodes),
@@ -644,5 +779,10 @@ func (s *Server) Status() Status {
 		ProfileSwaps:  s.nSwaps.Load(),
 		Compiled:      s.sys.Compiled(),
 		FastPathJobs:  s.nFastPath.Load(),
+
+		Goroutines:          health.Goroutines,
+		HeapInuseBytes:      health.HeapInuseBytes,
+		GCPauseTotalSeconds: health.GCPauseTotalSeconds,
+		TracesCaptured:      s.nTraces.Load(),
 	}
 }

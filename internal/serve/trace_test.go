@@ -1,0 +1,470 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/faults"
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+func getTrace(t *testing.T, ts *httptest.Server, job string) (*telemetry.TraceSnapshot, int) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/v1/trace/" + job)
+	if err != nil {
+		t.Fatalf("GET /v1/trace/%s: %v", job, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode
+	}
+	var snap telemetry.TraceSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode trace: %v", err)
+	}
+	return &snap, resp.StatusCode
+}
+
+func stages(snap *telemetry.TraceSnapshot) []string {
+	out := make([]string, len(snap.Events))
+	for i, e := range snap.Events {
+		out[i] = e.Stage
+	}
+	return out
+}
+
+func hasStage(snap *telemetry.TraceSnapshot, stage telemetry.Stage) bool {
+	for _, e := range snap.Events {
+		if e.Stage == string(stage) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestObserveTraceRoundTrip is the tentpole acceptance path: a served
+// observe returns X-Trace-Id, and GET /v1/trace/{job} replays the stage
+// timeline with monotonically non-decreasing timestamps.
+func TestObserveTraceRoundTrip(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postObserve(t, ts, ObserveRequest{Features: testFeatures(s.System(), 3), Seed: 1, Wait: true})
+	tid := resp.Header.Get("X-Trace-Id")
+	if len(tid) != 32 {
+		t.Fatalf("X-Trace-Id = %q, want 32 hex chars", tid)
+	}
+	jr := decodeJob(t, resp)
+	if jr.State != JobDone {
+		t.Fatalf("state = %v", jr.State)
+	}
+
+	snap, code := getTrace(t, ts, jr.Job)
+	if code != http.StatusOK {
+		t.Fatalf("GET /v1/trace/%s = %d", jr.Job, code)
+	}
+	if snap.TraceID != tid {
+		t.Fatalf("trace id %q != header %q", snap.TraceID, tid)
+	}
+	if snap.Job != jr.Job {
+		t.Fatalf("trace job %q, want %q", snap.Job, jr.Job)
+	}
+	for _, want := range []telemetry.Stage{
+		telemetry.StageEnqueue,
+		telemetry.StageQueueWait,
+		telemetry.StageEvalCompiled,
+		telemetry.StageJunctionScatter,
+		telemetry.StageDone,
+	} {
+		if !hasStage(snap, want) {
+			t.Errorf("timeline missing stage %q: %v", want, stages(snap))
+		}
+	}
+	prev := -1.0
+	for i, e := range snap.Events {
+		if e.AtSeconds < prev {
+			t.Fatalf("timestamps went backwards at event %d: %s", i, snap)
+		}
+		prev = e.AtSeconds
+	}
+	if snap.Error != "" {
+		t.Fatalf("unexpected error %q", snap.Error)
+	}
+}
+
+// TestReadingsPathRecordsBaselineMemo pins the memo-provenance stages on
+// the absolute-readings ingestion path: the first conversion for an hour
+// misses (hydraulic solve), the second hits the (fingerprint, hour) memo.
+func TestReadingsPathRecordsBaselineMemo(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	base, err := s.System().QuiescentBaseline(7)
+	if err != nil {
+		t.Fatalf("QuiescentBaseline: %v", err)
+	}
+	readings := make([]float64, len(base))
+	copy(readings, base)
+	hour := 7
+
+	// The warm-up above already populated hour 7, so clear-box: submit
+	// twice and require a hit on both (the memo survives across requests).
+	for i := 0; i < 2; i++ {
+		resp := postObserve(t, ts, ObserveRequest{Readings: readings, PatternHour: &hour, Wait: true})
+		jr := decodeJob(t, resp)
+		snap, code := getTrace(t, ts, jr.Job)
+		if code != http.StatusOK {
+			t.Fatalf("trace fetch %d: %d", i, code)
+		}
+		if !hasStage(snap, telemetry.StageBaselineMemoHit) {
+			t.Fatalf("request %d missing baseline_memo_hit: %v", i, stages(snap))
+		}
+	}
+}
+
+// TestErrorAlwaysCaptured pins the always-capture contract: with head
+// sampling disabled outright (negative TraceSample) a failed request
+// still lands in the flight recorder, while a clean fast one does not.
+func TestErrorAlwaysCaptured(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:     1,
+		TraceSample: -1,
+		Faults:      faults.Config{RequestFail: 1},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postObserve(t, ts, ObserveRequest{Features: testFeatures(s.System(), 5), Seed: 11, Wait: true})
+	jr := decodeJob(t, resp)
+	if jr.State != JobFailed || jr.Error == "" {
+		t.Fatalf("state = %v, error = %q (want injected failure)", jr.State, jr.Error)
+	}
+	snap, code := getTrace(t, ts, jr.Job)
+	if code != http.StatusOK {
+		t.Fatalf("failed job's trace not captured: %d", code)
+	}
+	if !hasStage(snap, telemetry.StageFaultFail) || !hasStage(snap, telemetry.StageError) {
+		t.Fatalf("failure timeline incomplete: %v", stages(snap))
+	}
+	if snap.Error == "" {
+		t.Fatal("snapshot carries no error")
+	}
+	if s.Status().TracesCaptured != 1 {
+		t.Fatalf("TracesCaptured = %d, want 1", s.Status().TracesCaptured)
+	}
+}
+
+// TestSampledOutRequestNotCaptured is the inverse: clean fast requests
+// with head sampling disabled leave no flight-recorder entry (404).
+func TestSampledOutRequestNotCaptured(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, TraceSample: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postObserve(t, ts, ObserveRequest{Features: testFeatures(s.System(), 5), Wait: true})
+	if resp.Header.Get("X-Trace-Id") == "" {
+		t.Fatal("sampled-out request must still carry X-Trace-Id")
+	}
+	jr := decodeJob(t, resp)
+	if jr.State != JobDone {
+		t.Fatalf("state = %v", jr.State)
+	}
+	if _, code := getTrace(t, ts, jr.Job); code != http.StatusNotFound {
+		t.Fatalf("sampled-out trace fetch = %d, want 404", code)
+	}
+	if s.Status().TracesCaptured != 0 {
+		t.Fatalf("TracesCaptured = %d, want 0", s.Status().TracesCaptured)
+	}
+}
+
+// TestSlowRequestAlwaysCaptured: an injected delay pushes the request
+// past TraceSlowThreshold, which overrides the sampled-out decision.
+func TestSlowRequestAlwaysCaptured(t *testing.T) {
+	s := newTestServer(t, Config{
+		Workers:            1,
+		TraceSample:        -1,
+		TraceSlowThreshold: time.Millisecond,
+		Faults:             faults.Config{RequestSlow: 1, RequestDelay: 20 * time.Millisecond},
+	})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postObserve(t, ts, ObserveRequest{Features: testFeatures(s.System(), 5), Seed: 4, Wait: true})
+	jr := decodeJob(t, resp)
+	if jr.State != JobDone {
+		t.Fatalf("state = %v, err = %q", jr.State, jr.Error)
+	}
+	snap, code := getTrace(t, ts, jr.Job)
+	if code != http.StatusOK {
+		t.Fatalf("slow job's trace not captured: %d", code)
+	}
+	if !hasStage(snap, telemetry.StageFaultDelay) {
+		t.Fatalf("slow timeline missing fault_delay: %v", stages(snap))
+	}
+}
+
+// TestTraceParentHonored: an inbound W3C traceparent's id is adopted and
+// its sampled flag forces capture even with head sampling off.
+func TestTraceParentHonored(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, TraceSample: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	body, _ := json.Marshal(ObserveRequest{Features: testFeatures(s.System(), 5), Wait: true})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/observe", strings.NewReader(string(body)))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", "00-"+tid+"-00f067aa0ba902b7-01")
+	resp, err := ts.Client().Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	if got := resp.Header.Get("X-Trace-Id"); got != tid {
+		t.Fatalf("X-Trace-Id = %q, want inbound id %q", got, tid)
+	}
+	jr := decodeJob(t, resp)
+	snap, code := getTrace(t, ts, jr.Job)
+	if code != http.StatusOK {
+		t.Fatalf("forced trace not captured: %d", code)
+	}
+	if snap.TraceID != tid {
+		t.Fatalf("captured trace id %q, want %q", snap.TraceID, tid)
+	}
+}
+
+// TestTracingDisabled: a negative TraceBuffer removes tracing outright —
+// no header, no trace endpoint, no recorder.
+func TestTracingDisabled(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, TraceBuffer: -1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if s.Recorder() != nil {
+		t.Fatal("recorder built despite TraceBuffer < 0")
+	}
+	resp := postObserve(t, ts, ObserveRequest{Features: testFeatures(s.System(), 5), Wait: true})
+	if got := resp.Header.Get("X-Trace-Id"); got != "" {
+		t.Fatalf("X-Trace-Id = %q with tracing disabled", got)
+	}
+	jr := decodeJob(t, resp)
+	if jr.State != JobDone {
+		t.Fatalf("state = %v", jr.State)
+	}
+	if _, code := getTrace(t, ts, jr.Job); code != http.StatusNotFound {
+		t.Fatalf("trace fetch = %d, want 404", code)
+	}
+	r, err := ts.Client().Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatalf("GET /debug/requests: %v", err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/requests = %d, want 404", r.StatusCode)
+	}
+}
+
+// TestDebugRequestsEndpoint exercises the flight-recorder dump: newest
+// first, ?n= bounds, capacity reported.
+func TestDebugRequestsEndpoint(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, TraceBuffer: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var last string
+	for i := 0; i < 3; i++ {
+		jr := decodeJob(t, postObserve(t, ts, ObserveRequest{Features: testFeatures(s.System(), int64(i)), Wait: true}))
+		last = jr.Job
+	}
+
+	resp, err := ts.Client().Get(ts.URL + "/debug/requests")
+	if err != nil {
+		t.Fatalf("GET /debug/requests: %v", err)
+	}
+	defer resp.Body.Close()
+	var dump struct {
+		Capacity int                        `json:"capacity"`
+		Count    int                        `json:"count"`
+		Traces   []*telemetry.TraceSnapshot `json:"traces"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if dump.Capacity != 4 || dump.Count != 3 || len(dump.Traces) != 3 {
+		t.Fatalf("dump = cap %d count %d len %d", dump.Capacity, dump.Count, len(dump.Traces))
+	}
+	if dump.Traces[0].Job != last {
+		t.Fatalf("newest first violated: got %q, want %q", dump.Traces[0].Job, last)
+	}
+
+	resp2, err := ts.Client().Get(ts.URL + "/debug/requests?n=1")
+	if err != nil {
+		t.Fatalf("GET ?n=1: %v", err)
+	}
+	defer resp2.Body.Close()
+	var bounded struct {
+		Count int `json:"count"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&bounded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if bounded.Count != 1 {
+		t.Fatalf("?n=1 count = %d", bounded.Count)
+	}
+
+	resp3, err := ts.Client().Get(ts.URL + "/debug/requests?n=bogus")
+	if err != nil {
+		t.Fatalf("GET ?n=bogus: %v", err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("?n=bogus = %d, want 400", resp3.StatusCode)
+	}
+}
+
+// syncWriter is a mutex-guarded log sink: slog may be written from
+// handler goroutines while the test reads.
+type syncWriter struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.Write(p)
+}
+
+func (w *syncWriter) String() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.b.String()
+}
+
+// TestAccessLog pins the structured-logging contract: one JSON line per
+// HTTP request with method, path, status and the correlating trace id.
+func TestAccessLog(t *testing.T) {
+	var buf syncWriter
+	s := newTestServer(t, Config{Workers: 1, Logger: telemetry.NewLogger(&buf, 0)})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postObserve(t, ts, ObserveRequest{Features: testFeatures(s.System(), 9), Wait: true})
+	tid := resp.Header.Get("X-Trace-Id")
+	decodeJob(t, resp)
+
+	var line struct {
+		Msg     string  `json:"msg"`
+		Method  string  `json:"method"`
+		Path    string  `json:"path"`
+		Status  int     `json:"status"`
+		Latency float64 `json:"latency_seconds"`
+		TraceID string  `json:"trace_id"`
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out := buf.String()
+		if idx := strings.Index(out, "\n"); idx > 0 {
+			if err := json.Unmarshal([]byte(out[:idx]), &line); err != nil {
+				t.Fatalf("unmarshal access line %q: %v", out[:idx], err)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no access-log line appeared")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if line.Msg != "request" || line.Method != http.MethodPost || line.Path != "/v1/observe" {
+		t.Fatalf("access line = %+v", line)
+	}
+	if line.Status != http.StatusOK {
+		t.Fatalf("status = %d, want 200", line.Status)
+	}
+	if line.TraceID != tid {
+		t.Fatalf("trace_id = %q, want %q", line.TraceID, tid)
+	}
+}
+
+// TestStatusRuntimeHealth pins the satellite gauges on GET /v1/status.
+func TestStatusRuntimeHealth(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1})
+	st := s.Status()
+	if st.Goroutines <= 0 {
+		t.Fatalf("Goroutines = %d", st.Goroutines)
+	}
+	if st.HeapInuseBytes == 0 {
+		t.Fatal("HeapInuseBytes = 0")
+	}
+	var wire map[string]any
+	b, err := json.Marshal(st)
+	if err != nil {
+		t.Fatalf("marshal status: %v", err)
+	}
+	if err := json.Unmarshal(b, &wire); err != nil {
+		t.Fatalf("unmarshal status: %v", err)
+	}
+	for _, key := range []string{"goroutines", "heap_inuse_bytes", "gc_pause_total_seconds", "traces_captured"} {
+		if _, ok := wire[key]; !ok {
+			t.Errorf("status JSON missing %q", key)
+		}
+	}
+}
+
+// TestConcurrentTracingDuringSwap hammers traced submissions while the
+// profile hot-swaps — the acceptance's -race pin for concurrent
+// flight-recorder writes against the atomic snapshot swap.
+func TestConcurrentTracingDuringSwap(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 4, QueueSize: 256})
+	feats := testFeatures(s.System(), 21)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := s.SwapProfile(testbed.profile); err != nil {
+				t.Errorf("SwapProfile: %v", err)
+				return
+			}
+		}
+	}()
+
+	var jobs []*Job
+	for i := 0; i < 64; i++ {
+		j, err := s.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	for _, j := range jobs {
+		waitResult(t, j)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := s.Recorder().Len(); got == 0 {
+		t.Fatal("no traces captured")
+	}
+	for _, snap := range s.Recorder().Recent(0) {
+		if !hasStage(snap, telemetry.StageDone) {
+			t.Fatalf("captured trace missing done: %v", stages(snap))
+		}
+	}
+	if int(s.Status().TracesCaptured) != len(jobs) {
+		t.Fatalf("TracesCaptured = %d, want %d", s.Status().TracesCaptured, len(jobs))
+	}
+}

@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPromNameEscaping(t *testing.T) {
+	cases := map[string]string{
+		"serve_request_seconds": "serve_request_seconds",
+		"with-dash":             "with_dash",
+		"with.dot":              "with_dot",
+		"with space":            "with_space",
+		"colon:ok":              "colon:ok",
+		"µ-weird/чars":          "__weird__ars",
+		"9leading_digit":        "_leading_digit", // leading digit is invalid
+		"trailing9":             "trailing9",      // non-leading digits are fine
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPromFloatSpecials(t *testing.T) {
+	cases := map[float64]string{
+		math.Inf(1):  "+Inf",
+		math.Inf(-1): "-Inf",
+		1.5:          "1.5",
+		0:            "0",
+	}
+	for in, want := range cases {
+		if got := promFloat(in); got != want {
+			t.Errorf("promFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := promFloat(math.NaN()); got != "NaN" {
+		t.Errorf("promFloat(NaN) = %q", got)
+	}
+}
+
+// TestHistogramExtremeObservations pins the histogram edge contract:
+// +Inf lands in the implicit +Inf bucket, -Inf in the first bucket, and
+// NaN (which no <= comparison can place) also falls through to +Inf so
+// the bucket counts always sum to the count.
+func TestHistogramExtremeObservations(t *testing.T) {
+	r := New()
+	h := r.Histogram("edge_seconds", []float64{1, 10})
+	h.Observe(math.Inf(1))
+	h.Observe(math.Inf(-1))
+	h.Observe(math.NaN())
+	h.Observe(5)
+
+	if h.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", h.Count())
+	}
+	buckets := h.BucketCounts()
+	if len(buckets) != 3 {
+		t.Fatalf("got %d buckets, want 3", len(buckets))
+	}
+	if buckets[0] != 1 || buckets[1] != 1 || buckets[2] != 2 {
+		t.Fatalf("buckets = %v, want [1 1 2]", buckets)
+	}
+	var total int64
+	for _, b := range buckets {
+		total += b
+	}
+	if total != h.Count() {
+		t.Fatalf("bucket sum %d != count %d", total, h.Count())
+	}
+	if !math.IsNaN(h.Sum()) {
+		t.Fatalf("Sum = %v, want NaN (absorbed the NaN observation)", h.Sum())
+	}
+
+	// The Prometheus rendering of this state must stay parseable: _bucket
+	// lines cumulative, the sum spelled NaN, no panics on ±Inf.
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`edge_seconds_bucket{le="1"} 1`,
+		`edge_seconds_bucket{le="10"} 2`,
+		`edge_seconds_bucket{le="+Inf"} 4`,
+		"edge_seconds_sum NaN",
+		"edge_seconds_count 4",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestInfGaugePrometheus(t *testing.T) {
+	r := New()
+	r.Gauge("pos").Set(math.Inf(1))
+	r.Gauge("neg").Set(math.Inf(-1))
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "pos +Inf") || !strings.Contains(out, "neg -Inf") {
+		t.Fatalf("gauge infinities mis-rendered:\n%s", out)
+	}
+}
+
+func TestEmptyRegistryExports(t *testing.T) {
+	r := New()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	if sb.String() != "" {
+		t.Fatalf("empty registry rendered %q", sb.String())
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters)+len(snap.Gauges)+len(snap.Histograms)+len(snap.Spans) != 0 {
+		t.Fatalf("empty registry snapshot: %+v", snap)
+	}
+	// Nil registry: same story, no panics.
+	var nilReg *Registry
+	sb.Reset()
+	if err := nilReg.WritePrometheus(&sb); err != nil || sb.String() != "" {
+		t.Fatalf("nil registry: err=%v out=%q", err, sb.String())
+	}
+	if nilReg.ProgressLine() != "" {
+		t.Fatal("nil registry progress line non-empty")
+	}
+}

@@ -1,0 +1,29 @@
+package telemetry
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the project's structured logger: log/slog with a JSON
+// handler, one object per line, durations in seconds, levels from level
+// up. Components attach a trace id with TraceAttr so log lines correlate
+// with flight-recorder entries.
+func NewLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// NewTextLogger is NewLogger with the human-readable key=value handler,
+// for interactive runs where JSON lines are noise.
+func NewTextLogger(w io.Writer, level slog.Level) *slog.Logger {
+	return slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level}))
+}
+
+// TraceAttr renders a trace id as the canonical "trace_id" attribute
+// (empty ids render as the empty string so lines stay greppable).
+func TraceAttr(id TraceID) slog.Attr {
+	if id.IsZero() {
+		return slog.String("trace_id", "")
+	}
+	return slog.String("trace_id", id.String())
+}

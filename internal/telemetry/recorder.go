@@ -1,0 +1,105 @@
+package telemetry
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// recorderEntry pairs a snapshot with its global publish sequence so
+// readers can order the ring's contents without locking writers.
+type recorderEntry struct {
+	seq  uint64
+	snap *TraceSnapshot
+}
+
+// Recorder is the flight recorder: a lock-free bounded ring buffer of
+// completed trace snapshots. Writers claim a slot with one atomic add and
+// publish with one atomic pointer store; the newest Cap() traces survive,
+// older ones are overwritten in place. Readers see each slot atomically —
+// a concurrent overwrite yields either the old or the new snapshot, never
+// a torn one. All methods are safe on a nil receiver.
+type Recorder struct {
+	slots []atomic.Pointer[recorderEntry]
+	seq   atomic.Uint64
+}
+
+// NewRecorder builds a recorder holding up to capacity traces (minimum 1).
+func NewRecorder(capacity int) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{slots: make([]atomic.Pointer[recorderEntry], capacity)}
+}
+
+// Cap returns the ring capacity (0 on a nil recorder).
+func (r *Recorder) Cap() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.slots)
+}
+
+// Put publishes one completed trace, overwriting the oldest slot once the
+// ring is full. Nil snapshots are ignored.
+func (r *Recorder) Put(snap *TraceSnapshot) {
+	if r == nil || snap == nil {
+		return
+	}
+	seq := r.seq.Add(1)
+	r.slots[(seq-1)%uint64(len(r.slots))].Store(&recorderEntry{seq: seq, snap: snap})
+}
+
+// Len returns how many traces are currently held (at most Cap).
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for i := range r.slots {
+		if r.slots[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// Recent returns up to n traces, newest first (all of them when n <= 0).
+func (r *Recorder) Recent(n int) []*TraceSnapshot {
+	if r == nil {
+		return nil
+	}
+	entries := make([]*recorderEntry, 0, len(r.slots))
+	for i := range r.slots {
+		if e := r.slots[i].Load(); e != nil {
+			entries = append(entries, e)
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].seq > entries[j].seq })
+	if n > 0 && n < len(entries) {
+		entries = entries[:n]
+	}
+	out := make([]*TraceSnapshot, len(entries))
+	for i, e := range entries {
+		out[i] = e.snap
+	}
+	return out
+}
+
+// Find returns the most recently published trace for the given job id,
+// or nil when it was never captured or has been overwritten.
+func (r *Recorder) Find(job string) *TraceSnapshot {
+	if r == nil || job == "" {
+		return nil
+	}
+	var best *recorderEntry
+	for i := range r.slots {
+		e := r.slots[i].Load()
+		if e != nil && e.snap.Job == job && (best == nil || e.seq > best.seq) {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return best.snap
+}

@@ -1,0 +1,127 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func snapFor(job string) *TraceSnapshot {
+	tr := NewTrace(TraceID{})
+	tr.SetJob(job)
+	tr.Event(StageDone)
+	return tr.Snapshot()
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	r.Put(snapFor("j"))
+	if r.Cap() != 0 || r.Len() != 0 || r.Recent(5) != nil || r.Find("j") != nil {
+		t.Fatal("nil recorder leaked state")
+	}
+}
+
+func TestRecorderMinimumCapacity(t *testing.T) {
+	r := NewRecorder(0)
+	if r.Cap() != 1 {
+		t.Fatalf("Cap() = %d, want 1", r.Cap())
+	}
+}
+
+func TestRecorderNewestFirstAndOverwrite(t *testing.T) {
+	r := NewRecorder(3)
+	if r.Len() != 0 {
+		t.Fatalf("fresh Len() = %d", r.Len())
+	}
+	r.Put(nil) // ignored
+	for i := 1; i <= 5; i++ {
+		r.Put(snapFor(fmt.Sprintf("j-%d", i)))
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len() = %d, want 3", r.Len())
+	}
+	got := r.Recent(0)
+	want := []string{"j-5", "j-4", "j-3"}
+	if len(got) != len(want) {
+		t.Fatalf("Recent(0) returned %d traces", len(got))
+	}
+	for i, s := range got {
+		if s.Job != want[i] {
+			t.Fatalf("Recent[%d].Job = %q, want %q", i, s.Job, want[i])
+		}
+	}
+	if got := r.Recent(2); len(got) != 2 || got[0].Job != "j-5" {
+		t.Fatalf("Recent(2) = %v", got)
+	}
+	if r.Find("j-1") != nil {
+		t.Fatal("overwritten trace still findable")
+	}
+	if s := r.Find("j-4"); s == nil || s.Job != "j-4" {
+		t.Fatalf("Find(j-4) = %v", s)
+	}
+	if r.Find("") != nil {
+		t.Fatal("empty job matched")
+	}
+}
+
+func TestRecorderFindNewestDuplicate(t *testing.T) {
+	r := NewRecorder(4)
+	old := snapFor("dup")
+	newer := snapFor("dup")
+	r.Put(old)
+	r.Put(newer)
+	if got := r.Find("dup"); got != newer {
+		t.Fatal("Find returned the older duplicate")
+	}
+}
+
+// TestRecorderConcurrent hammers Put from many goroutines while readers
+// call Recent/Find/Len — the lock-free ring must stay torn-free under
+// the race detector.
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(8)
+	var wg sync.WaitGroup
+	const writers, perWriter = 8, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				r.Put(snapFor(fmt.Sprintf("w%d-%d", w, i)))
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, s := range r.Recent(0) {
+					if s == nil || s.Job == "" {
+						t.Error("torn snapshot read")
+						return
+					}
+				}
+				_ = r.Len()
+				_ = r.Find("w0-0")
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if r.Len() != 8 {
+		t.Fatalf("Len() = %d, want full ring", r.Len())
+	}
+	// Exactly the last 8 published sequence numbers survive.
+	if got := len(r.Recent(0)); got != 8 {
+		t.Fatalf("Recent(0) = %d traces, want 8", got)
+	}
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Runtime health gauge names, pinned by the metric-name stability test.
+const (
+	gaugeGoroutines   = "runtime_goroutines"
+	gaugeHeapInuse    = "runtime_heap_inuse_bytes"
+	gaugeGCPauseTotal = "runtime_gc_pause_total_seconds"
+	gaugeUptime       = "runtime_uptime_seconds"
+)
+
+// RuntimeHealth is one poll of the process-health gauges.
+type RuntimeHealth struct {
+	Goroutines          int     `json:"goroutines"`
+	HeapInuseBytes      uint64  `json:"heap_inuse_bytes"`
+	GCPauseTotalSeconds float64 `json:"gc_pause_total_seconds"`
+}
+
+// ReadRuntimeHealth samples the runtime once (goroutine count, heap
+// in-use, cumulative GC pause). It stops the world briefly for
+// runtime.ReadMemStats, so callers should not put it on hot paths.
+func ReadRuntimeHealth() RuntimeHealth {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return RuntimeHealth{
+		Goroutines:          runtime.NumGoroutine(),
+		HeapInuseBytes:      ms.HeapInuse,
+		GCPauseTotalSeconds: float64(ms.PauseTotalNs) / 1e9,
+	}
+}
+
+// StartRuntimeGauges polls process-health gauges into the registry every
+// interval (zero means 10s): runtime_goroutines, runtime_heap_inuse_bytes,
+// runtime_gc_pause_total_seconds and runtime_uptime_seconds, all exported
+// on /metrics alongside the pipeline's own instruments. One poll happens
+// immediately so the gauges are never absent from an early scrape. The
+// returned stop function is idempotent; on a nil registry it is a no-op.
+func (r *Registry) StartRuntimeGauges(interval time.Duration) (stop func()) {
+	if r == nil {
+		return func() {}
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	gGo := r.Gauge(gaugeGoroutines)
+	gHeap := r.Gauge(gaugeHeapInuse)
+	gGC := r.Gauge(gaugeGCPauseTotal)
+	gUp := r.Gauge(gaugeUptime)
+	start := time.Now()
+	poll := func() {
+		h := ReadRuntimeHealth()
+		gGo.Set(float64(h.Goroutines))
+		gHeap.Set(float64(h.HeapInuseBytes))
+		gGC.Set(h.GCPauseTotalSeconds)
+		gUp.Set(time.Since(start).Seconds())
+	}
+	poll()
+	done := make(chan struct{})
+	go func() {
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				poll()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
+}

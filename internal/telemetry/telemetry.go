@@ -113,7 +113,10 @@ func newHistogram(bounds []float64) *Histogram {
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
-// Observe records one value.
+// Observe records one value. NaN observations match no finite bucket and
+// land in the implicit +Inf bucket (the Prometheus convention); the sum
+// still absorbs them, so a poisoned series is visible as a NaN _sum
+// rather than silently miscounted.
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -121,6 +124,9 @@ func (h *Histogram) Observe(v float64) {
 	// First bucket whose upper bound holds v; linear scan beats binary
 	// search at the typical 10–20 bucket count.
 	i := 0
+	if math.IsNaN(v) {
+		i = len(h.bounds)
+	}
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
@@ -198,6 +204,23 @@ func ExpBuckets(start, factor float64, count int) []float64 {
 	}
 	return out
 }
+
+// ServingLatencyBuckets is the default bucket layout for online observe
+// latency. The compiled serving path answers in tens of microseconds
+// (EPA-NET p50 ≈ 55µs, p99 ≈ 82µs), so bounds start at 10µs and double
+// through ≈5.2s — the old 100µs-first-bucket layout flattened the whole
+// serving distribution into its first bin.
+func ServingLatencyBuckets() []float64 { return ExpBuckets(1e-5, 2, 20) }
+
+// EvalLatencyBuckets is the bucket layout for offline per-scenario
+// observation latency (a hydraulic solve per sample, ms–s regime). These
+// are the historical pre-retune bounds, kept for offline eval spans so
+// long-run dashboards stay comparable.
+func EvalLatencyBuckets() []float64 { return ExpBuckets(1e-4, 2, 16) }
+
+// FastPathLatencyBuckets is the bucket layout for the flattened-ensemble
+// evaluation step alone (no queueing, no HTTP): 1µs doubling to ≈0.13s.
+func FastPathLatencyBuckets() []float64 { return ExpBuckets(1e-6, 2, 18) }
 
 // SpanStats aggregates completed spans of one name: count, total, min,
 // max and most-recent duration. All methods are safe on a nil receiver.

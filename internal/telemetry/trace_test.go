@@ -1,0 +1,202 @@
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseTraceID(t *testing.T) {
+	id, ok := ParseTraceID("4bf92f3577b34da6a3ce929d0e0e4736")
+	if !ok {
+		t.Fatal("valid id rejected")
+	}
+	if got := id.String(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("round-trip = %q", got)
+	}
+	for _, bad := range []string{
+		"",
+		"4bf92f3577b34da6a3ce929d0e0e473",    // short
+		"4bf92f3577b34da6a3ce929d0e0e47366",  // long
+		"00000000000000000000000000000000",   // all-zero is invalid per spec
+		"4bf92f3577b34da6a3ce929d0e0e473g",   // non-hex
+		"4BF92F3577B34DA6A3CE929D0E0E4736x1", // wrong length with junk
+	} {
+		if _, ok := ParseTraceID(bad); ok {
+			t.Errorf("ParseTraceID(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseTraceParent(t *testing.T) {
+	const tid = "4bf92f3577b34da6a3ce929d0e0e4736"
+	id, sampled, ok := ParseTraceParent("00-" + tid + "-00f067aa0ba902b7-01")
+	if !ok || !sampled || id.String() != tid {
+		t.Fatalf("sampled header: id=%s sampled=%v ok=%v", id, sampled, ok)
+	}
+	_, sampled, ok = ParseTraceParent("00-" + tid + "-00f067aa0ba902b7-00")
+	if !ok || sampled {
+		t.Fatalf("unsampled header: sampled=%v ok=%v", sampled, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"00-" + tid + "-00f067aa0ba902b7",     // missing flags
+		"ff-" + tid + "-00f067aa0ba902b7-01",  // reserved version
+		"00-" + tid + "-00f067aa0ba902b7-01x", // version 00 must be exactly 55 chars
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // zero trace id
+		"00_" + tid + "-00f067aa0ba902b7-01",                      // bad separator
+		"00-" + tid + "-00f067aa0ba902zz-01",                      // non-hex parent
+		"00-" + tid + "-00f067aa0ba902b7-zz",                      // non-hex flags
+	} {
+		if _, _, ok := ParseTraceParent(bad); ok {
+			t.Errorf("ParseTraceParent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestMintTraceIDUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := MintTraceID()
+		if id.IsZero() {
+			t.Fatal("minted zero id")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate id %s", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSampleDeterministicAndBounded(t *testing.T) {
+	id := MintTraceID()
+	if id.Sample(1) != true || id.Sample(1.5) != true {
+		t.Fatal("rate >= 1 must always sample")
+	}
+	if id.Sample(0) || id.Sample(-1) {
+		t.Fatal("rate <= 0 must never sample")
+	}
+	// Pure function of (id, rate): repeated calls agree.
+	for i := 0; i < 10; i++ {
+		if id.Sample(0.5) != id.Sample(0.5) {
+			t.Fatal("Sample is not deterministic")
+		}
+	}
+	// The hash spreads: across many ids a mid rate selects some but not all.
+	hits := 0
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if MintTraceID().Sample(0.5) {
+			hits++
+		}
+	}
+	if hits == 0 || hits == n {
+		t.Fatalf("Sample(0.5) hit %d/%d ids", hits, n)
+	}
+}
+
+func TestNilTraceNoOps(t *testing.T) {
+	var tr *Trace
+	tr.SetJob("j")
+	tr.Force()
+	tr.Event(StageEnqueue)
+	tr.EventValue(StageQueueWait, 1)
+	tr.EventDetail(StageSolverRetry, 1, "warm")
+	tr.Fail(errors.New("boom"))
+	if tr.ID() != (TraceID{}) || tr.Job() != "" || tr.Forced() {
+		t.Fatal("nil trace leaked state")
+	}
+	if tr.Snapshot() != nil {
+		t.Fatal("nil trace snapshot non-nil")
+	}
+	if got := tr.Snapshot().String(); got != "<nil trace>" {
+		t.Fatalf("nil snapshot String() = %q", got)
+	}
+}
+
+func TestTraceTimelineMonotonic(t *testing.T) {
+	tr := NewTrace(TraceID{})
+	tr.SetJob("j-1")
+	tr.Event(StageEnqueue)
+	tr.EventValue(StageQueueWait, 0.001)
+	time.Sleep(time.Millisecond)
+	tr.EventDetail(StageSolverRetry, 0.5, "warm")
+	tr.Fail(fmt.Errorf("solver gave up"))
+	tr.Event(StageDone)
+
+	snap := tr.Snapshot()
+	if snap.TraceID != tr.ID().String() || snap.Job != "j-1" {
+		t.Fatalf("snapshot header: %+v", snap)
+	}
+	if snap.Error != "solver gave up" {
+		t.Fatalf("snapshot error = %q", snap.Error)
+	}
+	want := []string{"enqueue", "queue_wait", "solver_retry", "error", "done"}
+	if len(snap.Events) != len(want) {
+		t.Fatalf("got %d events, want %d: %s", len(snap.Events), len(want), snap)
+	}
+	prev := -1.0
+	for i, e := range snap.Events {
+		if e.Stage != want[i] {
+			t.Fatalf("event %d stage = %q, want %q", i, e.Stage, want[i])
+		}
+		if e.AtSeconds < prev {
+			t.Fatalf("timestamps went backwards at event %d: %s", i, snap)
+		}
+		prev = e.AtSeconds
+	}
+	if snap.DurationSeconds < prev {
+		t.Fatalf("duration %.9f earlier than last event %.9f", snap.DurationSeconds, prev)
+	}
+	if !strings.Contains(snap.String(), "solver_retry") {
+		t.Fatalf("String() missing stage: %s", snap)
+	}
+}
+
+func TestTraceParentIDAdopted(t *testing.T) {
+	id, _, _ := ParseTraceParent("00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+	tr := NewTrace(id)
+	if tr.ID() != id {
+		t.Fatalf("trace id %s, want %s", tr.ID(), id)
+	}
+}
+
+func TestContextPropagation(t *testing.T) {
+	ctx := context.Background()
+	if got := ContextWithTrace(ctx, nil); got != ctx {
+		t.Fatal("nil trace must not wrap the context")
+	}
+	if TraceFrom(ctx) != nil {
+		t.Fatal("empty context carried a trace")
+	}
+	if TraceFrom(nil) != nil { //nolint:staticcheck // nil ctx is the documented degenerate case
+		t.Fatal("nil context carried a trace")
+	}
+	tr := NewTrace(TraceID{})
+	if TraceFrom(ContextWithTrace(ctx, tr)) != tr {
+		t.Fatal("trace did not round-trip through the context")
+	}
+}
+
+func TestSnapshotWhileWriting(t *testing.T) {
+	tr := NewTrace(TraceID{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			tr.EventValue(StageQueueWait, float64(i))
+		}
+	}()
+	for i := 0; i < 100; i++ {
+		snap := tr.Snapshot()
+		for j, e := range snap.Events {
+			if e.Value != float64(j) {
+				t.Fatalf("torn snapshot: event %d value %v", j, e.Value)
+			}
+		}
+	}
+	<-done
+}
