@@ -538,6 +538,24 @@ var (
 // NewServer starts a localization service over a trained system.
 func NewServer(sys *System, cfg ServeConfig) (*Server, error) { return serve.New(sys, cfg) }
 
+// Fleet serving (many districts in one aquad).
+type (
+	// Fleet hosts many districts' localization services in one process:
+	// per-district Servers carved from one shared worker budget, routed
+	// by district id, draining and hot-swapping independently.
+	Fleet = serve.Fleet
+	// FleetDistrict names one trained System served under a district id.
+	FleetDistrict = serve.District
+	// FleetStatus is the fleet-wide health snapshot (GET /v1/status).
+	FleetStatus = serve.FleetStatus
+)
+
+// NewFleet starts one localization service per district over a shared
+// worker budget (ServeConfig.Workers is the fleet-wide total).
+func NewFleet(districts []FleetDistrict, cfg ServeConfig) (*Fleet, error) {
+	return serve.NewFleet(districts, cfg)
+}
+
 // Telemetry (metrics, spans, profiling hooks).
 //
 // The layer is off by default and free when off: instrumented components

@@ -23,10 +23,28 @@
 //	aquatrain -net epanet -iot 30 -seed 1 -save profile.gob
 //	aquad -profile profile.gob -net epanet -iot 30 -seed 1 -addr localhost:8080
 //	curl -s localhost:8080/v1/status
+//
+// # Fleet mode
+//
+// -fleet MANIFEST serves many districts from one daemon instead of
+// -profile: each district gets its own compiled snapshot, queue and
+// result window carved from the shared -workers budget, and the API
+// nests under /v1/districts/{id}/... (observe, localize, trace, status,
+// profile, requests, drain) with a fleet-wide GET /v1/status. The
+// manifest is JSON:
+//
+//	{"districts": [
+//	  {"id": "north", "profile": "north.gob", "net": "test", "iot": 30, "seed": 1},
+//	  {"id": "south", "profile": "south.gob", "net": "test", "iot": 60, "seed": 2}
+//	]}
+//
+// Per-district net/iot/seed default to the daemon's -net/-iot/-seed
+// flags when omitted, and must match each profile's training run.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -57,16 +75,18 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("aquad", flag.ContinueOnError)
 	var (
-		profilePath  = fs.String("profile", "", "trained profile to serve (from aquatrain -save); required")
+		profilePath  = fs.String("profile", "", "trained profile to serve (from aquatrain -save); this or -fleet is required")
+		fleetPath    = fs.String("fleet", "", "fleet manifest (JSON) serving many districts from one daemon; this or -profile is required")
 		netName      = fs.String("net", "epanet", "network: epanet, wssc or test (must match training)")
 		iotPct       = fs.Float64("iot", 30, "IoT deployment percentage (must match training)")
 		seed         = fs.Int64("seed", 1, "random seed (must match training)")
 		addr         = fs.String("addr", "localhost:8080", "HTTP listen address (port 0 picks a free one)")
-		workers      = fs.Int("workers", 0, "localization workers (0 = all CPUs)")
+		workers      = fs.Int("workers", 0, "localization workers (0 = all CPUs); in fleet mode the shared budget split across districts")
 		queueSize    = fs.Int("queue", 0, "job queue bound (0 = 1024); beyond it submissions get 429")
 		timeout      = fs.Duration("timeout", 0, "per-request deadline from enqueue (0 = 5s)")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "shutdown drain budget for in-flight jobs")
 		gamma        = fs.Float64("gamma", 30, "default tweet coarseness gamma in meters")
+		batchMax     = fs.Int("batch-max", 0, "max same-hour readings requests scored per shared baseline lookup (0 = 8, 1 = off)")
 		fSlow        = fs.Float64("fault-request-slow", 0, "injected per-request slow-localize probability")
 		fDelay       = fs.Duration("fault-request-delay", 0, "injected delay for a slowed request (0 = 50ms)")
 		fFail        = fs.Float64("fault-request-fail", 0, "injected per-request forced-failure probability")
@@ -78,8 +98,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *profilePath == "" {
-		return fmt.Errorf("missing -profile (train one with: aquatrain -save profile.gob)")
+	if (*profilePath == "") == (*fleetPath == "") {
+		return fmt.Errorf("need exactly one of -profile or -fleet (train one with: aquatrain -save profile.gob)")
 	}
 
 	var logger *slog.Logger
@@ -100,50 +120,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	stopGauges := reg.StartRuntimeGauges(0)
 	defer stopGauges()
 
-	nw, err := buildNetwork(*netName)
-	if err != nil {
-		return err
-	}
-	f, err := os.Open(*profilePath)
-	if err != nil {
-		return err
-	}
-	profile, err := aquascale.LoadProfile(f)
-	f.Close()
-	if err != nil {
-		return fmt.Errorf("load profile: %w", err)
-	}
-
-	// Rebuild the sensor deployment exactly as aquatrain placed it: same
-	// baseline EPS, same k-medoids count, same seed+3 stream.
-	baseline, err := aquascale.RunEPS(nw, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
-	if err != nil {
-		return err
-	}
-	placer, err := aquascale.NewPlacer(nw, baseline)
-	if err != nil {
-		return err
-	}
-	sensors, err := placer.KMedoids(placer.CountForPercent(*iotPct), rand.New(rand.NewSource(*seed+3)))
-	if err != nil {
-		return err
-	}
-	factory, err := aquascale.NewFactory(nw, sensors, aquascale.DatasetConfig{
-		Noise: aquascale.DefaultSensorNoise,
-	})
-	if err != nil {
-		return err
-	}
-	sys := aquascale.NewSystem(factory, nw, aquascale.SystemConfig{})
-	if err := sys.SetProfile(profile); err != nil {
-		return fmt.Errorf("profile does not fit this deployment (check -net/-iot/-seed): %w", err)
-	}
-
-	server, err := aquascale.NewServer(sys, aquascale.ServeConfig{
+	cfg := aquascale.ServeConfig{
 		Workers:            *workers,
 		QueueSize:          *queueSize,
 		RequestTimeout:     *timeout,
 		GammaM:             *gamma,
+		BatchMax:           *batchMax,
 		TraceSample:        *traceSample,
 		TraceSlowThreshold: *traceSlow,
 		TraceBuffer:        *traceBuffer,
@@ -153,26 +135,47 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			RequestDelay: *fDelay,
 			RequestFail:  *fFail,
 		},
-	})
-	if err != nil {
-		return err
+	}
+
+	var (
+		handler  http.Handler
+		shutdown func(context.Context) error
+	)
+	if *fleetPath != "" {
+		fleet, err := buildFleet(*fleetPath, *netName, *iotPct, *seed, cfg, out)
+		if err != nil {
+			return err
+		}
+		handler = fleet.Handler()
+		shutdown = fleet.Shutdown
+	} else {
+		built, err := buildSystem(*netName, *iotPct, *seed, *profilePath)
+		if err != nil {
+			return err
+		}
+		server, err := aquascale.NewServer(built.sys, cfg)
+		if err != nil {
+			return err
+		}
+		path := "pointer path"
+		if server.Status().Compiled {
+			path = "compiled observe path"
+		}
+		fmt.Fprintf(out, "aquad: %s profile on %s (%d nodes, %d sensors), %d workers, queue %d, %s\n",
+			built.profile.Technique(), built.nw.Name, len(built.nw.Nodes), built.sensors,
+			server.Config().Workers, server.Config().QueueSize, path)
+		handler = server.Handler()
+		shutdown = server.Shutdown
 	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Handler: server.Handler()}
+	httpSrv := &http.Server{Handler: handler}
 	errCh := make(chan error, 1)
 	go func() { errCh <- httpSrv.Serve(ln) }()
 
-	path := "pointer path"
-	if server.Status().Compiled {
-		path = "compiled observe path"
-	}
-	fmt.Fprintf(out, "aquad: %s profile on %s (%d nodes, %d sensors), %d workers, queue %d, %s\n",
-		profile.Technique(), nw.Name, len(nw.Nodes), factory.SensorCount(),
-		server.Config().Workers, server.Config().QueueSize, path)
 	fmt.Fprintf(out, "serving on http://%s\n", ln.Addr())
 
 	select {
@@ -186,7 +189,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintln(out, "aquad: draining...")
 	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
-	drainErr := server.Shutdown(drainCtx)
+	drainErr := shutdown(drainCtx)
 	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
 		drainErr = err
 	}
@@ -195,6 +198,115 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	fmt.Fprintln(out, "aquad: drained cleanly")
 	return nil
+}
+
+// builtSystem is one rebuilt deployment ready to serve.
+type builtSystem struct {
+	sys     *aquascale.System
+	nw      *aquascale.Network
+	profile *aquascale.Profile
+	sensors int
+}
+
+// buildSystem rebuilds the sensor deployment exactly as aquatrain placed
+// it (same baseline EPS, same k-medoids count, same seed+3 stream), then
+// loads the profile onto it.
+func buildSystem(netName string, iotPct float64, seed int64, profilePath string) (*builtSystem, error) {
+	nw, err := buildNetwork(netName)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(profilePath)
+	if err != nil {
+		return nil, err
+	}
+	profile, err := aquascale.LoadProfile(f)
+	f.Close()
+	if err != nil {
+		return nil, fmt.Errorf("load profile %s: %w", profilePath, err)
+	}
+
+	baseline, err := aquascale.RunEPS(nw, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
+	if err != nil {
+		return nil, err
+	}
+	placer, err := aquascale.NewPlacer(nw, baseline)
+	if err != nil {
+		return nil, err
+	}
+	sensors, err := placer.KMedoids(placer.CountForPercent(iotPct), rand.New(rand.NewSource(seed+3)))
+	if err != nil {
+		return nil, err
+	}
+	factory, err := aquascale.NewFactory(nw, sensors, aquascale.DatasetConfig{
+		Noise: aquascale.DefaultSensorNoise,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sys := aquascale.NewSystem(factory, nw, aquascale.SystemConfig{})
+	if err := sys.SetProfile(profile); err != nil {
+		return nil, fmt.Errorf("profile %s does not fit this deployment (check net/iot/seed): %w", profilePath, err)
+	}
+	return &builtSystem{sys: sys, nw: nw, profile: profile, sensors: factory.SensorCount()}, nil
+}
+
+// fleetManifest is the -fleet JSON schema: one entry per district, with
+// net/iot/seed defaulting to the daemon's flags when omitted.
+type fleetManifest struct {
+	Districts []struct {
+		ID      string  `json:"id"`
+		Profile string  `json:"profile"`
+		Net     string  `json:"net"`
+		IoT     float64 `json:"iot"`
+		Seed    int64   `json:"seed"`
+	} `json:"districts"`
+}
+
+// buildFleet reads a fleet manifest, rebuilds every district's deployment
+// and starts the fleet over the shared worker budget, printing one
+// summary line per district.
+func buildFleet(path, defNet string, defIoT float64, defSeed int64, cfg aquascale.ServeConfig, out io.Writer) (*aquascale.Fleet, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var m fleetManifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("fleet manifest %s: %w", path, err)
+	}
+	if len(m.Districts) == 0 {
+		return nil, fmt.Errorf("fleet manifest %s: no districts", path)
+	}
+
+	districts := make([]aquascale.FleetDistrict, 0, len(m.Districts))
+	for _, d := range m.Districts {
+		if d.Net == "" {
+			d.Net = defNet
+		}
+		if d.IoT == 0 {
+			d.IoT = defIoT
+		}
+		if d.Seed == 0 {
+			d.Seed = defSeed
+		}
+		if d.Profile == "" {
+			return nil, fmt.Errorf("fleet manifest %s: district %q has no profile", path, d.ID)
+		}
+		built, err := buildSystem(d.Net, d.IoT, d.Seed, d.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("district %q: %w", d.ID, err)
+		}
+		districts = append(districts, aquascale.FleetDistrict{ID: d.ID, Sys: built.sys})
+		fmt.Fprintf(out, "aquad: district %s: %s profile on %s (%d nodes, %d sensors)\n",
+			d.ID, built.profile.Technique(), built.nw.Name, len(built.nw.Nodes), built.sensors)
+	}
+	fleet, err := aquascale.NewFleet(districts, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "aquad: fleet of %d districts, %d workers total\n", len(fleet.Districts()), fleet.Workers())
+	return fleet, nil
 }
 
 func buildNetwork(name string) (*aquascale.Network, error) {

@@ -38,10 +38,11 @@ func (s *syncBuffer) String() string {
 }
 
 // trainTestProfile trains a profile on the small test network with the
-// exact deployment aquad rebuilds for -net test -iot 30 -seed 1 (same
-// baseline EPS, same k-medoids count, same seed+3 placement stream) and
-// saves it to path. It returns the deployment's sensor count.
-func trainTestProfile(t *testing.T, path string) int {
+// exact deployment aquad rebuilds for -net test and the given iot/seed
+// (same baseline EPS, same k-medoids count, same seed+3 placement
+// stream) and saves it to path. It returns the deployment's sensor
+// count.
+func trainTestProfile(t *testing.T, path string, iotPct float64, seed int64) int {
 	t.Helper()
 	nw := aquascale.BuildTestNet()
 	baseline, err := aquascale.RunEPS(nw, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
@@ -52,7 +53,7 @@ func trainTestProfile(t *testing.T, path string) int {
 	if err != nil {
 		t.Fatalf("NewPlacer: %v", err)
 	}
-	sensors, err := placer.KMedoids(placer.CountForPercent(30), rand.New(rand.NewSource(1+3)))
+	sensors, err := placer.KMedoids(placer.CountForPercent(iotPct), rand.New(rand.NewSource(seed+3)))
 	if err != nil {
 		t.Fatalf("KMedoids: %v", err)
 	}
@@ -87,7 +88,7 @@ func TestAquadSmoke(t *testing.T) {
 		t.Skip("daemon boot trains a baseline EPS")
 	}
 	path := filepath.Join(t.TempDir(), "profile.gob")
-	sensorCount := trainTestProfile(t, path)
+	sensorCount := trainTestProfile(t, path, 30, 1)
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
@@ -100,24 +101,7 @@ func TestAquadSmoke(t *testing.T) {
 		}, out)
 	}()
 
-	// Wait for the daemon to print its bound address.
-	addrRe := regexp.MustCompile(`serving on http://(\S+)`)
-	var base string
-	for deadline := time.Now().Add(30 * time.Second); ; {
-		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
-			base = "http://" + m[1]
-			break
-		}
-		select {
-		case err := <-done:
-			t.Fatalf("daemon exited before serving: %v\noutput:\n%s", err, out.String())
-		default:
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("daemon never printed its address; output:\n%s", out.String())
-		}
-		time.Sleep(10 * time.Millisecond)
-	}
+	base := waitServing(t, out, done)
 
 	resp, err := http.Get(base + "/v1/status")
 	if err != nil {
@@ -190,15 +174,176 @@ func TestAquadSmoke(t *testing.T) {
 	}
 }
 
+// waitServing blocks until the daemon prints its bound address and
+// returns the base URL, failing fast if run exits first.
+func waitServing(t *testing.T, out *syncBuffer, done <-chan error) string {
+	t.Helper()
+	addrRe := regexp.MustCompile(`serving on http://(\S+)`)
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		if m := addrRe.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1]
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before serving: %v\noutput:\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed its address; output:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// observeDistrict posts one synchronous observe to a fleet district and
+// returns the HTTP status code (with a decoded proba length on 200).
+func observeDistrict(t *testing.T, base, district string, sensorCount int) (int, int) {
+	t.Helper()
+	features := make([]float64, sensorCount)
+	body, err := json.Marshal(map[string]any{"features": features, "wait": true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/districts/"+district+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST observe %s: %v", district, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return resp.StatusCode, 0
+	}
+	var jr struct {
+		State  string `json:"state"`
+		Result *struct {
+			Proba []float64 `json:"proba"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatalf("decode observe %s: %v", district, err)
+	}
+	if jr.State != "done" || jr.Result == nil {
+		t.Fatalf("observe %s = %+v, want state=done with result", district, jr)
+	}
+	return resp.StatusCode, len(jr.Result.Proba)
+}
+
+// TestAquadFleetSmoke boots the daemon in fleet mode with two districts
+// trained on distinct deployments, observes both, drains one district
+// while its sibling keeps serving, then shuts the whole fleet down.
+func TestAquadFleetSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("daemon boot trains baseline EPS runs")
+	}
+	dir := t.TempDir()
+	northProfile := filepath.Join(dir, "north.gob")
+	southProfile := filepath.Join(dir, "south.gob")
+	northSensors := trainTestProfile(t, northProfile, 30, 1)
+	southSensors := trainTestProfile(t, southProfile, 60, 2)
+
+	manifest := filepath.Join(dir, "fleet.json")
+	manifestJSON := fmt.Sprintf(`{"districts": [
+		{"id": "north", "profile": %q, "net": "test", "iot": 30, "seed": 1},
+		{"id": "south", "profile": %q, "net": "test", "iot": 60, "seed": 2}
+	]}`, northProfile, southProfile)
+	if err := os.WriteFile(manifest, []byte(manifestJSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-fleet", manifest, "-addr", "127.0.0.1:0",
+			"-workers", "2", "-drain-timeout", "10s",
+		}, out)
+	}()
+	base := waitServing(t, out, done)
+
+	// Fleet-wide status lists both districts.
+	resp, err := http.Get(base + "/v1/status")
+	if err != nil {
+		t.Fatalf("GET /v1/status: %v", err)
+	}
+	var fs struct {
+		Districts   []string `json:"districts"`
+		Workers     int      `json:"workers"`
+		PerDistrict []struct {
+			District string `json:"district"`
+			Sensors  int    `json:"sensors"`
+		} `json:"per_district"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&fs); err != nil {
+		t.Fatalf("decode fleet status: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(fs.Districts) != 2 ||
+		fs.Districts[0] != "north" || fs.Districts[1] != "south" {
+		t.Fatalf("fleet status = %d %+v, want 200 with districts [north south]", resp.StatusCode, fs)
+	}
+	if fs.Workers != 2 {
+		t.Fatalf("fleet workers = %d, want 2", fs.Workers)
+	}
+	if fs.PerDistrict[0].Sensors != northSensors || fs.PerDistrict[1].Sensors != southSensors {
+		t.Fatalf("per-district sensors = %+v, want north=%d south=%d",
+			fs.PerDistrict, northSensors, southSensors)
+	}
+
+	// Both districts localize through their own deployments.
+	if code, proba := observeDistrict(t, base, "north", northSensors); code != http.StatusOK || proba == 0 {
+		t.Fatalf("north observe = %d (proba %d), want 200 with result", code, proba)
+	}
+	if code, proba := observeDistrict(t, base, "south", southSensors); code != http.StatusOK || proba == 0 {
+		t.Fatalf("south observe = %d (proba %d), want 200 with result", code, proba)
+	}
+
+	// Drain north; south must keep serving.
+	resp, err = http.Post(base+"/v1/districts/north/drain", "application/json", nil)
+	if err != nil {
+		t.Fatalf("POST drain north: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain north = %d, want 200", resp.StatusCode)
+	}
+	if code, _ := observeDistrict(t, base, "north", northSensors); code != http.StatusServiceUnavailable {
+		t.Fatalf("drained north observe = %d, want 503", code)
+	}
+	if code, proba := observeDistrict(t, base, "south", southSensors); code != http.StatusOK || proba == 0 {
+		t.Fatalf("south observe after north drain = %d (proba %d), want 200 with result", code, proba)
+	}
+
+	// Whole-fleet shutdown stays clean even with north already drained.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v\noutput:\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after cancel; output:\n%s", out.String())
+	}
+	if s := out.String(); !strings.Contains(s, "aquad: fleet of 2 districts") ||
+		!strings.Contains(s, "aquad: drained cleanly") {
+		t.Fatalf("missing fleet or drain markers; output:\n%s", s)
+	}
+}
+
 // TestAquadFlagErrors pins the startup validation paths: a missing
-// -profile and an unknown network fail fast with a useful error.
+// -profile/-fleet, both at once, and an unknown network all fail fast
+// with a useful error.
 func TestAquadFlagErrors(t *testing.T) {
 	out := &syncBuffer{}
 	if err := run(context.Background(), nil, out); err == nil ||
 		!strings.Contains(err.Error(), "-profile") {
 		t.Fatalf("missing -profile error = %v", err)
 	}
-	err := run(context.Background(), []string{"-profile", "x.gob", "-net", "bogus"}, out)
+	err := run(context.Background(), []string{"-profile", "x.gob", "-fleet", "y.json"}, out)
+	if err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("profile+fleet error = %v", err)
+	}
+	err = run(context.Background(), []string{"-profile", "x.gob", "-net", "bogus"}, out)
 	if err == nil || !strings.Contains(err.Error(), "unknown network") {
 		t.Fatalf("unknown network error = %v", err)
 	}

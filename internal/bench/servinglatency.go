@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,15 +12,18 @@ import (
 	"github.com/aquascale/aquascale/internal/fusion"
 	"github.com/aquascale/aquascale/internal/leak"
 	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/serve"
 )
 
 // ServingLatency measures the Phase-II observe hot path the way the
 // serving daemon drives it: per-request Localize latency on EPA-NET,
 // pointer-tree path (pre-compile, one allocation-heavy Localize per
 // request) vs. the compiled flattened path (System.Compile +
-// LocalizeInto on a reused buffer). Both paths replay the same recorded
-// observations; the figure also asserts the two paths stay bit-identical,
-// which is the correctness contract the fast path ships under. Structural
+// LocalizeInto on a reused buffer), plus the same requests served
+// end-to-end through a one-district Fleet (Submit, queue, worker
+// hand-off). All paths replay the same recorded observations; the figure
+// also asserts the paths stay bit-identical, which is the correctness
+// contract the fast path and the serving layer ship under. Structural
 // columns are deterministic; the latency columns are wall-clock.
 func ServingLatency(scale Scale) (*Figure, error) {
 	scale = scale.withDefaults()
@@ -110,6 +114,62 @@ func ServingLatency(scale Scale) (*Figure, error) {
 		return nil, fmt.Errorf("bench: serving-latency compiled: %w", err)
 	}
 
+	// Fleet-served: the same inference driven end-to-end through a
+	// one-district Fleet the way aquad hosts it — Submit, queue, worker
+	// hand-off and result-window accounting on top of the compiled path.
+	fleet, err := serve.NewFleet([]serve.District{{ID: "epanet", Sys: sys}}, serve.Config{
+		Workers:        1,
+		QueueSize:      64,
+		RequestTimeout: 30 * time.Second,
+		TraceSample:    -1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serving-latency fleet: %w", err)
+	}
+	srv := fleet.District("epanet")
+	serveOne := func(i int) (*serve.Result, error) {
+		j, err := srv.Submit(serve.ObserveRequest{
+			Features: observations[i%len(observations)].Features,
+			Seed:     int64(i + 1),
+		})
+		if err != nil {
+			return nil, err
+		}
+		<-j.Done()
+		_, res, err := j.Status()
+		return res, err
+	}
+	// Parity: results served through the fleet must stay bit-identical to
+	// the offline Localize on each observation's own features.
+	for i := range observations {
+		res, err := serveOne(i)
+		if err != nil {
+			return nil, fmt.Errorf("bench: serving-latency fleet: %w", err)
+		}
+		offline, _, err := sys.Localize(core.Observation{Features: observations[i].Features})
+		if err != nil {
+			return nil, fmt.Errorf("bench: serving-latency fleet offline: %w", err)
+		}
+		for v := range res.Proba {
+			if math.Float64bits(res.Proba[v]) != math.Float64bits(offline.Proba[v]) {
+				mismatches++
+			}
+		}
+	}
+	if mismatches > 0 {
+		return nil, fmt.Errorf("bench: serving-latency: fleet-served path diverged at %d probabilities", mismatches)
+	}
+	fleetLat, err := timeRequests(requests, func(i int) error {
+		_, err := serveOne(i)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serving-latency fleet: %w", err)
+	}
+	if err := fleet.Shutdown(context.Background()); err != nil {
+		return nil, fmt.Errorf("bench: serving-latency fleet drain: %w", err)
+	}
+
 	table := Table{
 		Title: fmt.Sprintf("per-request observe latency, EPA-NET, %d sensors, %d requests over %d recorded observations",
 			len(sensors), requests, len(observations)),
@@ -118,11 +178,13 @@ func ServingLatency(scale Scale) (*Figure, error) {
 	table.Rows = append(table.Rows,
 		latencyRow("pointer", pointerLat, pointerLat),
 		latencyRow("compiled", compiledLat, pointerLat),
+		latencyRow("fleet served", fleetLat, pointerLat),
 	)
 	fig.Tables = append(fig.Tables, table)
 	fig.Notes = append(fig.Notes,
 		fmt.Sprintf("compiled probabilities bit-identical to pointer path on all %d observations", len(observations)),
 		"compiled path uses System.Compile + LocalizeInto on a reused buffer (0 allocs/op; see BenchmarkObserve)",
+		"fleet served drives Submit+wait through a one-district serve.Fleet (queue, worker hand-off, result window) and stays bit-identical to offline Localize",
 	)
 	return fig, nil
 }

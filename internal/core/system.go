@@ -146,12 +146,23 @@ func (s *System) Localize(obs Observation) (*fusion.Prediction, []int, error) {
 // and the junction scatter — onto it. An untraced context adds one nil
 // check and nothing else; the result is identical either way.
 func (s *System) LocalizeContext(ctx context.Context, obs Observation) (*fusion.Prediction, []int, error) {
+	pred, added, _, err := s.LocalizeContextPath(ctx, obs)
+	return pred, added, err
+}
+
+// LocalizeContextPath is LocalizeContext additionally reporting which
+// inference path actually served the call: compiled is true iff the
+// flattened snapshot scored this observation. Callers attributing
+// metrics must use this instead of re-querying Compiled() afterwards —
+// a concurrent SetProfile/Compile can drop or restore the snapshot
+// between the evaluation and the query, misattributing the path.
+func (s *System) LocalizeContextPath(ctx context.Context, obs Observation) (*fusion.Prediction, []int, bool, error) {
 	pred := &fusion.Prediction{Proba: make([]float64, len(s.net.Nodes))}
-	added, err := s.localizeInto(pred, obs, telemetry.TraceFrom(ctx))
+	added, compiled, err := s.localizeInto(pred, obs, telemetry.TraceFrom(ctx))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
-	return pred, added, nil
+	return pred, added, compiled, nil
 }
 
 // LocalizeInto is Localize writing into a caller-owned prediction whose
@@ -161,7 +172,8 @@ func (s *System) LocalizeContext(ctx context.Context, obs Observation) (*fusion.
 // across calls overwrites earlier results, so callers must not retain
 // predictions they hand back in.
 func (s *System) LocalizeInto(pred *fusion.Prediction, obs Observation) ([]int, error) {
-	return s.localizeInto(pred, obs, nil)
+	added, _, err := s.localizeInto(pred, obs, nil)
+	return added, err
 }
 
 // LocalizeIntoContext is LocalizeInto with per-request trace propagation
@@ -169,33 +181,37 @@ func (s *System) LocalizeInto(pred *fusion.Prediction, obs Observation) ([]int, 
 // path's zero-allocation contract bit for bit — the tracing hooks cost
 // one nil check each, the same contract the telemetry registry honors.
 func (s *System) LocalizeIntoContext(ctx context.Context, pred *fusion.Prediction, obs Observation) ([]int, error) {
-	return s.localizeInto(pred, obs, telemetry.TraceFrom(ctx))
+	added, _, err := s.localizeInto(pred, obs, telemetry.TraceFrom(ctx))
+	return added, err
 }
 
-func (s *System) localizeInto(pred *fusion.Prediction, obs Observation, tr *telemetry.Trace) ([]int, error) {
+func (s *System) localizeInto(pred *fusion.Prediction, obs Observation, tr *telemetry.Trace) ([]int, bool, error) {
 	p := s.profile.Load()
 	if p == nil {
-		return nil, fmt.Errorf("core: system not trained")
+		return nil, false, fmt.Errorf("core: system not trained")
 	}
 	if len(pred.Proba) != len(s.net.Nodes) {
-		return nil, fmt.Errorf("core: prediction buffer has %d slots, network has %d",
+		return nil, false, fmt.Errorf("core: prediction buffer has %d slots, network has %d",
 			len(pred.Proba), len(s.net.Nodes))
 	}
+	compiled := false
 	if snap := s.compiled.Load(); snap != nil && snap.profile == p {
+		compiled = true
 		tr.Event(telemetry.StageEvalCompiled)
 		if err := snap.model.PredictProbaInto(obs.Features, pred.Proba); err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		tr.EventValue(telemetry.StageJunctionScatter, float64(len(snap.model.junctions)))
 	} else {
 		tr.Event(telemetry.StageEvalPointer)
 		proba, err := p.PredictProba(obs.Features)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		copy(pred.Proba, proba)
 	}
-	return s.engine.Refine(pred, obs.Frozen, obs.Cliques)
+	added, err := s.engine.Refine(pred, obs.Frozen, obs.Cliques)
+	return added, compiled, err
 }
 
 // ColdScenario is a leak scenario caused by low temperature: leak

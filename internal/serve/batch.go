@@ -1,0 +1,111 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+// Observe micro-batching: Readings requests defer their readings→features
+// conversion to the worker, where the job that a worker dequeues becomes
+// the batch leader — it claims every other queued Readings job for the
+// same pattern hour (up to Config.BatchMax), resolves the memoized
+// quiescent baseline once, and scores the whole batch back-to-back. The
+// shared baseline slice is the exact slice each job would have fetched
+// alone, so batching changes wall-clock amortization and nothing else:
+// every result stays bit-identical to the single-request path.
+
+// unboard removes a claimed Readings job from the pending board (no-op
+// for Features jobs, which are never boarded).
+func (s *Server) unboard(j *Job) {
+	if j.readings == nil || s.cfg.BatchMax <= 1 {
+		return
+	}
+	s.mu.Lock()
+	list := s.pending[j.hour]
+	for i, cand := range list {
+		if cand == j {
+			list = append(list[:i], list[i+1:]...)
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(s.pending, j.hour)
+	} else {
+		s.pending[j.hour] = list
+	}
+	s.mu.Unlock()
+}
+
+// takeBatch claims up to BatchMax-1 queued Readings jobs sharing the
+// leader's pattern hour off the pending board. Entries whose claim CAS
+// fails belong to another worker already and are pruned; claimed members
+// are removed — the board never retains a job that has an owner.
+func (s *Server) takeBatch(leader *Job) []*Job {
+	want := s.cfg.BatchMax - 1
+	if want <= 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	list := s.pending[leader.hour]
+	if len(list) == 0 {
+		return nil
+	}
+	var members []*Job
+	rest := list[:0]
+	for _, cand := range list {
+		switch {
+		case len(members) < want && cand.claim():
+			members = append(members, cand)
+		case !cand.claimed.Load():
+			rest = append(rest, cand)
+		}
+	}
+	for i := len(rest); i < len(list); i++ {
+		list[i] = nil // let claimed members out of the board's backing array
+	}
+	if len(rest) == 0 {
+		delete(s.pending, leader.hour)
+	} else {
+		s.pending[leader.hour] = rest
+	}
+	return members
+}
+
+// runBatch scores a Readings batch back-to-back on this worker: the
+// leader resolves the quiescent baseline once (its trace carries the
+// memo hit/miss stage) and every member reuses the identical slice, so
+// features — and therefore results — are bit-for-bit what each job
+// would have computed alone.
+func (s *Server) runBatch(leader *Job, members []*Job) {
+	jobs := append([]*Job{leader}, members...)
+	lctx := telemetry.ContextWithTrace(context.Background(), leader.trace)
+	base, err := s.sys.QuiescentBaselineContext(lctx, leader.hour)
+	if err != nil {
+		err = fmt.Errorf("serve: quiescent baseline: %w", err)
+		for _, j := range jobs {
+			s.finishJob(j, nil, err)
+		}
+		return
+	}
+	if len(members) > 0 {
+		leader.trace.EventValue(telemetry.StageBatchLead, float64(len(jobs)))
+		s.nBatches.Add(1)
+		s.met.batches.Inc()
+		s.nBatchedJobs.Add(int64(len(jobs)))
+		s.met.batchedJobs.Add(int64(len(jobs)))
+	}
+	for _, j := range jobs {
+		if j != leader {
+			j.trace.EventValue(telemetry.StageBatchShare, float64(j.hour))
+		}
+		features := make([]float64, len(j.readings))
+		for i, r := range j.readings {
+			features[i] = r - base[i]
+		}
+		j.obs.Features = features
+		s.run(j)
+	}
+}

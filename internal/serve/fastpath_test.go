@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"github.com/aquascale/aquascale/internal/core"
 	"github.com/aquascale/aquascale/internal/faults"
 )
 
@@ -39,7 +40,7 @@ func TestServedFastPathMatchesUncompiled(t *testing.T) {
 	if ref.Compiled() {
 		t.Fatal("reference system unexpectedly compiled")
 	}
-	obs, err := s.buildObservation(req, nil)
+	obs, _, _, err := s.buildObservation(req)
 	if err != nil {
 		t.Fatalf("buildObservation: %v", err)
 	}
@@ -58,8 +59,10 @@ func TestServedFastPathMatchesUncompiled(t *testing.T) {
 }
 
 // TestReadingsIngestion pins the absolute-readings request path: the
-// server subtracts the memoized quiescent baseline to form the feature
-// deltas, and validates the readings/features exclusivity.
+// conversion against the memoized quiescent baseline is deferred to the
+// worker (so concurrent same-hour requests can batch), the end-to-end
+// result matches offline Localize on the subtracted deltas bit-for-bit,
+// and readings/features exclusivity is validated at submit time.
 func TestReadingsIngestion(t *testing.T) {
 	s := newTestServer(t, Config{Workers: 1})
 	sys := s.System()
@@ -76,27 +79,48 @@ func TestReadingsIngestion(t *testing.T) {
 		readings[i] = base[i] + deltas[i]
 	}
 
-	obs, err := s.buildObservation(ObserveRequest{Readings: readings, PatternHour: &hour}, nil)
+	obs, rdgs, gotHour, err := s.buildObservation(ObserveRequest{Readings: readings, PatternHour: &hour})
 	if err != nil {
 		t.Fatalf("buildObservation(readings): %v", err)
 	}
-	for i := range obs.Features {
-		exp := readings[i] - base[i]
-		if math.Float64bits(obs.Features[i]) != math.Float64bits(exp) {
-			t.Fatalf("feature[%d] = %v, want %v", i, obs.Features[i], exp)
+	if obs.Features != nil {
+		t.Fatal("readings resolved at submit time, want deferred to the worker")
+	}
+	if len(rdgs) != want || gotHour != hour {
+		t.Fatalf("got %d readings for hour %d, want %d for %d", len(rdgs), gotHour, want, hour)
+	}
+
+	// End to end: a served readings request matches offline Localize on
+	// the subtracted deltas bit-for-bit.
+	j, err := s.Submit(ObserveRequest{Readings: readings, PatternHour: &hour, Seed: 9})
+	if err != nil {
+		t.Fatalf("Submit(readings): %v", err)
+	}
+	got := waitResult(t, j)
+	exp := make([]float64, want)
+	for i := range exp {
+		exp[i] = readings[i] - base[i]
+	}
+	pred, _, err := sys.Localize(core.Observation{Features: exp})
+	if err != nil {
+		t.Fatalf("offline Localize: %v", err)
+	}
+	for v := range pred.Proba {
+		if math.Float64bits(got.Proba[v]) != math.Float64bits(pred.Proba[v]) {
+			t.Fatalf("proba[%d]: served %v != offline %v", v, got.Proba[v], pred.Proba[v])
 		}
 	}
 
 	// Unset PatternHour falls back to the profile's training base hour.
-	if _, err := s.buildObservation(ObserveRequest{Readings: readings}, nil); err != nil {
+	if _, _, _, err := s.buildObservation(ObserveRequest{Readings: readings}); err != nil {
 		t.Fatalf("buildObservation(readings, no hour): %v", err)
 	}
 
 	var re *RequestError
-	if _, err := s.buildObservation(ObserveRequest{Readings: readings, Features: deltas}, nil); !errors.As(err, &re) {
+	if _, _, _, err := s.buildObservation(ObserveRequest{Readings: readings, Features: deltas}); !errors.As(err, &re) {
 		t.Fatalf("features+readings: err = %v, want RequestError", err)
 	}
-	if _, err := s.buildObservation(ObserveRequest{Readings: readings[:1]}, nil); !errors.As(err, &re) {
+	if _, _, _, err := s.buildObservation(ObserveRequest{Readings: readings[:1]}); !errors.As(err, &re) {
 		t.Fatalf("short readings: err = %v, want RequestError", err)
 	}
 }

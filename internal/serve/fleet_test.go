@@ -1,0 +1,371 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/core"
+	"github.com/aquascale/aquascale/internal/hydraulic"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+)
+
+// gridbed caches a second district's fixtures — a trained profile over a
+// small looped grid zone, deliberately a different network with a
+// different sensor count than testbed — once per test binary.
+var gridbed struct {
+	once    sync.Once
+	err     error
+	net     *network.Network
+	sensors []sensor.Sensor
+	profile *core.Profile
+}
+
+func initGridbed() error {
+	gridbed.once.Do(func() {
+		net := network.BuildGrid(network.GridConfig{Rows: 3, Cols: 3, Seed: 7})
+		base, err := hydraulic.RunEPS(net, hydraulic.EPSOptions{Duration: 2 * time.Hour, Step: time.Hour}, nil)
+		if err != nil {
+			gridbed.err = fmt.Errorf("grid baseline EPS: %w", err)
+			return
+		}
+		placer, err := sensor.NewPlacer(net, base)
+		if err != nil {
+			gridbed.err = err
+			return
+		}
+		sensors, err := placer.KMedoids(3, rand.New(rand.NewSource(4)))
+		if err != nil {
+			gridbed.err = err
+			return
+		}
+		factory, err := newTestFactory(net, sensors)
+		if err != nil {
+			gridbed.err = err
+			return
+		}
+		sys := core.NewSystem(factory, net, core.SystemConfig{})
+		err = sys.Train(40, core.ProfileConfig{Technique: core.TechniqueLinear, Seed: 6},
+			rand.New(rand.NewSource(8)))
+		if err != nil {
+			gridbed.err = fmt.Errorf("grid train: %w", err)
+			return
+		}
+		gridbed.net = net
+		gridbed.sensors = sensors
+		gridbed.profile = sys.Profile()
+	})
+	return gridbed.err
+}
+
+// newGridSystem builds a fresh trained System over the grid fixtures.
+func newGridSystem(t *testing.T) *core.System {
+	t.Helper()
+	if err := initGridbed(); err != nil {
+		t.Fatalf("gridbed: %v", err)
+	}
+	factory, err := newTestFactory(gridbed.net, gridbed.sensors)
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	sys := core.NewSystem(factory, gridbed.net, core.SystemConfig{})
+	if err := sys.SetProfile(gridbed.profile); err != nil {
+		t.Fatalf("SetProfile: %v", err)
+	}
+	return sys
+}
+
+// newTestFleet builds a two-district fleet: "east" over the 8-node test
+// network (5 sensors) and "west" over the 3×3 grid (3 sensors).
+func newTestFleet(t *testing.T, cfg Config) *Fleet {
+	t.Helper()
+	f, err := NewFleet([]District{
+		{ID: "east", Sys: newTestSystem(t)},
+		{ID: "west", Sys: newGridSystem(t)},
+	}, cfg)
+	if err != nil {
+		t.Fatalf("NewFleet: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = f.Shutdown(ctx)
+	})
+	return f
+}
+
+func postDistrictObserve(t *testing.T, ts *httptest.Server, district string, req ObserveRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/districts/"+district+"/observe", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST observe %s: %v", district, err)
+	}
+	return resp
+}
+
+func TestNewFleetValidation(t *testing.T) {
+	sys := newTestSystem(t)
+	if _, err := NewFleet(nil, Config{}); err == nil {
+		t.Fatal("empty fleet accepted")
+	}
+	if _, err := NewFleet([]District{{ID: "a/b", Sys: sys}}, Config{}); err == nil {
+		t.Fatal("district id with '/' accepted")
+	}
+	if _, err := NewFleet([]District{{ID: "", Sys: sys}}, Config{}); err == nil {
+		t.Fatal("empty district id accepted")
+	}
+	f, err := NewFleet([]District{
+		{ID: "dup", Sys: newTestSystem(t)},
+		{ID: "dup", Sys: newTestSystem(t)},
+	}, Config{Workers: 2})
+	if err == nil {
+		_ = f.Shutdown(context.Background())
+		t.Fatal("duplicate district id accepted")
+	}
+}
+
+// TestFleetWorkerPartition pins the shared-budget fairness rule: an
+// equal share per district (remainder to the first ids in sorted order)
+// and never less than one worker each.
+func TestFleetWorkerPartition(t *testing.T) {
+	f := newTestFleet(t, Config{Workers: 5})
+	if got := f.Workers(); got != 5 {
+		t.Fatalf("fleet workers = %d, want 5", got)
+	}
+	if e := f.District("east").Config().Workers; e != 3 {
+		t.Fatalf("east workers = %d, want 3 (share 2 + remainder)", e)
+	}
+	if w := f.District("west").Config().Workers; w != 2 {
+		t.Fatalf("west workers = %d, want 2", w)
+	}
+
+	// A budget smaller than the district count still leaves every
+	// district serving: hard isolation means a floor of one worker.
+	f1 := newTestFleet(t, Config{Workers: 1})
+	if e, w := f1.District("east").Config().Workers, f1.District("west").Config().Workers; e != 1 || w != 1 {
+		t.Fatalf("1-worker budget split = (%d, %d), want (1, 1)", e, w)
+	}
+}
+
+// TestFleetRoutingIsolation pins cross-district isolation end to end: an
+// observation routed to one district is scored by that district's
+// profile only (bit-identical to its own offline Localize), a sibling
+// district rejects it outright, and unknown districts 404.
+func TestFleetRoutingIsolation(t *testing.T) {
+	f := newTestFleet(t, Config{Workers: 2})
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	eastSys := f.District("east").System()
+	westSys := f.District("west").System()
+	eastFeats := testFeatures(eastSys, 31) // 5 sensors
+	westFeats := testFeatures(westSys, 32) // 3 sensors
+
+	for _, tc := range []struct {
+		district string
+		sys      *core.System
+		feats    []float64
+	}{
+		{"east", eastSys, eastFeats},
+		{"west", westSys, westFeats},
+	} {
+		resp := postDistrictObserve(t, ts, tc.district, ObserveRequest{Features: tc.feats, Seed: 3, Wait: true})
+		jr := decodeJob(t, resp)
+		if jr.State != JobDone || jr.Result == nil {
+			t.Fatalf("%s observe: state %v, error %q", tc.district, jr.State, jr.Error)
+		}
+		pred, _, err := tc.sys.Localize(core.Observation{Features: tc.feats})
+		if err != nil {
+			t.Fatalf("%s offline Localize: %v", tc.district, err)
+		}
+		for v := range pred.Proba {
+			if math.Float64bits(jr.Result.Proba[v]) != math.Float64bits(pred.Proba[v]) {
+				t.Fatalf("%s proba[%d]: served %v != offline %v", tc.district, v, jr.Result.Proba[v], pred.Proba[v])
+			}
+		}
+
+		// Poll and trace through the district routes.
+		r, err := ts.Client().Get(ts.URL + "/v1/districts/" + tc.district + "/localize/" + jr.Job)
+		if err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("%s localize poll: %v (status %d)", tc.district, err, r.StatusCode)
+		}
+		r.Body.Close()
+		r, err = ts.Client().Get(ts.URL + "/v1/districts/" + tc.district + "/status")
+		if err != nil || r.StatusCode != http.StatusOK {
+			t.Fatalf("%s status: %v (status %d)", tc.district, err, r.StatusCode)
+		}
+		var st Status
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			t.Fatalf("decode %s status: %v", tc.district, err)
+		}
+		r.Body.Close()
+		if st.District != tc.district {
+			t.Fatalf("status district = %q, want %q", st.District, tc.district)
+		}
+	}
+
+	// East's 5-wide feature vector does not fit west's 3-sensor network:
+	// the sibling district must refuse it, never score it.
+	resp := postDistrictObserve(t, ts, "west", ObserveRequest{Features: eastFeats, Wait: true})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("cross-district observe status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	resp = postDistrictObserve(t, ts, "north", ObserveRequest{Features: eastFeats})
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown district status = %d, want 404", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// A job id from east is not visible under west.
+	resp = postDistrictObserve(t, ts, "east", ObserveRequest{Features: eastFeats, Seed: 9})
+	jr := decodeJob(t, resp)
+	if r, _ := ts.Client().Get(ts.URL + "/v1/districts/west/localize/" + jr.Job); r.StatusCode != http.StatusNotFound {
+		t.Fatalf("east job visible in west: status %d, want 404", r.StatusCode)
+	}
+}
+
+// TestFleetStatus pins the fleet-wide snapshot: every district listed in
+// id order, each Status carrying its district tag, plus the aggregate
+// worker budget.
+func TestFleetStatus(t *testing.T) {
+	f := newTestFleet(t, Config{Workers: 4})
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	r, err := ts.Client().Get(ts.URL + "/v1/status")
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/status: %v (status %d)", err, r.StatusCode)
+	}
+	var fs FleetStatus
+	if err := json.NewDecoder(r.Body).Decode(&fs); err != nil {
+		t.Fatalf("decode fleet status: %v", err)
+	}
+	r.Body.Close()
+	if len(fs.Districts) != 2 || fs.Districts[0] != "east" || fs.Districts[1] != "west" {
+		t.Fatalf("districts = %v, want [east west]", fs.Districts)
+	}
+	if fs.Workers != 4 {
+		t.Fatalf("fleet workers = %d, want 4", fs.Workers)
+	}
+	if len(fs.PerDistrict) != 2 || fs.PerDistrict[0].District != "east" || fs.PerDistrict[1].District != "west" {
+		t.Fatalf("per-district snapshots mislabeled: %+v", fs.PerDistrict)
+	}
+	if fs.PerDistrict[0].Network == fs.PerDistrict[1].Network {
+		t.Fatalf("districts report the same network %q, want distinct", fs.PerDistrict[0].Network)
+	}
+}
+
+// TestFleetPerDistrictDrain pins independent drain: draining one
+// district refuses its new submissions with 503 while its sibling keeps
+// serving, and the fleet status reflects the split.
+func TestFleetPerDistrictDrain(t *testing.T) {
+	f := newTestFleet(t, Config{Workers: 2})
+	ts := httptest.NewServer(f.Handler())
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/districts/east/drain", nil)
+	r, err := ts.Client().Do(req)
+	if err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("drain east: %v (status %d)", err, r.StatusCode)
+	}
+	r.Body.Close()
+
+	resp := postDistrictObserve(t, ts, "east", ObserveRequest{Features: testFeatures(f.District("east").System(), 1)})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("drained east observe status = %d, want 503", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	westFeats := testFeatures(f.District("west").System(), 2)
+	resp = postDistrictObserve(t, ts, "west", ObserveRequest{Features: westFeats, Seed: 5, Wait: true})
+	jr := decodeJob(t, resp)
+	if jr.State != JobDone {
+		t.Fatalf("sibling west state = %v after east drain (error %q)", jr.State, jr.Error)
+	}
+
+	fs := f.Status()
+	if !fs.PerDistrict[0].Draining || fs.PerDistrict[1].Draining {
+		t.Fatalf("draining flags = (%v, %v), want (true, false)",
+			fs.PerDistrict[0].Draining, fs.PerDistrict[1].Draining)
+	}
+
+	// Draining an already-drained district is an idempotent success.
+	req, _ = http.NewRequest(http.MethodPost, ts.URL+"/v1/districts/east/drain", nil)
+	if r, err := ts.Client().Do(req); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("re-drain east: %v (status %d)", err, r.StatusCode)
+	}
+}
+
+// TestFleetHotSwapRace races per-district profile hot-swaps against
+// concurrent submissions to both districts (run under -race). Every job
+// must finish cleanly — a swap is atomic per district and never bleeds
+// across districts.
+func TestFleetHotSwapRace(t *testing.T) {
+	const perDistrict = 40
+	f := newTestFleet(t, Config{Workers: 2, QueueSize: 2 * perDistrict})
+	profiles := map[string]*core.Profile{"east": testbed.profile, "west": gridbed.profile}
+
+	var wg sync.WaitGroup
+	for _, id := range f.Districts() {
+		srv := f.District(id)
+		feats := testFeatures(srv.System(), 77)
+		wg.Add(2)
+		go func(id string) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := f.District(id).SwapProfile(profiles[id]); err != nil {
+					t.Errorf("SwapProfile %s: %v", id, err)
+					return
+				}
+			}
+		}(id)
+		go func(id string, srv *Server, feats []float64) {
+			defer wg.Done()
+			jobs := make([]*Job, 0, perDistrict)
+			for i := 0; i < perDistrict; i++ {
+				j, err := srv.Submit(ObserveRequest{Features: feats, Seed: int64(i + 1)})
+				if err != nil {
+					t.Errorf("Submit %s %d: %v", id, i, err)
+					return
+				}
+				jobs = append(jobs, j)
+			}
+			for _, j := range jobs {
+				select {
+				case <-j.Done():
+				case <-time.After(30 * time.Second):
+					t.Errorf("%s job %s stuck", id, j.ID())
+					return
+				}
+				if _, _, err := j.Status(); err != nil {
+					t.Errorf("%s job %s failed: %v", id, j.ID(), err)
+					return
+				}
+			}
+		}(id, srv, feats)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	for _, id := range f.Districts() {
+		if st := f.District(id).Status(); st.ProfileSwaps != 10 {
+			t.Fatalf("%s profile swaps = %d, want 10", id, st.ProfileSwaps)
+		}
+	}
+}

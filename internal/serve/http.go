@@ -94,34 +94,33 @@ func badRequest(format string, args ...any) error {
 
 // buildObservation validates req against the served network and converts
 // it to the exact core.Observation the offline pipeline uses, so served
-// results are bit-identical to System.Localize on the same evidence. A
-// non-nil trace records whether the readings→features conversion hit the
-// quiescent-baseline memo.
-func (s *Server) buildObservation(req ObserveRequest, tr *telemetry.Trace) (core.Observation, error) {
+// results are bit-identical to System.Localize on the same evidence.
+// Readings requests are validated here but their readings→features
+// conversion is deferred to the worker (returned as readings + pattern
+// hour), where a batch leader resolves the quiescent baseline once for
+// every concurrent same-hour request; obs.Features stays nil for them
+// until then.
+func (s *Server) buildObservation(req ObserveRequest) (core.Observation, []float64, int, error) {
 	want := s.sys.Factory().SensorCount()
+	var readings []float64
+	hour := 0
 	if len(req.Readings) > 0 {
 		if len(req.Features) > 0 {
-			return core.Observation{}, badRequest("set features or readings, not both")
+			return core.Observation{}, nil, 0, badRequest("set features or readings, not both")
 		}
 		if len(req.Readings) != want {
-			return core.Observation{}, badRequest("got %d readings, served sensor set has %d", len(req.Readings), want)
+			return core.Observation{}, nil, 0, badRequest("got %d readings, served sensor set has %d", len(req.Readings), want)
 		}
-		hour := int(s.sys.Factory().BaseTime() / time.Hour)
+		hour = int(s.sys.Factory().BaseTime() / time.Hour)
 		if req.PatternHour != nil {
 			hour = *req.PatternHour
 		}
-		base, err := s.sys.QuiescentBaselineContext(telemetry.ContextWithTrace(context.Background(), tr), hour)
-		if err != nil {
-			return core.Observation{}, fmt.Errorf("serve: quiescent baseline: %w", err)
-		}
-		features := make([]float64, want)
-		for i, r := range req.Readings {
-			features[i] = r - base[i]
-		}
-		req.Features = features
-	}
-	if len(req.Features) != want {
-		return core.Observation{}, badRequest("got %d features, served sensor set has %d", len(req.Features), want)
+		// Wrap into the demand-pattern day so the batching board and the
+		// baseline memo agree that hour 25 and hour 1 share a baseline.
+		hour = ((hour % 24) + 24) % 24
+		readings = req.Readings
+	} else if len(req.Features) != want {
+		return core.Observation{}, nil, 0, badRequest("got %d features, served sensor set has %d", len(req.Features), want)
 	}
 	obs := core.Observation{Features: req.Features}
 
@@ -131,7 +130,7 @@ func (s *Server) buildObservation(req ObserveRequest, tr *telemetry.Trace) (core
 		frozen := make([]bool, len(net.Nodes))
 		for _, v := range req.FrozenNodes {
 			if v < 0 || v >= len(net.Nodes) {
-				return core.Observation{}, badRequest("frozen node %d outside [0, %d)", v, len(net.Nodes))
+				return core.Observation{}, nil, 0, badRequest("frozen node %d outside [0, %d)", v, len(net.Nodes))
 			}
 			frozen[v] = true
 		}
@@ -153,7 +152,7 @@ func (s *Server) buildObservation(req ObserveRequest, tr *telemetry.Trace) (core
 		}
 		obs.Cliques = social.BuildCliques(net, reports, gamma, pe)
 	}
-	return obs, nil
+	return obs, readings, hour, nil
 }
 
 // jobResponse is the wire shape for job submission and polling.
@@ -195,7 +194,7 @@ func (s *Server) Handler() http.Handler {
 		mux.Handle("/metrics.json", h)
 		mux.Handle("/debug/", h)
 	}
-	return s.accessLog(mux)
+	return accessLog(s.log, mux)
 }
 
 // statusRecorder captures the response status for the access log.
@@ -216,10 +215,11 @@ func (r *statusRecorder) Write(b []byte) (int, error) {
 	return r.ResponseWriter.Write(b)
 }
 
-// accessLog wraps the mux with one structured log line per request. With
-// no logger configured it returns the handler unwrapped — zero overhead.
-func (s *Server) accessLog(next http.Handler) http.Handler {
-	if s.log == nil {
+// accessLog wraps a handler with one structured log line per request
+// (shared by Server.Handler and Fleet.Handler). With a nil logger it
+// returns the handler unwrapped — zero overhead.
+func accessLog(log *slog.Logger, next http.Handler) http.Handler {
+	if log == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -229,7 +229,7 @@ func (s *Server) accessLog(next http.Handler) http.Handler {
 		if rec.status == 0 {
 			rec.status = http.StatusOK
 		}
-		s.log.Info("request",
+		log.Info("request",
 			slog.String("method", r.Method),
 			slog.String("path", r.URL.Path),
 			slog.Int("status", rec.status),
@@ -374,8 +374,14 @@ func (s *Server) writeJob(w http.ResponseWriter, j *Job) {
 
 // writeSubmitError maps Submit failures onto the documented status codes:
 // queue full 429 + Retry-After, draining 503, invalid evidence 400. The
-// Retry-After hint is load-derived (see retryAfterSeconds).
+// Retry-After hint is load-derived (see retryAfterSeconds). Refusals
+// carrying a SubmitError still answer X-Trace-Id, so a client-forced
+// traceparent stays correlatable even when the request never enqueued.
 func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var se *SubmitError
+	if errors.As(err, &se) && se.TraceID != "" {
+		w.Header().Set("X-Trace-Id", se.TraceID)
+	}
 	var re *RequestError
 	switch {
 	case errors.Is(err, ErrQueueFull):

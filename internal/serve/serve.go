@@ -97,6 +97,14 @@ type Config struct {
 	// no X-Trace-Id, and the hot path pays one nil check).
 	TraceBuffer int
 
+	// BatchMax bounds observe micro-batching: when a worker dequeues a
+	// Readings job it claims up to BatchMax-1 more queued Readings jobs
+	// for the same pattern hour, resolves the quiescent baseline once,
+	// and scores the whole batch back-to-back — amortizing the baseline
+	// lookup without changing any result bit. Zero means 8; 1 disables
+	// batching (every job resolves its own baseline).
+	BatchMax int
+
 	// Logger receives structured request logs — one access line per HTTP
 	// request plus job failure events, each correlated by trace id. Nil
 	// disables logging. Build one with telemetry.NewLogger.
@@ -142,6 +150,11 @@ func (c Config) withDefaults() Config {
 	if c.TraceBuffer == 0 {
 		c.TraceBuffer = 256
 	}
+	if c.BatchMax == 0 {
+		c.BatchMax = 8
+	} else if c.BatchMax < 0 {
+		c.BatchMax = 1 // disabled: a batch is always just its leader
+	}
 	return c
 }
 
@@ -157,6 +170,19 @@ var ErrDraining = fmt.Errorf("serve: server draining")
 // bounded result window (HTTP 410 Gone) — distinct from an id that was
 // never submitted (HTTP 404).
 var ErrEvicted = fmt.Errorf("serve: job result evicted")
+
+// SubmitError wraps a submission refusal together with the trace id
+// minted for the rejected request, so error responses can still carry
+// X-Trace-Id and the refusal is findable in the flight recorder. Unwrap
+// exposes the cause, keeping errors.Is(err, ErrQueueFull/ErrDraining)
+// and errors.As(&RequestError{}) working unchanged.
+type SubmitError struct {
+	Cause   error
+	TraceID string
+}
+
+func (e *SubmitError) Error() string { return e.Cause.Error() }
+func (e *SubmitError) Unwrap() error { return e.Cause }
 
 // JobState is a job's lifecycle position.
 type JobState string
@@ -196,12 +222,29 @@ type Job struct {
 	enqueued time.Time
 	trace    *telemetry.Trace // nil when tracing is disabled
 
+	// readings holds a Readings request's raw sensor values until a
+	// worker resolves them against the memoized quiescent baseline for
+	// hour (wrapped into [0,24)); nil for Features requests. Deferring
+	// the conversion to the worker lets concurrent same-hour requests
+	// share one baseline lookup (observe micro-batching).
+	readings []float64
+	hour     int
+
+	// claimed arbitrates scoring ownership between the worker that
+	// dequeues this job from the channel and a batch leader that picks
+	// it off the pending board — exactly one wins the CAS.
+	claimed atomic.Bool
+
 	mu     sync.Mutex
 	state  JobState
 	result *Result
 	err    error
 	done   chan struct{}
 }
+
+// claim marks the job as owned for scoring; false means another worker
+// already took it (as a batch member or off the queue).
+func (j *Job) claim() bool { return j.claimed.CompareAndSwap(false, true) }
 
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
@@ -266,41 +309,52 @@ type serveMetrics struct {
 	fastPath       *telemetry.Counter
 	flatEvalSecs   *telemetry.Histogram
 	traces         *telemetry.Counter
+	batches        *telemetry.Counter
+	batchedJobs    *telemetry.Counter
 }
 
-func bindServeMetrics() serveMetrics {
+// bindServeMetrics registers the server's instruments. A non-empty
+// district tags every name with a district label (telemetry.WithLabel),
+// so fleet members export per-district series; a standalone server keeps
+// the unlabeled names.
+func bindServeMetrics(district string) serveMetrics {
 	reg := telemetry.Default()
+	name := func(n string) string { return telemetry.WithLabel(n, "district", district) }
 	return serveMetrics{
-		submitted:      reg.Counter("serve_jobs_submitted_total"),
-		rejectedFull:   reg.Counter("serve_rejected_queue_full_total"),
-		rejectedDrain:  reg.Counter("serve_rejected_draining_total"),
-		jobsDone:       reg.Counter("serve_jobs_done_total"),
-		jobsFailed:     reg.Counter("serve_jobs_failed_total"),
-		profileSwaps:   reg.Counter("serve_profile_swaps_total"),
-		queueDepth:     reg.Gauge("serve_queue_depth"),
-		inflight:       reg.Gauge("serve_inflight_jobs"),
-		requestSeconds: reg.Histogram("serve_request_seconds", telemetry.ServingLatencyBuckets()),
-		fastPath:       reg.Counter("serve_observe_fast_path_total"),
-		flatEvalSecs:   reg.Histogram("serve_flat_eval_seconds", telemetry.FastPathLatencyBuckets()),
-		traces:         reg.Counter("serve_traces_captured_total"),
+		submitted:      reg.Counter(name("serve_jobs_submitted_total")),
+		rejectedFull:   reg.Counter(name("serve_rejected_queue_full_total")),
+		rejectedDrain:  reg.Counter(name("serve_rejected_draining_total")),
+		jobsDone:       reg.Counter(name("serve_jobs_done_total")),
+		jobsFailed:     reg.Counter(name("serve_jobs_failed_total")),
+		profileSwaps:   reg.Counter(name("serve_profile_swaps_total")),
+		queueDepth:     reg.Gauge(name("serve_queue_depth")),
+		inflight:       reg.Gauge(name("serve_inflight_jobs")),
+		requestSeconds: reg.Histogram(name("serve_request_seconds"), telemetry.ServingLatencyBuckets()),
+		fastPath:       reg.Counter(name("serve_observe_fast_path_total")),
+		flatEvalSecs:   reg.Histogram(name("serve_flat_eval_seconds"), telemetry.FastPathLatencyBuckets()),
+		traces:         reg.Counter(name("serve_traces_captured_total")),
+		batches:        reg.Counter(name("serve_observe_batches_total")),
+		batchedJobs:    reg.Counter(name("serve_observe_batched_jobs_total")),
 	}
 }
 
 // Server is the online localization service. Create one with New, mount
 // Handler on an HTTP server, and Shutdown to drain.
 type Server struct {
-	sys *core.System
-	cfg Config
-	inj *faults.Injector // nil when request faults are disabled
+	sys      *core.System
+	cfg      Config
+	inj      *faults.Injector // nil when request faults are disabled
+	district string           // fleet district id; "" for a standalone server
 
 	queue chan *Job
 	wg    sync.WaitGroup // worker goroutines
 
-	mu         sync.Mutex // guards draining transition, job map, eviction order
+	mu         sync.Mutex // guards draining transition, job map, eviction order, pending board
 	jobs       map[string]*Job
 	finished   []string // finished job ids in completion order (eviction queue)
 	tombstones map[string]struct{}
-	tombOrder  []string // tombstone ids in eviction order (aging queue)
+	tombOrder  []string       // tombstone ids in eviction order (aging queue)
+	pending    map[int][]*Job // queued Readings jobs by pattern hour (the batching board)
 	draining   bool
 
 	drainOnce sync.Once
@@ -322,6 +376,8 @@ type Server struct {
 	nSwaps        atomic.Int64
 	nFastPath     atomic.Int64
 	nTraces       atomic.Int64
+	nBatches      atomic.Int64
+	nBatchedJobs  atomic.Int64
 
 	// recorder is the bounded flight recorder holding recently captured
 	// request traces (nil when cfg.TraceBuffer < 0 disabled tracing).
@@ -336,6 +392,12 @@ type Server struct {
 // compiled (core.System.Compile) so workers evaluate observations
 // through the flattened zero-allocation snapshot.
 func New(sys *core.System, cfg Config) (*Server, error) {
+	return newServer(sys, cfg, "")
+}
+
+// newServer is the shared constructor behind New and NewFleet; a
+// non-empty district labels the server's telemetry and Status.
+func newServer(sys *core.System, cfg Config, district string) (*Server, error) {
 	if sys == nil {
 		return nil, fmt.Errorf("serve: nil system")
 	}
@@ -354,12 +416,14 @@ func New(sys *core.System, cfg Config) (*Server, error) {
 		sys:        sys,
 		cfg:        cfg,
 		inj:        inj,
+		district:   district,
 		queue:      make(chan *Job, cfg.QueueSize),
 		jobs:       make(map[string]*Job),
 		tombstones: make(map[string]struct{}),
+		pending:    make(map[int][]*Job),
 		start:      time.Now(),
 		log:        cfg.Logger,
-		met:        bindServeMetrics(),
+		met:        bindServeMetrics(district),
 	}
 	if cfg.TraceBuffer > 0 {
 		s.recorder = telemetry.NewRecorder(cfg.TraceBuffer)
@@ -377,27 +441,36 @@ func (s *Server) Config() Config { return s.cfg }
 // System returns the served system.
 func (s *Server) System() *core.System { return s.sys }
 
+// District returns the fleet district id this server belongs to, or ""
+// for a standalone server.
+func (s *Server) District() string { return s.district }
+
 // Submit validates a request, enqueues its localization job and returns
 // it. It never blocks: a full queue returns ErrQueueFull and a draining
 // server ErrDraining; invalid evidence returns a *RequestError.
 func (s *Server) Submit(req ObserveRequest) (*Job, error) {
 	tr := s.newTrace(req.TraceParent)
-	obs, err := s.buildObservation(req, tr)
+	obs, readings, hour, err := s.buildObservation(req)
 	if err != nil {
-		return nil, err
+		return nil, s.rejectSubmit(tr, err)
 	}
-	id := fmt.Sprintf("j-%08d", s.seq.Add(1))
+	n := s.seq.Add(1)
+	id := fmt.Sprintf("j-%08d", n)
 	tr.SetJob(id)
 	seed := req.Seed
 	if seed == 0 {
 		// Distinct per-job default so fault draws are isolated between
-		// requests even when clients never set a seed.
-		seed = s.seq.Load()
+		// requests even when clients never set a seed. The Add(1) return
+		// value is this submission's alone — re-reading the counter here
+		// could hand two concurrent submissions the same stream.
+		seed = n
 	}
 	j := &Job{
 		id:       id,
 		obs:      obs,
 		seed:     seed,
+		readings: readings,
+		hour:     hour,
 		enqueued: time.Now(),
 		trace:    tr,
 		state:    JobQueued,
@@ -409,22 +482,45 @@ func (s *Server) Submit(req ObserveRequest) (*Job, error) {
 	if s.draining {
 		s.mu.Unlock()
 		s.met.rejectedDrain.Inc()
-		return nil, ErrDraining
+		return nil, s.rejectSubmit(tr, ErrDraining)
 	}
 	select {
 	case s.queue <- j:
 		s.jobs[id] = j
+		// Boarding happens in the same critical section as the enqueue,
+		// so a batch leader scanning the board never sees a job that is
+		// not also in the channel.
+		if j.readings != nil && s.cfg.BatchMax > 1 {
+			s.pending[j.hour] = append(s.pending[j.hour], j)
+		}
 	default:
 		s.mu.Unlock()
 		s.nRejectedFull.Add(1)
 		s.met.rejectedFull.Inc()
-		return nil, ErrQueueFull
+		return nil, s.rejectSubmit(tr, ErrQueueFull)
 	}
 	s.mu.Unlock()
 	s.nSubmitted.Add(1)
 	s.met.submitted.Inc()
 	s.met.queueDepth.Set(float64(len(s.queue)))
 	return j, nil
+}
+
+// rejectSubmit finalizes a refused submission's trace: the refusal is a
+// failure, so it is always captured in the flight recorder (mirroring
+// captureTrace's error contract) and the trace id is surfaced on the
+// returned SubmitError so the HTTP layer can still answer X-Trace-Id.
+// With tracing disabled the cause passes through untouched.
+func (s *Server) rejectSubmit(tr *telemetry.Trace, cause error) error {
+	if tr == nil {
+		return cause
+	}
+	tr.Fail(cause)
+	tr.Event(telemetry.StageDone)
+	s.recorder.Put(tr.Snapshot())
+	s.nTraces.Add(1)
+	s.met.traces.Inc()
+	return &SubmitError{Cause: cause, TraceID: tr.ID().String()}
 }
 
 // newTrace starts a per-request trace, honoring an inbound W3C
@@ -473,13 +569,23 @@ func (s *Server) LookupState(id string) (*Job, bool) {
 
 // worker drains the queue. After Shutdown closes the queue, jobs still
 // buffered in it are failed with ErrDraining instead of run — only the
-// job a worker already held (in-flight) completes normally.
+// job a worker already held (in-flight) completes normally. Jobs whose
+// claim CAS fails were already scored as members of an earlier batch and
+// are skipped.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for j := range s.queue {
 		s.met.queueDepth.Set(float64(len(s.queue)))
+		if !j.claim() {
+			continue // scored as a batch member by another worker
+		}
+		s.unboard(j)
 		if s.isDraining() {
 			s.finishJob(j, nil, ErrDraining)
+			continue
+		}
+		if j.readings != nil {
+			s.runBatch(j, s.takeBatch(j))
 			continue
 		}
 		s.run(j)
@@ -539,8 +645,11 @@ func (s *Server) run(j *Job) {
 	}
 
 	evalStart := time.Now()
-	pred, added, err := s.sys.LocalizeContext(ctx, j.obs)
-	if s.sys.Compiled() {
+	pred, added, compiled, err := s.sys.LocalizeContextPath(ctx, j.obs)
+	// compiled reports the path the evaluation itself took — re-querying
+	// s.sys.Compiled() here would misattribute jobs that raced a
+	// concurrent SwapProfile dropping or restoring the snapshot.
+	if compiled {
 		s.nFastPath.Add(1)
 		s.met.fastPath.Inc()
 		s.met.flatEvalSecs.ObserveDuration(time.Since(evalStart))
@@ -671,7 +780,13 @@ func (s *Server) retryAfterSeconds() int {
 	if secs < 1 {
 		secs = 1
 	}
-	if max := int(s.cfg.RetryAfterMax / time.Second); secs > max {
+	// A sub-second RetryAfterMax truncates to 0; clamping the cap to ≥ 1
+	// keeps the documented "always a positive integer" contract.
+	max := int(s.cfg.RetryAfterMax / time.Second)
+	if max < 1 {
+		max = 1
+	}
+	if secs > max {
 		secs = max
 	}
 	return secs
@@ -722,8 +837,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// Status is the service health snapshot behind GET /v1/status.
+// Status is the service health snapshot behind GET /v1/status (and, per
+// district, GET /v1/districts/{id}/status).
 type Status struct {
+	District      string  `json:"district,omitempty"`
 	Network       string  `json:"network"`
 	Nodes         int     `json:"nodes"`
 	Sensors       int     `json:"sensors"`
@@ -741,6 +858,8 @@ type Status struct {
 	ProfileSwaps  int64   `json:"profile_swaps"`
 	Compiled      bool    `json:"compiled"`
 	FastPathJobs  int64   `json:"fast_path_jobs"`
+	Batches       int64   `json:"observe_batches"`
+	BatchedJobs   int64   `json:"observe_batched_jobs"`
 
 	// Runtime health (satellite gauges mirrored from the Go runtime) plus
 	// the flight recorder's capture counter.
@@ -762,6 +881,7 @@ func (s *Server) Status() Status {
 	net := s.sys.Network()
 	health := telemetry.ReadRuntimeHealth()
 	return Status{
+		District:      s.district,
 		Network:       net.Name,
 		Nodes:         len(net.Nodes),
 		Sensors:       s.sys.Factory().SensorCount(),
@@ -779,6 +899,8 @@ func (s *Server) Status() Status {
 		ProfileSwaps:  s.nSwaps.Load(),
 		Compiled:      s.sys.Compiled(),
 		FastPathJobs:  s.nFastPath.Load(),
+		Batches:       s.nBatches.Load(),
+		BatchedJobs:   s.nBatchedJobs.Load(),
 
 		Goroutines:          health.Goroutines,
 		HeapInuseBytes:      health.HeapInuseBytes,

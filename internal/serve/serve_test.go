@@ -174,7 +174,7 @@ func TestServedResultMatchesOffline(t *testing.T) {
 	}
 	got := waitResult(t, j)
 
-	obs, err := s.buildObservation(req, nil)
+	obs, _, _, err := s.buildObservation(req)
 	if err != nil {
 		t.Fatalf("buildObservation: %v", err)
 	}
@@ -227,7 +227,7 @@ func TestWarmTemperatureDiscardsFreezeEvidence(t *testing.T) {
 	feats := testFeatures(s.System(), 1)
 
 	warm := 60.0
-	obs, err := s.buildObservation(ObserveRequest{Features: feats, TemperatureF: &warm, FrozenNodes: []int{1}}, nil)
+	obs, _, _, err := s.buildObservation(ObserveRequest{Features: feats, TemperatureF: &warm, FrozenNodes: []int{1}})
 	if err != nil {
 		t.Fatalf("buildObservation: %v", err)
 	}
@@ -235,7 +235,7 @@ func TestWarmTemperatureDiscardsFreezeEvidence(t *testing.T) {
 		t.Fatalf("warm observation kept frozen mask %v", obs.Frozen)
 	}
 	cold := 10.0
-	obs, err = s.buildObservation(ObserveRequest{Features: feats, TemperatureF: &cold, FrozenNodes: []int{1}}, nil)
+	obs, _, _, err = s.buildObservation(ObserveRequest{Features: feats, TemperatureF: &cold, FrozenNodes: []int{1}})
 	if err != nil {
 		t.Fatalf("buildObservation: %v", err)
 	}

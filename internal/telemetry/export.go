@@ -107,9 +107,28 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // WritePrometheus writes every instrument in the Prometheus text exposition
 // format (version 0.0.4). Histograms emit cumulative _bucket series plus
 // _sum and _count; spans emit _seconds_count, _seconds_sum and min/max/last
-// gauges. Instrument names are sanitized to the Prometheus charset.
+// gauges. Instrument names are sanitized to the Prometheus charset. Names
+// built with WithLabel emit as labeled series of one shared base family —
+// a single # TYPE line followed by one sample per label set — so
+// per-district instruments aggregate the way dashboards expect.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	snap := r.Snapshot()
+	typed := map[string]bool{} // families that already got a # TYPE line
+	writeType := func(family, kind string) error {
+		if typed[family] {
+			return nil
+		}
+		typed[family] = true
+		_, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, kind)
+		return err
+	}
+	// series renders "name" or "name{labels}" for one sample line.
+	series := func(base, labels string) string {
+		if labels == "" {
+			return base
+		}
+		return base + "{" + labels + "}"
+	}
 
 	var names []string
 	for name := range snap.Counters {
@@ -117,8 +136,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, snap.Counters[name]); err != nil {
+		base, labels := splitLabels(name)
+		n := promName(base)
+		if err := writeType(n, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", series(n, labels), snap.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -129,8 +152,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, name := range names {
-		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(snap.Gauges[name])); err != nil {
+		base, labels := splitLabels(name)
+		n := promName(base)
+		if err := writeType(n, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", series(n, labels), promFloat(snap.Gauges[name])); err != nil {
 			return err
 		}
 	}
@@ -142,22 +169,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		h := snap.Histograms[name]
-		n := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", n); err != nil {
+		base, labels := splitLabels(name)
+		n := promName(base)
+		if err := writeType(n, "histogram"); err != nil {
 			return err
+		}
+		bucket := func(bound string) string {
+			if labels == "" {
+				return fmt.Sprintf("%s_bucket{le=%q}", n, bound)
+			}
+			return fmt.Sprintf("%s_bucket{%s,le=%q}", n, labels, bound)
 		}
 		cum := int64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Buckets[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", n, promFloat(bound), cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s %d\n", bucket(promFloat(bound)), cum); err != nil {
 				return err
 			}
 		}
 		cum += h.Buckets[len(h.Buckets)-1]
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", n, cum); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %d\n", bucket("+Inf"), cum); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", n, promFloat(h.Sum), n, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s %s\n%s %d\n",
+			series(n+"_sum", labels), promFloat(h.Sum),
+			series(n+"_count", labels), h.Count); err != nil {
 			return err
 		}
 	}
@@ -169,20 +205,23 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		s := snap.Spans[name]
-		n := promName(name)
-		_, err := fmt.Fprintf(w,
-			"# TYPE %s_seconds_count counter\n%s_seconds_count %d\n"+
-				"# TYPE %s_seconds_sum counter\n%s_seconds_sum %s\n"+
-				"# TYPE %s_seconds_min gauge\n%s_seconds_min %s\n"+
-				"# TYPE %s_seconds_max gauge\n%s_seconds_max %s\n"+
-				"# TYPE %s_seconds_last gauge\n%s_seconds_last %s\n",
-			n, n, s.Count,
-			n, n, promFloat(s.TotalSeconds),
-			n, n, promFloat(s.MinSeconds),
-			n, n, promFloat(s.MaxSeconds),
-			n, n, promFloat(s.LastSeconds))
-		if err != nil {
-			return err
+		base, labels := splitLabels(name)
+		n := promName(base)
+		for _, part := range []struct {
+			suffix, kind, value string
+		}{
+			{"_seconds_count", "counter", strconv.FormatInt(s.Count, 10)},
+			{"_seconds_sum", "counter", promFloat(s.TotalSeconds)},
+			{"_seconds_min", "gauge", promFloat(s.MinSeconds)},
+			{"_seconds_max", "gauge", promFloat(s.MaxSeconds)},
+			{"_seconds_last", "gauge", promFloat(s.LastSeconds)},
+		} {
+			if err := writeType(n+part.suffix, part.kind); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", series(n+part.suffix, labels), part.value); err != nil {
+				return err
+			}
 		}
 	}
 	return nil

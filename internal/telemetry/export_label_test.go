@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWithLabelNames pins the label-mangling scheme fleet serving keys
+// its per-district instruments on: WithLabel folds a label pair into the
+// registry name, splitLabels recovers it at export time, and unsafe
+// label values are sanitized rather than escaped.
+func TestWithLabelNames(t *testing.T) {
+	cases := []struct {
+		name, key, value, want string
+	}{
+		{"serve_jobs_done_total", "district", "north", `serve_jobs_done_total{district="north"}`},
+		{"serve_jobs_done_total", "district", "", "serve_jobs_done_total"},
+		{"x_total", "district", `we"ird id`, `x_total{district="we_ird_id"}`},
+	}
+	for _, c := range cases {
+		if got := WithLabel(c.name, c.key, c.value); got != c.want {
+			t.Errorf("WithLabel(%q, %q, %q) = %q, want %q", c.name, c.key, c.value, got, c.want)
+		}
+	}
+	base, labels := splitLabels(`serve_jobs_done_total{district="north"}`)
+	if base != "serve_jobs_done_total" || labels != `district="north"` {
+		t.Fatalf("splitLabels = (%q, %q)", base, labels)
+	}
+	if base, labels := splitLabels("plain_total"); base != "plain_total" || labels != "" {
+		t.Fatalf("splitLabels(plain) = (%q, %q)", base, labels)
+	}
+}
+
+// TestWritePrometheusLabeled pins labeled emission: WithLabel-named
+// instruments export as proper labeled series — one # TYPE line per
+// family across districts, labels merged with le on histogram buckets,
+// and every span sub-series labeled.
+func TestWritePrometheusLabeled(t *testing.T) {
+	r := New()
+	r.Counter(WithLabel("serve_jobs_done_total", "district", "north")).Add(2)
+	r.Counter(WithLabel("serve_jobs_done_total", "district", "south")).Add(5)
+	r.Gauge(WithLabel("serve_queue_depth", "district", "north")).Set(3)
+	h := r.Histogram(WithLabel("serve_request_seconds", "district", "north"), []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(9)
+	r.StartSpan(WithLabel("serve_flat_eval", "district", "north")).End()
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"serve_jobs_done_total{district=\"north\"} 2\n",
+		"serve_jobs_done_total{district=\"south\"} 5\n",
+		"serve_queue_depth{district=\"north\"} 3\n",
+		"serve_request_seconds_bucket{district=\"north\",le=\"1\"} 1\n",
+		"serve_request_seconds_bucket{district=\"north\",le=\"+Inf\"} 2\n",
+		"serve_request_seconds_sum{district=\"north\"} 9.5\n",
+		"serve_request_seconds_count{district=\"north\"} 2\n",
+		"serve_flat_eval_seconds_count{district=\"north\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("labeled prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per family even with two districts on it, and no
+	// mangled name leaking through as a literal series name.
+	if n := strings.Count(out, "# TYPE serve_jobs_done_total counter"); n != 1 {
+		t.Fatalf("serve_jobs_done_total TYPE lines = %d, want 1:\n%s", n, out)
+	}
+	if strings.Contains(out, `_total_district_`) || strings.Contains(out, `__`) {
+		t.Fatalf("mangled label name leaked into output:\n%s", out)
+	}
+}

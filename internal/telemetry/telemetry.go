@@ -28,6 +28,7 @@ package telemetry
 import (
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -410,6 +411,47 @@ func (r *Registry) StartSpan(name string) Span {
 		return Span{}
 	}
 	return Span{stats: r.SpanStats(name), start: time.Now()}
+}
+
+// WithLabel returns the instrument name carrying one label pair:
+// `name{key="value"}`. A labeled name is an ordinary registry key — two
+// label values yield two independent instruments — and the Prometheus
+// exporter emits it as a labeled series of the base name (merging the
+// label with histogram le labels), so per-district serving instruments
+// aggregate under one metric family on dashboards. The value is
+// sanitized to [a-zA-Z0-9_.-]; an empty value returns name unchanged.
+func WithLabel(name, key, value string) string {
+	if value == "" {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + len(key) + len(value) + 5)
+	b.WriteString(name)
+	b.WriteByte('{')
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for _, r := range value {
+		ok := r == '_' || r == '-' || r == '.' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// splitLabels splits a (possibly labeled) instrument name into its base
+// name and the label block without braces ("" when unlabeled).
+func splitLabels(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
 }
 
 // global is the process-wide registry; nil means telemetry is disabled

@@ -157,6 +157,13 @@ const (
 	StageFaultDelay Stage = "fault_delay"
 	StageFaultFail  Stage = "fault_fail"
 
+	// StageBatchLead / StageBatchShare record observe micro-batching
+	// provenance: the batch leader resolved the quiescent baseline once
+	// (value = batch size, members included) and members reused the
+	// leader's slice (value = the shared pattern hour).
+	StageBatchLead  Stage = "batch_lead"
+	StageBatchShare Stage = "batch_share"
+
 	// StageError records a terminal failure; the detail is the error.
 	StageError Stage = "error"
 
