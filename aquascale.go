@@ -43,6 +43,7 @@
 package aquascale
 
 import (
+	"context"
 	"io"
 	"log/slog"
 	"math/rand"
@@ -303,6 +304,72 @@ const (
 	TechniqueSVM       = core.TechniqueSVM
 	TechniqueHybridRSL = core.TechniqueHybridRSL
 )
+
+// Out-of-core scenario corpus (streamed shards on disk).
+//
+// Factory.GenerateCorpus writes a scenario corpus as checksummed binary
+// shards; OpenCorpus streams it back with bounded resident memory; and
+// System.TrainFromCorpus / TrainProfileFromCorpus train from the stream,
+// bit-identical to the in-memory Generate+TrainOn path at the same seed.
+// Both generation and training are restartable: generation resumes at
+// shard granularity (-resume in aquatrain), training through an
+// incremental per-junction checkpoint file.
+type (
+	// CorpusOptions configures corpus generation (shard size, resume).
+	CorpusOptions = dataset.CorpusOptions
+	// CorpusResult summarizes a corpus generation run.
+	CorpusResult = dataset.CorpusResult
+	// CorpusReader streams a corpus shard by shard.
+	CorpusReader = dataset.CorpusReader
+	// CorpusSample is one streamed sample; its buffers are only valid
+	// during the Each callback.
+	CorpusSample = dataset.CorpusSample
+	// ShardHeader is the decoded metadata of one corpus shard.
+	ShardHeader = dataset.ShardHeader
+	// CorpusTrainOptions configures streaming training (label window,
+	// checkpoint path).
+	CorpusTrainOptions = core.CorpusTrainOptions
+)
+
+// ShardFormatVersion is the corpus shard wire-format version this build
+// reads and writes. Readers reject other versions with ErrShardVersion.
+const ShardFormatVersion = dataset.ShardFormatVersion
+
+// Corpus error sentinels (errors.Is-compatible).
+var (
+	// ErrCorpusMismatch means a corpus or checkpoint belongs to a
+	// different deployment, generation config or partition than this run.
+	ErrCorpusMismatch = dataset.ErrCorpusMismatch
+	// ErrShardFormat means a shard file is structurally invalid.
+	ErrShardFormat = dataset.ErrShardFormat
+	// ErrShardVersion means a shard was written by a different format
+	// version.
+	ErrShardVersion = dataset.ErrShardVersion
+	// ErrShardTruncated means a shard file ends early (torn write).
+	ErrShardTruncated = dataset.ErrShardTruncated
+	// ErrShardChecksum means a shard's header or payload CRC failed.
+	ErrShardChecksum = dataset.ErrShardChecksum
+	// ErrCheckpointMismatch means a training checkpoint belongs to a
+	// different corpus, profile seed or technique.
+	ErrCheckpointMismatch = core.ErrCheckpointMismatch
+)
+
+// OpenCorpus opens a corpus directory written by Factory.GenerateCorpus,
+// validating every shard header and the cross-shard partition.
+func OpenCorpus(dir string) (*CorpusReader, error) { return dataset.OpenCorpus(dir) }
+
+// VerifyShard checks one shard file end to end (header, CRCs, record
+// structure) and returns its header.
+func VerifyShard(path string) (ShardHeader, error) { return dataset.VerifyShard(path) }
+
+// TrainProfileFromCorpus fits a profile model from a streamed corpus with
+// bounded resident memory — bit-identical to TrainProfile on the
+// equivalent in-memory dataset. With CorpusTrainOptions.CheckpointPath
+// set, fitted classifiers are checkpointed incrementally and a rerun
+// resumes past completed junctions.
+func TrainProfileFromCorpus(ctx context.Context, r *CorpusReader, nodeCount int, cfg ProfileConfig, opt CorpusTrainOptions) (*Profile, error) {
+	return core.TrainProfileFromCorpus(ctx, r, nodeCount, cfg, opt)
+}
 
 // ParseTechnique validates a technique name ("" means TechniqueHybridRSL);
 // unknown names error with the valid list.

@@ -7,14 +7,25 @@
 //
 //	aquatrain -net epanet -iot 30 -samples 2000 -technique hybrid-rsl
 //	aquatrain -net wssc -iot 10 -samples 500 -technique rf -max-leaks 5
+//
+// Out-of-core mode streams the scenario corpus through disk shards
+// instead of holding it in RAM, and both generation and training are
+// restartable after an interrupt:
+//
+//	aquatrain -net wssc -samples 20000 -corpus-out /data/corpus
+//	aquatrain -net wssc -samples 20000 -corpus-out /data/corpus -resume
+//	aquatrain -net wssc -samples 20000 -corpus-in /data/corpus
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -44,6 +55,10 @@ func run() error {
 		fNaN       = flag.Float64("fault-nan", 0, "injected per-sensor NaN-reading probability")
 		fSolver    = flag.Float64("fault-solver", 0, "injected per-solve forced non-convergence probability")
 		fAttempts  = flag.Int("fault-solver-attempts", 1, "forced failures per hit solve (above -retries makes the scenario skip)")
+		corpusOut  = flag.String("corpus-out", "", "generate the training corpus as shards in this directory and train from the stream (out-of-core)")
+		corpusIn   = flag.String("corpus-in", "", "train from an existing corpus directory (skips generation; must match -net/-iot/-seed and the generation flags)")
+		shardSamps = flag.Int("shard-samples", 1024, "scenarios per corpus shard (with -corpus-out)")
+		resume     = flag.Bool("resume", false, "resume an interrupted corpus run: keep verified shards and the training checkpoint")
 		savePath   = flag.String("save", "", "write the trained profile to this file (gob)")
 		metricsOut = flag.String("metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
 		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
@@ -53,6 +68,9 @@ func run() error {
 	flag.TextVar(&technique, "technique", technique,
 		"classifier: "+strings.Join(aquascale.ClassifierNames(), ", "))
 	flag.Parse()
+	if *corpusOut != "" && *corpusIn != "" {
+		return fmt.Errorf("-corpus-out and -corpus-in are mutually exclusive")
+	}
 
 	// Enable instrumentation before any solver or factory is built, so
 	// their telemetry handles bind to this registry. Enabling never
@@ -119,28 +137,41 @@ func run() error {
 		return err
 	}
 
-	fmt.Printf("generating %d training scenarios...\n", *samples)
-	ds, err := factory.Generate(*samples, rand.New(rand.NewSource(*seed+11)))
-	if err != nil {
-		return err
-	}
-	fmt.Printf("dataset ready in %v (%d features per sample)\n",
-		time.Since(start).Round(time.Millisecond), factory.SensorCount())
-	if len(ds.Skipped) > 0 {
-		fmt.Printf("skipped %d/%d scenarios after retry exhaustion (first: scenario %d, %d retries: %v)\n",
-			len(ds.Skipped), *samples, ds.Skipped[0].Index, ds.Skipped[0].Retries, ds.Skipped[0].Err)
-	}
+	profCfg := aquascale.ProfileConfig{Technique: technique, Seed: *seed + 77}
+	var profile *aquascale.Profile
+	if *corpusOut != "" || *corpusIn != "" {
+		profile, err = trainOutOfCore(factory, net, outOfCoreOptions{
+			out:          *corpusOut,
+			in:           *corpusIn,
+			samples:      *samples,
+			seed:         *seed,
+			shardSamples: *shardSamps,
+			resume:       *resume,
+		}, profCfg)
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Printf("generating %d training scenarios...\n", *samples)
+		ds, err := factory.Generate(*samples, rand.New(rand.NewSource(*seed+11)))
+		if err != nil {
+			return err
+		}
+		fmt.Printf("dataset ready in %v (%d features per sample)\n",
+			time.Since(start).Round(time.Millisecond), factory.SensorCount())
+		if len(ds.Skipped) > 0 {
+			fmt.Printf("skipped %d/%d scenarios after retry exhaustion (first: scenario %d, %d retries: %v)\n",
+				len(ds.Skipped), *samples, ds.Skipped[0].Index, ds.Skipped[0].Retries, ds.Skipped[0].Err)
+		}
 
-	trainStart := time.Now()
-	profile, err := aquascale.TrainProfile(ds, len(net.Nodes), aquascale.ProfileConfig{
-		Technique: technique,
-		Seed:      *seed + 77,
-	})
-	if err != nil {
-		return err
+		trainStart := time.Now()
+		profile, err = aquascale.TrainProfile(ds, len(net.Nodes), profCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("trained %s profile (%d per-node classifiers) in %v\n",
+			technique, len(ds.Junctions), time.Since(trainStart).Round(time.Millisecond))
 	}
-	fmt.Printf("trained %s profile (%d per-node classifiers) in %v\n",
-		technique, len(ds.Junctions), time.Since(trainStart).Round(time.Millisecond))
 
 	if *savePath != "" {
 		f, err := os.Create(*savePath)
@@ -197,6 +228,78 @@ func run() error {
 	fmt.Printf("mean online inference latency: %v per scenario\n",
 		(detectLatency / time.Duration(evaluated)).Round(time.Microsecond))
 	return nil
+}
+
+// outOfCoreOptions bundles the corpus-mode flags.
+type outOfCoreOptions struct {
+	out, in      string
+	samples      int
+	seed         int64
+	shardSamples int
+	resume       bool
+}
+
+// trainOutOfCore runs the streamed generate→train pipeline: shards on
+// disk instead of an in-RAM dataset, resumable on both sides, and
+// bit-identical to the in-memory path at the same -seed. Ctrl-C stops
+// between scenarios/shards; a rerun with -resume picks up where it left
+// off.
+func trainOutOfCore(factory *aquascale.Factory, net *aquascale.Network, opt outOfCoreOptions, cfg aquascale.ProfileConfig) (*aquascale.Profile, error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	dir := opt.in
+	if opt.out != "" {
+		dir = opt.out
+		fmt.Printf("generating %d training scenarios into %s (shards of %d)...\n",
+			opt.samples, opt.out, opt.shardSamples)
+		genStart := time.Now()
+		// Seed +11 matches the in-memory Generate path, so the corpus is
+		// bit-compatible with a plain `aquatrain -seed N` run.
+		res, err := factory.GenerateCorpus(ctx, opt.samples, opt.seed+11, opt.out, aquascale.CorpusOptions{
+			ShardSamples: opt.shardSamples,
+			Resume:       opt.resume,
+		})
+		if err != nil {
+			if ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "aquatrain: interrupted; completed shards are verified — rerun with -resume to continue")
+			}
+			return nil, err
+		}
+		fmt.Printf("corpus ready in %v: %d shards (%d written, %d resumed), %d samples, %.1f MiB\n",
+			time.Since(genStart).Round(time.Millisecond), res.Shards, res.ShardsWritten,
+			res.ShardsResumed, res.Samples, float64(res.Bytes)/(1<<20))
+		if res.SkippedScenarios > 0 {
+			fmt.Printf("skipped %d/%d scenarios after retry exhaustion\n", res.SkippedScenarios, opt.samples)
+		}
+	}
+
+	r, err := aquascale.OpenCorpus(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Fail fast when the corpus was generated for a different deployment
+	// or generation config than this invocation rebuilt.
+	if err := r.Match(factory); err != nil {
+		return nil, err
+	}
+	fmt.Printf("training %s profile from %d streamed samples (%d shards)...\n",
+		cfg.Technique, r.SampleCount(), r.Shards())
+
+	trainStart := time.Now()
+	ckpt := filepath.Join(dir, "train.ckpt")
+	profile, err := aquascale.TrainProfileFromCorpus(ctx, r, len(net.Nodes), cfg, aquascale.CorpusTrainOptions{
+		CheckpointPath: ckpt,
+	})
+	if err != nil {
+		if ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "aquatrain: interrupted; fitted classifiers are checkpointed in %s — rerun with -resume to continue\n", ckpt)
+		}
+		return nil, err
+	}
+	fmt.Printf("trained %s profile (%d per-node classifiers) in %v\n",
+		cfg.Technique, len(r.Junctions()), time.Since(trainStart).Round(time.Millisecond))
+	return profile, nil
 }
 
 func buildNetwork(name string) (*aquascale.Network, error) {

@@ -257,6 +257,7 @@ func experiments() map[string]Runner {
 		"fault-tolerance":    FaultTolerance,
 		"solver-scaling":     SolverScaling,
 		"serving-latency":    ServingLatency,
+		"corpus-throughput":  CorpusThroughput,
 	}
 }
 
@@ -265,6 +266,6 @@ func ExperimentIDs() []string {
 	return []string{
 		"fig2", "fig3", "fig6", "fig7ab", "fig7c", "fig8", "fig9", "fig10", "fig11",
 		"ablation-placement", "ablation-bayes", "ablation-gamma", "ablation-beta", "ablation-dropout",
-		"fault-tolerance", "solver-scaling", "serving-latency",
+		"fault-tolerance", "solver-scaling", "serving-latency", "corpus-throughput",
 	}
 }

@@ -80,6 +80,24 @@ func (m *MultiOutput) Fit(x [][]float64, y [][]int) error {
 	return nil
 }
 
+// AssembleMultiOutput reconstructs a fitted bank from per-output
+// classifiers trained elsewhere — the streaming/checkpointed training
+// path fits junction windows one at a time and assembles the bank at
+// the end. Like a loaded bank it can predict but not be refit. Given
+// the same seed and the classifiers an in-process Fit would have
+// produced, Save output is byte-identical to the fitted bank's.
+func AssembleMultiOutput(seed int64, models []Classifier) (*MultiOutput, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("mlearn: empty model bank")
+	}
+	for v, c := range models {
+		if c == nil {
+			return nil, fmt.Errorf("mlearn: output %d missing from model bank", v)
+		}
+	}
+	return &MultiOutput{seed: seed, models: append([]Classifier(nil), models...)}, nil
+}
+
 // Outputs returns the number of trained outputs.
 func (m *MultiOutput) Outputs() int { return len(m.models) }
 

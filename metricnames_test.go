@@ -3,6 +3,7 @@ package aquascale_test
 import (
 	"context"
 	"math/rand"
+	"path/filepath"
 	"reflect"
 	"sort"
 	"testing"
@@ -49,6 +50,22 @@ func TestMetricNameStability(t *testing.T) {
 		rand.New(rand.NewSource(3))); err != nil {
 		t.Fatalf("Train: %v", err)
 	}
+	// The out-of-core pipeline binds the corpus_* instruments; a
+	// checkpointed streamed training binds core_checkpoint_*.
+	corpusDir := t.TempDir()
+	if _, err := factory.GenerateCorpus(context.Background(), 20, 6, corpusDir,
+		aquascale.CorpusOptions{ShardSamples: 8}); err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+	corpus, err := aquascale.OpenCorpus(corpusDir)
+	if err != nil {
+		t.Fatalf("OpenCorpus: %v", err)
+	}
+	if _, err := aquascale.TrainProfileFromCorpus(context.Background(), corpus, len(net.Nodes),
+		aquascale.ProfileConfig{Technique: "linear", Seed: 5},
+		aquascale.CorpusTrainOptions{CheckpointPath: filepath.Join(corpusDir, "train.ckpt")}); err != nil {
+		t.Fatalf("TrainProfileFromCorpus: %v", err)
+	}
 	if _, err := sys.Evaluate(2, leaks, aquascale.ObserveOptions{}, rand.New(rand.NewSource(4))); err != nil {
 		t.Fatalf("Evaluate: %v", err)
 	}
@@ -82,6 +99,8 @@ func TestMetricNameStability(t *testing.T) {
 	sort.Strings(got)
 
 	want := []string{
+		"core_checkpoint_loads_total",
+		"core_checkpoint_saves_total",
 		"core_eval_retries_total",
 		"core_eval_scenarios_per_second",
 		"core_eval_scenarios_total",
@@ -89,6 +108,13 @@ func TestMetricNameStability(t *testing.T) {
 		"core_eval_worker_busy_seconds_total",
 		"core_evaluate_parallel",
 		"core_observe_seconds",
+		"corpus_bytes_written_total",
+		"corpus_samples_read_total",
+		"corpus_samples_written_total",
+		"corpus_shard_write_seconds",
+		"corpus_shards_skipped_total",
+		"corpus_shards_verified_total",
+		"corpus_shards_written_total",
 		"dataset_bad_features_total",
 		"dataset_baseline_cache_hits_total",
 		"dataset_baseline_cache_misses_total",
