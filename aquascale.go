@@ -26,10 +26,17 @@
 // (NewSolver, NewFactory, NewSystem, NewServer, …): they take a config
 // struct, validate it, and return an error when the pieces don't fit.
 //
-// Long-running entry points (System.TrainContext,
-// System.EvaluateParallelContext, Factory.GenerateContext) take a
-// context.Context and stop between scenarios on cancellation; the
-// context-free spellings are shorthands for context.Background().
+// Every long-running entry point has a Context spelling —
+// RunEPSContext, RunQualityContext, TrainProfileContext,
+// SimulateFloodContext, Factory.GenerateContext, System.TrainContext,
+// System.EvaluateParallelContext, Factory.GenerateCorpus,
+// TrainProfileFromCorpus, GenerateCorpusDistributed — that observes
+// cancellation at its loop boundaries (between solver steps, scenario
+// dispatches, per-junction classifier fits): in-flight work finishes,
+// partial state is never published, and the error is ctx.Err(). The
+// context-free spellings (RunEPS, RunQuality, TrainProfile,
+// SimulateFlood, …) are documented one-line shorthands for the Context
+// form with context.Background().
 //
 // Quickstart:
 //
@@ -52,6 +59,7 @@ import (
 	"github.com/aquascale/aquascale/internal/core"
 	"github.com/aquascale/aquascale/internal/dataset"
 	"github.com/aquascale/aquascale/internal/detect"
+	"github.com/aquascale/aquascale/internal/distgen"
 	"github.com/aquascale/aquascale/internal/faults"
 	"github.com/aquascale/aquascale/internal/flood"
 	"github.com/aquascale/aquascale/internal/fusion"
@@ -161,9 +169,16 @@ func NewSolver(n *Network, opts SolverOptions) (*Solver, error) {
 	return hydraulic.NewSolver(n, opts)
 }
 
-// RunEPS runs an extended-period simulation.
+// RunEPS runs an extended-period simulation. It is shorthand for
+// RunEPSContext with context.Background().
 func RunEPS(n *Network, opts EPSOptions, emitters []ScheduledEmitter) (*TimeSeries, error) {
 	return hydraulic.RunEPS(n, opts, emitters)
+}
+
+// RunEPSContext is RunEPS with cancellation, checked between hydraulic
+// steps.
+func RunEPSContext(ctx context.Context, n *Network, opts EPSOptions, emitters []ScheduledEmitter) (*TimeSeries, error) {
+	return hydraulic.RunEPSContext(ctx, n, opts, emitters)
 }
 
 // Water-quality transport (contaminant propagation through the network).
@@ -177,9 +192,16 @@ type (
 )
 
 // RunQuality advects a constituent along a completed hydraulic simulation
-// (plug flow in pipes, complete mixing at junctions and tanks).
+// (plug flow in pipes, complete mixing at junctions and tanks). It is
+// shorthand for RunQualityContext with context.Background().
 func RunQuality(n *Network, ts *TimeSeries, injections []Injection, opts QualityOptions) (*QualityResult, error) {
 	return hydraulic.RunQuality(n, ts, injections, opts)
+}
+
+// RunQualityContext is RunQuality with cancellation, checked between
+// hydraulic snapshots.
+func RunQualityContext(ctx context.Context, n *Network, ts *TimeSeries, injections []Injection, opts QualityOptions) (*QualityResult, error) {
+	return hydraulic.RunQualityContext(ctx, n, ts, injections, opts)
 }
 
 // ErrNotConverged is returned when the hydraulic solver fails to converge.
@@ -286,9 +308,16 @@ func NewFactory(n *Network, sensors []Sensor, cfg DatasetConfig) (*Factory, erro
 	return dataset.NewFactory(n, sensors, cfg)
 }
 
-// TrainProfile fits a profile model on a dataset (Algorithm 1).
+// TrainProfile fits a profile model on a dataset (Algorithm 1). It is
+// shorthand for TrainProfileContext with context.Background().
 func TrainProfile(ds *Dataset, nodeCount int, cfg ProfileConfig) (*Profile, error) {
 	return core.TrainProfile(ds, nodeCount, cfg)
+}
+
+// TrainProfileContext is TrainProfile with cancellation, checked
+// between per-junction classifier dispatches.
+func TrainProfileContext(ctx context.Context, ds *Dataset, nodeCount int, cfg ProfileConfig) (*Profile, error) {
+	return core.TrainProfileContext(ctx, ds, nodeCount, cfg)
 }
 
 // LoadProfile reads a profile previously written by Profile.Save, so
@@ -371,6 +400,43 @@ func TrainProfileFromCorpus(ctx context.Context, r *CorpusReader, nodeCount int,
 	return core.TrainProfileFromCorpus(ctx, r, nodeCount, cfg, opt)
 }
 
+// Distributed corpus generation (coordinator/worker shard fan-out).
+//
+// GenerateCorpusDistributed partitions a planned corpus into shard
+// ranges and leases them to worker processes over a small versioned
+// HTTP protocol; every uploaded shard is verified against the plan,
+// expired leases are reassigned (regeneration is byte-identical, so
+// re-execution is idempotent), and the merged directory is validated
+// to be exactly what single-process GenerateCorpus would have written
+// at the same seed.
+type (
+	// DistGenOptions configures a distributed generation run (worker
+	// count, lease TTL, range grain, resume, worker launcher).
+	DistGenOptions = distgen.Options
+	// CorpusWorkerOptions configures one generation worker.
+	CorpusWorkerOptions = distgen.WorkerOptions
+	// CorpusPlan is the deterministic shard partition of one corpus,
+	// shared by coordinator and workers.
+	CorpusPlan = dataset.CorpusPlan
+)
+
+// DistGenProtoVersion is the coordinator/worker wire-protocol version.
+const DistGenProtoVersion = distgen.ProtoVersion
+
+// GenerateCorpusDistributed runs a coordinated multi-process corpus
+// generation into dir — byte-identical to f.GenerateCorpus at the same
+// seed and shard size, for any worker count and any lease reassignment
+// history.
+func GenerateCorpusDistributed(ctx context.Context, f *Factory, count int, seed int64, dir string, opt DistGenOptions) (*CorpusResult, error) {
+	return distgen.Coordinate(ctx, f, count, seed, dir, opt)
+}
+
+// RunCorpusWorker runs one generation worker against a coordinator
+// until the corpus completes — the library form of `aquatrain -worker`.
+func RunCorpusWorker(ctx context.Context, coordinatorURL string, opt CorpusWorkerOptions) error {
+	return distgen.RunWorker(ctx, coordinatorURL, opt)
+}
+
 // ParseTechnique validates a technique name ("" means TechniqueHybridRSL);
 // unknown names error with the valid list.
 func ParseTechnique(s string) (Technique, error) { return core.ParseTechnique(s) }
@@ -449,9 +515,20 @@ const FreezeThresholdF = weather.FreezeThresholdF
 // DefaultFreezeModel uses the paper's 0.8/0.9 parameters.
 var DefaultFreezeModel = weather.DefaultFreezeModel
 
-// GenerateWeatherSeries synthesizes an ambient temperature series.
-func GenerateWeatherSeries(cfg WeatherSeriesConfig, rng Rand) (*WeatherSeries, error) {
+// NewWeatherSeries synthesizes an ambient temperature series from a
+// validated config — the convention-conforming name for
+// GenerateWeatherSeries.
+func NewWeatherSeries(cfg WeatherSeriesConfig, rng Rand) (*WeatherSeries, error) {
 	return weather.GenerateSeries(cfg, rng)
+}
+
+// GenerateWeatherSeries synthesizes an ambient temperature series.
+//
+// Deprecated: use NewWeatherSeries. The function takes a config and can
+// fail, so it follows the New* constructor convention; this alias is
+// kept so existing callers don't break.
+func GenerateWeatherSeries(cfg WeatherSeriesConfig, rng Rand) (*WeatherSeries, error) {
+	return NewWeatherSeries(cfg, rng)
 }
 
 // Markov regime-switching weather (the paper's stated future work).
@@ -470,10 +547,21 @@ const (
 	ColdSnapWeather = weather.ColdSnap
 )
 
+// NewMarkovWeatherSeries synthesizes a regime-switching temperature
+// series with persistent cold snaps — the convention-conforming name
+// for GenerateMarkovWeather.
+func NewMarkovWeatherSeries(cfg MarkovWeatherConfig, rng Rand) (*MarkovWeatherSeries, error) {
+	return weather.GenerateMarkovSeries(cfg, rng)
+}
+
 // GenerateMarkovWeather synthesizes a regime-switching temperature series
 // with persistent cold snaps.
+//
+// Deprecated: use NewMarkovWeatherSeries. The function takes a config
+// and can fail, so it follows the New* constructor convention; this
+// alias is kept so existing callers don't break.
 func GenerateMarkovWeather(cfg MarkovWeatherConfig, rng Rand) (*MarkovWeatherSeries, error) {
-	return weather.GenerateMarkovSeries(cfg, rng)
+	return NewMarkovWeatherSeries(cfg, rng)
 }
 
 // Human input (social sensing).
@@ -517,14 +605,31 @@ type (
 	FloodResult = flood.Result
 )
 
-// DEMFromNetwork interpolates a DEM from node elevations.
-func DEMFromNetwork(n *Network, cellSize float64, marginCells int) (*DEM, error) {
+// NewDEM interpolates a DEM from node elevations — the
+// convention-conforming name for DEMFromNetwork.
+func NewDEM(n *Network, cellSize float64, marginCells int) (*DEM, error) {
 	return flood.FromNetwork(n, cellSize, marginCells)
 }
 
-// SimulateFlood runs the local-inertial shallow-water model.
+// DEMFromNetwork interpolates a DEM from node elevations.
+//
+// Deprecated: use NewDEM. The function validates its inputs and can
+// fail, so it follows the New* constructor convention; this alias is
+// kept so existing callers don't break.
+func DEMFromNetwork(n *Network, cellSize float64, marginCells int) (*DEM, error) {
+	return NewDEM(n, cellSize, marginCells)
+}
+
+// SimulateFlood runs the local-inertial shallow-water model. It is
+// shorthand for SimulateFloodContext with context.Background().
 func SimulateFlood(dem *DEM, sources []FloodSource, cfg FloodConfig) (*FloodResult, error) {
 	return flood.Simulate(dem, sources, cfg)
+}
+
+// SimulateFloodContext is SimulateFlood with cancellation, checked
+// between adaptive time steps.
+func SimulateFloodContext(ctx context.Context, dem *DEM, sources []FloodSource, cfg FloodConfig) (*FloodResult, error) {
+	return flood.SimulateContext(ctx, dem, sources, cfg)
 }
 
 // Leak-onset detection (estimating e.t, which the paper assumes known).

@@ -15,6 +15,15 @@
 //	aquatrain -net wssc -samples 20000 -corpus-out /data/corpus
 //	aquatrain -net wssc -samples 20000 -corpus-out /data/corpus -resume
 //	aquatrain -net wssc -samples 20000 -corpus-in /data/corpus
+//
+// Distributed mode fans corpus generation out across worker processes.
+// The coordinating run spawns local `aquatrain -worker` subprocesses
+// (one per -workers-procs); workers rebuild the deployment from the
+// same flags, lease shard ranges over HTTP, and upload verified shards.
+// The merged corpus is byte-identical to the single-process run:
+//
+//	aquatrain -net wssc -samples 20000 -corpus-out /data/corpus -workers-procs 4
+//	aquatrain -net wssc -worker -coordinator http://host:port   # remote worker
 package main
 
 import (
@@ -22,8 +31,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"os/exec"
 	"os/signal"
 	"path/filepath"
 	"strings"
@@ -33,43 +44,57 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "aquatrain:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("aquatrain", flag.ContinueOnError)
 	var (
-		netName    = flag.String("net", "epanet", "network: epanet, wssc or test")
-		iotPct     = flag.Float64("iot", 30, "IoT deployment percentage of |V|+|E| candidate locations")
-		samples    = flag.Int("samples", 1000, "training scenarios (paper: 20000)")
-		testN      = flag.Int("test", 100, "held-out test scenarios (paper: 2000)")
-		minLeaks   = flag.Int("min-leaks", 1, "minimum concurrent leak events")
-		maxLeaks   = flag.Int("max-leaks", 5, "maximum concurrent leak events")
-		seed       = flag.Int64("seed", 1, "random seed")
-		retries    = flag.Int("retries", 0, "solver retry budget on non-convergence (stepped relaxation + warm restart; 0 = no retry)")
-		failFast   = flag.Bool("fail-fast", false, "abort dataset generation on the first failed scenario instead of skipping it")
-		fDropout   = flag.Float64("fault-dropout", 0, "injected per-sensor dropout probability (reading lost, sanitized to a neutral feature)")
-		fStuck     = flag.Float64("fault-stuck", 0, "injected per-sensor stuck-at probability (sensor repeats its pre-leak reading)")
-		fNaN       = flag.Float64("fault-nan", 0, "injected per-sensor NaN-reading probability")
-		fSolver    = flag.Float64("fault-solver", 0, "injected per-solve forced non-convergence probability")
-		fAttempts  = flag.Int("fault-solver-attempts", 1, "forced failures per hit solve (above -retries makes the scenario skip)")
-		corpusOut  = flag.String("corpus-out", "", "generate the training corpus as shards in this directory and train from the stream (out-of-core)")
-		corpusIn   = flag.String("corpus-in", "", "train from an existing corpus directory (skips generation; must match -net/-iot/-seed and the generation flags)")
-		shardSamps = flag.Int("shard-samples", 1024, "scenarios per corpus shard (with -corpus-out)")
-		resume     = flag.Bool("resume", false, "resume an interrupted corpus run: keep verified shards and the training checkpoint")
-		savePath   = flag.String("save", "", "write the trained profile to this file (gob)")
-		metricsOut = flag.String("metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
-		httpAddr   = flag.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
-		progress   = flag.Duration("progress", 0, "print a telemetry heartbeat to stderr at this interval (e.g. 10s; 0 = off)")
+		netName    = fs.String("net", "epanet", "network: epanet, wssc or test")
+		iotPct     = fs.Float64("iot", 30, "IoT deployment percentage of |V|+|E| candidate locations")
+		samples    = fs.Int("samples", 1000, "training scenarios (paper: 20000)")
+		testN      = fs.Int("test", 100, "held-out test scenarios (paper: 2000)")
+		minLeaks   = fs.Int("min-leaks", 1, "minimum concurrent leak events")
+		maxLeaks   = fs.Int("max-leaks", 5, "maximum concurrent leak events")
+		seed       = fs.Int64("seed", 1, "random seed")
+		retries    = fs.Int("retries", 0, "solver retry budget on non-convergence (stepped relaxation + warm restart; 0 = no retry)")
+		failFast   = fs.Bool("fail-fast", false, "abort dataset generation on the first failed scenario instead of skipping it")
+		fDropout   = fs.Float64("fault-dropout", 0, "injected per-sensor dropout probability (reading lost, sanitized to a neutral feature)")
+		fStuck     = fs.Float64("fault-stuck", 0, "injected per-sensor stuck-at probability (sensor repeats its pre-leak reading)")
+		fNaN       = fs.Float64("fault-nan", 0, "injected per-sensor NaN-reading probability")
+		fSolver    = fs.Float64("fault-solver", 0, "injected per-solve forced non-convergence probability")
+		fAttempts  = fs.Int("fault-solver-attempts", 1, "forced failures per hit solve (above -retries makes the scenario skip)")
+		corpusOut  = fs.String("corpus-out", "", "generate the training corpus as shards in this directory and train from the stream (out-of-core)")
+		corpusIn   = fs.String("corpus-in", "", "train from an existing corpus directory (skips generation; must match -net/-iot/-seed and the generation flags)")
+		shardSamps = fs.Int("shard-samples", 1024, "scenarios per corpus shard (with -corpus-out)")
+		resume     = fs.Bool("resume", false, "resume an interrupted corpus run: keep verified shards and the training checkpoint")
+		workerN    = fs.Int("workers-procs", 0, "with -corpus-out: fan shard generation out across this many spawned `aquatrain -worker` subprocesses")
+		workerMode = fs.Bool("worker", false, "run as a distributed-generation worker against -coordinator (deployment flags must match the coordinating run)")
+		coordURL   = fs.String("coordinator", "", "coordinator base URL for -worker mode")
+		savePath   = fs.String("save", "", "write the trained profile to this file (gob)")
+		metricsOut = fs.String("metrics-out", "", "write a JSON telemetry snapshot to this file on exit")
+		httpAddr   = fs.String("http", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. localhost:6060)")
+		progress   = fs.Duration("progress", 0, "print a telemetry heartbeat to stderr at this interval (e.g. 10s; 0 = off)")
 	)
 	technique := aquascale.TechniqueHybridRSL
-	flag.TextVar(&technique, "technique", technique,
+	fs.TextVar(&technique, "technique", technique,
 		"classifier: "+strings.Join(aquascale.ClassifierNames(), ", "))
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if *corpusOut != "" && *corpusIn != "" {
 		return fmt.Errorf("-corpus-out and -corpus-in are mutually exclusive")
+	}
+	if *workerMode && *coordURL == "" {
+		return fmt.Errorf("-worker needs -coordinator URL")
+	}
+	if *workerN > 0 && *corpusOut == "" {
+		return fmt.Errorf("-workers-procs needs -corpus-out")
 	}
 
 	// Enable instrumentation before any solver or factory is built, so
@@ -100,10 +125,10 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("network %s: %d nodes, %d links\n", net.Name, len(net.Nodes), len(net.Links))
+	fmt.Fprintf(out, "network %s: %d nodes, %d links\n", net.Name, len(net.Nodes), len(net.Links))
 
 	start := time.Now()
-	baseline, err := aquascale.RunEPS(net, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
+	baseline, err := aquascale.RunEPSContext(ctx, net, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
 	if err != nil {
 		return err
 	}
@@ -116,7 +141,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("placed %d sensors (%.0f%% of %d candidate locations) by k-medoids\n",
+	fmt.Fprintf(out, "placed %d sensors (%.0f%% of %d candidate locations) by k-medoids\n",
 		len(sensors), *iotPct, placer.CandidateCount())
 
 	leakCfg := aquascale.LeakGeneratorConfig{MinEvents: *minLeaks, MaxEvents: *maxLeaks}
@@ -137,39 +162,67 @@ func run() error {
 		return err
 	}
 
+	if *workerMode {
+		fmt.Fprintf(out, "worker %d: serving coordinator %s\n", os.Getpid(), *coordURL)
+		return aquascale.RunCorpusWorker(ctx, *coordURL, aquascale.CorpusWorkerOptions{
+			Factory: factory,
+			ID:      fmt.Sprintf("proc-%d", os.Getpid()),
+		})
+	}
+
 	profCfg := aquascale.ProfileConfig{Technique: technique, Seed: *seed + 77}
 	var profile *aquascale.Profile
 	if *corpusOut != "" || *corpusIn != "" {
-		profile, err = trainOutOfCore(factory, net, outOfCoreOptions{
+		// Subprocess workers must rebuild this exact deployment; the
+		// handshake and shard verification enforce it, these flags
+		// deliver it.
+		spawnArgs := []string{
+			"-worker",
+			"-net", *netName,
+			"-iot", fmt.Sprint(*iotPct),
+			"-seed", fmt.Sprint(*seed),
+			"-min-leaks", fmt.Sprint(*minLeaks),
+			"-max-leaks", fmt.Sprint(*maxLeaks),
+			"-retries", fmt.Sprint(*retries),
+			"-fail-fast=" + fmt.Sprint(*failFast),
+			"-fault-dropout", fmt.Sprint(*fDropout),
+			"-fault-stuck", fmt.Sprint(*fStuck),
+			"-fault-nan", fmt.Sprint(*fNaN),
+			"-fault-solver", fmt.Sprint(*fSolver),
+			"-fault-solver-attempts", fmt.Sprint(*fAttempts),
+		}
+		profile, err = trainOutOfCore(ctx, factory, net, outOfCoreOptions{
 			out:          *corpusOut,
 			in:           *corpusIn,
 			samples:      *samples,
 			seed:         *seed,
 			shardSamples: *shardSamps,
 			resume:       *resume,
-		}, profCfg)
+			workerProcs:  *workerN,
+			spawnArgs:    spawnArgs,
+		}, profCfg, out)
 		if err != nil {
 			return err
 		}
 	} else {
-		fmt.Printf("generating %d training scenarios...\n", *samples)
+		fmt.Fprintf(out, "generating %d training scenarios...\n", *samples)
 		ds, err := factory.Generate(*samples, rand.New(rand.NewSource(*seed+11)))
 		if err != nil {
 			return err
 		}
-		fmt.Printf("dataset ready in %v (%d features per sample)\n",
+		fmt.Fprintf(out, "dataset ready in %v (%d features per sample)\n",
 			time.Since(start).Round(time.Millisecond), factory.SensorCount())
 		if len(ds.Skipped) > 0 {
-			fmt.Printf("skipped %d/%d scenarios after retry exhaustion (first: scenario %d, %d retries: %v)\n",
+			fmt.Fprintf(out, "skipped %d/%d scenarios after retry exhaustion (first: scenario %d, %d retries: %v)\n",
 				len(ds.Skipped), *samples, ds.Skipped[0].Index, ds.Skipped[0].Retries, ds.Skipped[0].Err)
 		}
 
 		trainStart := time.Now()
-		profile, err = aquascale.TrainProfile(ds, len(net.Nodes), profCfg)
+		profile, err = aquascale.TrainProfileContext(ctx, ds, len(net.Nodes), profCfg)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("trained %s profile (%d per-node classifiers) in %v\n",
+		fmt.Fprintf(out, "trained %s profile (%d per-node classifiers) in %v\n",
 			technique, len(ds.Junctions), time.Since(trainStart).Round(time.Millisecond))
 	}
 
@@ -185,7 +238,7 @@ func run() error {
 		if err := f.Close(); err != nil {
 			return err
 		}
-		fmt.Printf("profile saved to %s\n", *savePath)
+		fmt.Fprintf(out, "profile saved to %s\n", *savePath)
 	}
 
 	// Held-out evaluation.
@@ -222,10 +275,10 @@ func run() error {
 		return fmt.Errorf("all %d held-out scenarios failed after retries", *testN)
 	}
 	if skippedEval > 0 {
-		fmt.Printf("skipped %d/%d held-out scenarios after retry exhaustion\n", skippedEval, *testN)
+		fmt.Fprintf(out, "skipped %d/%d held-out scenarios after retry exhaustion\n", skippedEval, *testN)
 	}
-	fmt.Printf("held-out mean Hamming score over %d scenarios: %.3f\n", evaluated, total/float64(evaluated))
-	fmt.Printf("mean online inference latency: %v per scenario\n",
+	fmt.Fprintf(out, "held-out mean Hamming score over %d scenarios: %.3f\n", evaluated, total/float64(evaluated))
+	fmt.Fprintf(out, "mean online inference latency: %v per scenario\n",
 		(detectLatency / time.Duration(evaluated)).Round(time.Microsecond))
 	return nil
 }
@@ -237,40 +290,56 @@ type outOfCoreOptions struct {
 	seed         int64
 	shardSamples int
 	resume       bool
+	workerProcs  int
+	spawnArgs    []string
 }
 
 // trainOutOfCore runs the streamed generate→train pipeline: shards on
 // disk instead of an in-RAM dataset, resumable on both sides, and
 // bit-identical to the in-memory path at the same -seed. Ctrl-C stops
 // between scenarios/shards; a rerun with -resume picks up where it left
-// off.
-func trainOutOfCore(factory *aquascale.Factory, net *aquascale.Network, opt outOfCoreOptions, cfg aquascale.ProfileConfig) (*aquascale.Profile, error) {
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-
+// off. With workerProcs > 0 generation fans out across spawned
+// `aquatrain -worker` subprocesses — the corpus is still byte-identical.
+func trainOutOfCore(ctx context.Context, factory *aquascale.Factory, net *aquascale.Network, opt outOfCoreOptions, cfg aquascale.ProfileConfig, out io.Writer) (*aquascale.Profile, error) {
 	dir := opt.in
 	if opt.out != "" {
 		dir = opt.out
-		fmt.Printf("generating %d training scenarios into %s (shards of %d)...\n",
-			opt.samples, opt.out, opt.shardSamples)
 		genStart := time.Now()
+		var (
+			res *aquascale.CorpusResult
+			err error
+		)
 		// Seed +11 matches the in-memory Generate path, so the corpus is
 		// bit-compatible with a plain `aquatrain -seed N` run.
-		res, err := factory.GenerateCorpus(ctx, opt.samples, opt.seed+11, opt.out, aquascale.CorpusOptions{
-			ShardSamples: opt.shardSamples,
-			Resume:       opt.resume,
-		})
+		if opt.workerProcs > 0 {
+			fmt.Fprintf(out, "generating %d training scenarios into %s (shards of %d, %d worker processes)...\n",
+				opt.samples, opt.out, opt.shardSamples, opt.workerProcs)
+			res, err = aquascale.GenerateCorpusDistributed(ctx, factory, opt.samples, opt.seed+11, opt.out,
+				aquascale.DistGenOptions{
+					ShardSamples: opt.shardSamples,
+					Resume:       opt.resume,
+					Workers:      opt.workerProcs,
+					StartWorker:  spawnWorkerProc(opt.spawnArgs),
+				})
+		} else {
+			fmt.Fprintf(out, "generating %d training scenarios into %s (shards of %d)...\n",
+				opt.samples, opt.out, opt.shardSamples)
+			res, err = factory.GenerateCorpus(ctx, opt.samples, opt.seed+11, opt.out, aquascale.CorpusOptions{
+				ShardSamples: opt.shardSamples,
+				Resume:       opt.resume,
+			})
+		}
 		if err != nil {
 			if ctx.Err() != nil {
 				fmt.Fprintln(os.Stderr, "aquatrain: interrupted; completed shards are verified — rerun with -resume to continue")
 			}
 			return nil, err
 		}
-		fmt.Printf("corpus ready in %v: %d shards (%d written, %d resumed), %d samples, %.1f MiB\n",
+		fmt.Fprintf(out, "corpus ready in %v: %d shards (%d written, %d resumed), %d samples, %.1f MiB\n",
 			time.Since(genStart).Round(time.Millisecond), res.Shards, res.ShardsWritten,
 			res.ShardsResumed, res.Samples, float64(res.Bytes)/(1<<20))
 		if res.SkippedScenarios > 0 {
-			fmt.Printf("skipped %d/%d scenarios after retry exhaustion\n", res.SkippedScenarios, opt.samples)
+			fmt.Fprintf(out, "skipped %d/%d scenarios after retry exhaustion\n", res.SkippedScenarios, opt.samples)
 		}
 	}
 
@@ -283,7 +352,7 @@ func trainOutOfCore(factory *aquascale.Factory, net *aquascale.Network, opt outO
 	if err := r.Match(factory); err != nil {
 		return nil, err
 	}
-	fmt.Printf("training %s profile from %d streamed samples (%d shards)...\n",
+	fmt.Fprintf(out, "training %s profile from %d streamed samples (%d shards)...\n",
 		cfg.Technique, r.SampleCount(), r.Shards())
 
 	trainStart := time.Now()
@@ -297,9 +366,26 @@ func trainOutOfCore(factory *aquascale.Factory, net *aquascale.Network, opt outO
 		}
 		return nil, err
 	}
-	fmt.Printf("trained %s profile (%d per-node classifiers) in %v\n",
+	fmt.Fprintf(out, "trained %s profile (%d per-node classifiers) in %v\n",
 		cfg.Technique, len(r.Junctions()), time.Since(trainStart).Round(time.Millisecond))
 	return profile, nil
+}
+
+// spawnWorkerProc returns a StartWorker that execs this binary as
+// `aquatrain -worker ... -coordinator <url>`. Worker output goes to
+// stderr; killing the coordinator's context kills the subprocesses.
+func spawnWorkerProc(spawnArgs []string) func(ctx context.Context, url string, id int) error {
+	return func(ctx context.Context, url string, id int) error {
+		exe, err := os.Executable()
+		if err != nil {
+			return err
+		}
+		args := append(append([]string{}, spawnArgs...), "-coordinator", url)
+		cmd := exec.CommandContext(ctx, exe, args...)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		return cmd.Run()
+	}
 }
 
 func buildNetwork(name string) (*aquascale.Network, error) {

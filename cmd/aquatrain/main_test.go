@@ -1,0 +1,202 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale"
+)
+
+// TestMain doubles as the worker helper process: when the test binary is
+// spawned as `<binary> -worker ...` (which is exactly what the
+// coordinator's StartWorker does via os.Executable()), it behaves as the
+// real aquatrain worker instead of running the test suite.
+func TestMain(m *testing.M) {
+	if len(os.Args) > 1 && os.Args[1] == "-worker" {
+		if err := run(context.Background(), os.Args[1:], os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, "aquatrain worker helper:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// shardBytes reads every shard file in dir into a name → content map.
+func shardBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-*.aqsc"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		out[filepath.Base(p)] = b
+	}
+	return out
+}
+
+func assertSameShards(t *testing.T, gotDir, wantDir string) {
+	t.Helper()
+	got, want := shardBytes(t, gotDir), shardBytes(t, wantDir)
+	if len(got) != len(want) {
+		t.Fatalf("shard count %d, want %d", len(got), len(want))
+	}
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("shard %s missing", name)
+		}
+		if !bytes.Equal(g, want[name]) {
+			t.Fatalf("shard %s bytes diverge", name)
+		}
+	}
+}
+
+// TestCLIDistributedMatchesSingleProcess drives the full CLI path: a
+// coordinating `aquatrain -corpus-out -workers-procs 3` run spawns three
+// real worker OS processes, and the merged corpus (plus the profile
+// trained from it) is byte-identical to the single-process run.
+func TestCLIDistributedMatchesSingleProcess(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	singleDir := t.TempDir()
+	distDir := t.TempDir()
+	base := []string{
+		"-net", "test", "-iot", "30", "-samples", "48", "-seed", "1",
+		"-shard-samples", "4", "-test", "5",
+	}
+	var out bytes.Buffer
+	if err := run(context.Background(), append(append([]string{}, base...), "-corpus-out", singleDir), &out); err != nil {
+		t.Fatalf("single-process run: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	if err := run(context.Background(), append(append([]string{}, base...),
+		"-corpus-out", distDir, "-workers-procs", "3"), &out); err != nil {
+		t.Fatalf("distributed run: %v\n%s", err, out.String())
+	}
+	assertSameShards(t, distDir, singleDir)
+}
+
+// TestDistributedWorkerProcessKilled kills one of three real worker OS
+// processes mid-corpus (as soon as the first shard lands in staging),
+// and asserts the lease machinery recovers to a corpus byte-identical to
+// the single-process run.
+func TestDistributedWorkerProcessKilled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker subprocesses")
+	}
+	const seed = 1
+	net, err := buildNetwork("test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := aquascale.RunEPS(net, aquascale.EPSOptions{Duration: 6 * time.Hour, Step: time.Hour}, nil)
+	if err != nil {
+		t.Fatalf("RunEPS: %v", err)
+	}
+	placer, err := aquascale.NewPlacer(net, baseline)
+	if err != nil {
+		t.Fatalf("NewPlacer: %v", err)
+	}
+	sensors, err := placer.KMedoids(placer.CountForPercent(30), rand.New(rand.NewSource(seed+3)))
+	if err != nil {
+		t.Fatalf("KMedoids: %v", err)
+	}
+	factory, err := aquascale.NewFactory(net, sensors, aquascale.DatasetConfig{
+		Noise: aquascale.DefaultSensorNoise,
+		Leaks: aquascale.LeakGeneratorConfig{MinEvents: 1, MaxEvents: 5},
+		// Matches the worker helper's flag defaults (the digest covers
+		// every fault knob, including -fault-solver-attempts' default 1).
+		Faults: aquascale.FaultConfig{SolverFailAttempts: 1},
+	})
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+
+	const count, corpusSeed = 60, seed + 11
+	wantDir := t.TempDir()
+	if _, err := factory.GenerateCorpus(context.Background(), count, corpusSeed, wantDir,
+		aquascale.CorpusOptions{ShardSamples: 4}); err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+
+	gotDir := t.TempDir()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var (
+		procMu sync.Mutex
+		victim *os.Process
+	)
+	// Kill the victim as soon as any shard reaches the coordinator's
+	// staging directory — leases are certainly in flight by then.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			staged, _ := filepath.Glob(filepath.Join(gotDir, ".distgen", "shard-*.aqsc"))
+			if len(staged) > 0 {
+				procMu.Lock()
+				p := victim
+				procMu.Unlock()
+				if p != nil {
+					p.Kill()
+					return
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	res, err := aquascale.GenerateCorpusDistributed(context.Background(), factory, count, corpusSeed, gotDir,
+		aquascale.DistGenOptions{
+			ShardSamples: 4,
+			Workers:      3,
+			RangeShards:  3,
+			LeaseTTL:     500 * time.Millisecond,
+			StartWorker: func(ctx context.Context, url string, id int) error {
+				args := []string{"-worker", "-net", "test", "-iot", "30", "-seed", fmt.Sprint(seed), "-coordinator", url}
+				cmd := exec.CommandContext(ctx, exe, args...)
+				cmd.Stderr = os.Stderr
+				if err := cmd.Start(); err != nil {
+					return err
+				}
+				if id == 0 {
+					procMu.Lock()
+					victim = cmd.Process
+					procMu.Unlock()
+				}
+				return cmd.Wait()
+			},
+		})
+	if err != nil {
+		t.Fatalf("GenerateCorpusDistributed: %v", err)
+	}
+	<-killed
+	if res.ShardsWritten != 15 {
+		t.Fatalf("ShardsWritten = %d, want 15", res.ShardsWritten)
+	}
+	assertSameShards(t, gotDir, wantDir)
+}

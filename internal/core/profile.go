@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/aquascale/aquascale/internal/dataset"
@@ -35,8 +36,16 @@ type Profile struct {
 
 // TrainProfile fits the profile on a Phase-I dataset (Algorithm 1).
 // nodeCount is the network's |V|; predictions are indexed by node with
-// zero probability at fixed-grade nodes (they cannot leak).
+// zero probability at fixed-grade nodes (they cannot leak). It is
+// shorthand for TrainProfileContext with context.Background().
 func TrainProfile(ds *dataset.Dataset, nodeCount int, cfg ProfileConfig) (*Profile, error) {
+	return TrainProfileContext(context.Background(), ds, nodeCount, cfg)
+}
+
+// TrainProfileContext is TrainProfile with cancellation: ctx is checked
+// between per-junction classifier dispatches, in-flight fits finish, no
+// profile is returned, and the error wraps ctx.Err().
+func TrainProfileContext(ctx context.Context, ds *dataset.Dataset, nodeCount int, cfg ProfileConfig) (*Profile, error) {
 	if cfg.Technique == "" {
 		cfg.Technique = TechniqueHybridRSL
 	}
@@ -63,7 +72,7 @@ func TrainProfile(ds *dataset.Dataset, nodeCount int, cfg ProfileConfig) (*Profi
 		return nil, err
 	}
 	mo := mlearn.NewMultiOutput(factory, cfg.Seed)
-	if err := mo.Fit(ds.X(), ds.Y()); err != nil {
+	if err := mo.FitContext(ctx, ds.X(), ds.Y()); err != nil {
 		return nil, fmt.Errorf("core: profile training: %w", err)
 	}
 	return &Profile{

@@ -1,0 +1,461 @@
+// Package distgen fans corpus generation out across worker processes.
+//
+// A coordinator partitions a planned corpus (dataset.CorpusPlan) into
+// contiguous shard ranges and leases them to workers over a small
+// versioned HTTP protocol (see http.go). Each worker regenerates its
+// leased shards locally — byte-identical to a single-process run,
+// because every shard's scenarios and noise seeds are re-derived from
+// the corpus seed — and uploads them; the coordinator verifies every
+// upload against the plan (structure, CRCs, full header metadata)
+// before staging it.
+//
+// Leases carry deadlines and are kept alive by heartbeats. A range
+// whose lease expires (worker died, stalled, or partitioned away)
+// returns to the pending pool and is re-leased to the next worker that
+// asks. Reassignment is idempotent by construction: regeneration of a
+// shard is bit-for-bit identical no matter which worker produces it,
+// and uploads of an already-staged shard are accepted and discarded.
+//
+// When every range completes, staged shards are renamed into the corpus
+// directory and the whole corpus is re-validated with OpenCorpus
+// (contiguous scenario tiling, cross-shard metadata agreement) — the
+// merged directory is byte-identical to GenerateCorpus at the same
+// seed, which the tests pin.
+package distgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/telemetry"
+)
+
+// stagingDirName is the coordinator's staging subdirectory inside the
+// corpus directory. Subdirectories are invisible to the shard glob, so
+// OpenCorpus and resume never see half-merged state.
+const stagingDirName = ".distgen"
+
+// Options configures a distributed generation run.
+type Options struct {
+	// ShardSamples is the scenarios-per-shard partition grain (0 means
+	// the GenerateCorpus default, 1024).
+	ShardSamples int
+
+	// Resume adopts valid matching shards already present in the corpus
+	// directory (and staged shards left by a crashed coordinator)
+	// instead of failing on a non-empty directory — the distributed
+	// twin of CorpusOptions.Resume.
+	Resume bool
+
+	// Workers is how many workers to start via StartWorker. 0 means 1.
+	// Set it to -1 to start none and rely on externally launched
+	// workers joining over the network (Addr must then be reachable).
+	Workers int
+
+	// GenWorkers bounds each in-process worker's sample-building pool
+	// (0 means runtime.NumCPU()).
+	GenWorkers int
+
+	// RangeShards is how many consecutive shards one lease covers
+	// (0 means 1 — finest reassignment granularity).
+	RangeShards int
+
+	// LeaseTTL is how long a lease lives without a heartbeat before the
+	// coordinator reclaims its range (0 means 30s).
+	LeaseTTL time.Duration
+
+	// Addr is the coordinator listen address (0 means loopback with an
+	// ephemeral port — subprocess workers on the same host can reach
+	// it; use a routable address for remote workers).
+	Addr string
+
+	// StartWorker launches worker id against the coordinator at url and
+	// blocks until the worker exits. nil means an in-process
+	// RunWorker sharing the coordinator's factory — the zero-config
+	// spelling; cmd/aquatrain overrides it to spawn `aquatrain -worker`
+	// subprocesses.
+	StartWorker func(ctx context.Context, url string, id int) error
+}
+
+// metrics are the coordinator-side telemetry handles, bound lazily per
+// run like the corpus_* instruments.
+type metrics struct {
+	rangesDispatched *telemetry.Counter
+	leasesExpired    *telemetry.Counter
+	rangesReassigned *telemetry.Counter
+	shardsStaged     *telemetry.Counter
+	workersJoined    *telemetry.Counter
+	mergeSeconds     *telemetry.Histogram
+}
+
+func bindMetrics() metrics {
+	reg := telemetry.Default()
+	return metrics{
+		rangesDispatched: reg.Counter("distgen_ranges_dispatched_total"),
+		leasesExpired:    reg.Counter("distgen_leases_expired_total"),
+		rangesReassigned: reg.Counter("distgen_ranges_reassigned_total"),
+		shardsStaged:     reg.Counter("distgen_shards_staged_total"),
+		workersJoined:    reg.Counter("distgen_workers_joined_total"),
+		mergeSeconds:     reg.Histogram("distgen_merge_seconds", telemetry.ExpBuckets(1e-3, 2, 16)),
+	}
+}
+
+// rangeState is the lease state machine: pending → leased → done, with
+// leased → pending on expiry (DESIGN.md §12).
+type rangeState int
+
+const (
+	rangePending rangeState = iota
+	rangeLeased
+	rangeDone
+)
+
+// shardRange is one leasable unit of work: shards [lo, hi).
+type shardRange struct {
+	lo, hi   int
+	state    rangeState
+	lease    string
+	worker   string
+	deadline time.Time
+	assigned int // lease grants so far; >1 means reassigned
+}
+
+// coordinator owns the lease table and staging directory. All mutable
+// state is guarded by mu; handlers are safe for concurrent workers.
+type coordinator struct {
+	plan    dataset.CorpusPlan
+	dir     string
+	staging string
+	ttl     time.Duration
+	met     metrics
+
+	mu        sync.Mutex
+	ranges    []*shardRange
+	leases    map[string]*shardRange
+	staged    map[int]bool // uploaded and verified, waiting in staging
+	preseeded int          // valid shards adopted from dir at startup
+	doneCount int
+	leaseSeq  int
+	doneCh    chan struct{}
+	closed    bool
+}
+
+// newCoordinator scans dir (and its staging subdirectory) for work
+// already done, sweeps crash debris, and builds the lease table over
+// the shards still missing.
+func newCoordinator(f *dataset.Factory, plan dataset.CorpusPlan, dir string, opt Options) (*coordinator, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("distgen: corpus dir: %w", err)
+	}
+	staging := filepath.Join(dir, stagingDirName)
+	if err := os.MkdirAll(staging, 0o755); err != nil {
+		return nil, fmt.Errorf("distgen: staging dir: %w", err)
+	}
+	for _, pat := range []string{
+		filepath.Join(dir, "shard-*.aqsc.tmp"),
+		filepath.Join(staging, "shard-*.aqsc.tmp"),
+		filepath.Join(staging, "upload-*.tmp"),
+	} {
+		if tmps, err := filepath.Glob(pat); err == nil {
+			for _, p := range tmps {
+				os.Remove(p)
+			}
+		}
+	}
+	existing, err := filepath.Glob(filepath.Join(dir, "shard-*.aqsc"))
+	if err != nil {
+		return nil, fmt.Errorf("distgen: corpus dir: %w", err)
+	}
+	if len(existing) > 0 && !opt.Resume {
+		return nil, fmt.Errorf("distgen: corpus dir %s already holds %d shard(s); resume or use an empty directory", dir, len(existing))
+	}
+
+	ttl := opt.LeaseTTL
+	if ttl <= 0 {
+		ttl = 30 * time.Second
+	}
+	c := &coordinator{
+		plan:    plan,
+		dir:     dir,
+		staging: staging,
+		ttl:     ttl,
+		met:     bindMetrics(),
+		leases:  make(map[string]*shardRange),
+		staged:  make(map[int]bool),
+		doneCh:  make(chan struct{}),
+	}
+
+	// Adopt finished work: a valid matching shard already in the corpus
+	// directory, or one staged by a previous coordinator that died
+	// before merging. Damaged files regenerate; valid foreign shards
+	// fail fast exactly like single-process resume.
+	done := make(map[int]bool)
+	for i := 0; i < plan.ShardCount; i++ {
+		path := filepath.Join(dir, dataset.ShardFileName(i))
+		if _, err := c.verifyAdoptable(path, i); err == nil {
+			done[i] = true
+			c.preseeded++
+			continue
+		} else if errors.Is(err, dataset.ErrCorpusMismatch) {
+			return nil, err
+		}
+		spath := filepath.Join(staging, dataset.ShardFileName(i))
+		if _, err := c.verifyAdoptable(spath, i); err == nil {
+			done[i] = true
+			c.staged[i] = true
+		} else if errors.Is(err, dataset.ErrCorpusMismatch) {
+			return nil, err
+		}
+	}
+
+	grain := opt.RangeShards
+	if grain <= 0 {
+		grain = 1
+	}
+	for lo := 0; lo < plan.ShardCount; {
+		if done[lo] {
+			lo++
+			continue
+		}
+		hi := lo + 1
+		for hi < plan.ShardCount && hi-lo < grain && !done[hi] {
+			hi++
+		}
+		c.ranges = append(c.ranges, &shardRange{lo: lo, hi: hi})
+		lo = hi
+	}
+	if len(c.ranges) == 0 {
+		close(c.doneCh)
+		c.closed = true
+	}
+	return c, nil
+}
+
+// verifyAdoptable checks whether path holds a fully valid shard i of
+// the plan. Damaged or partial files are removed so regeneration can
+// proceed; mismatched valid shards surface ErrCorpusMismatch.
+func (c *coordinator) verifyAdoptable(path string, i int) (dataset.ShardHeader, error) {
+	hdr, err := c.plan.VerifyShardFile(path, i)
+	switch {
+	case err == nil:
+		return hdr, nil
+	case errors.Is(err, os.ErrNotExist), errors.Is(err, dataset.ErrCorpusMismatch):
+		return dataset.ShardHeader{}, err
+	default:
+		os.Remove(path)
+		return dataset.ShardHeader{}, err
+	}
+}
+
+// sweepLocked reclaims expired leases. Called under mu from every
+// handler that reads the lease table, so liveness needs no background
+// goroutine: any worker asking for work triggers reclamation.
+func (c *coordinator) sweepLocked(now time.Time) {
+	for id, r := range c.leases {
+		if now.After(r.deadline) {
+			delete(c.leases, id)
+			r.state = rangePending
+			r.lease = ""
+			r.worker = ""
+			c.met.leasesExpired.Inc()
+		}
+	}
+}
+
+// grantLocked leases the next pending range to worker, or returns nil
+// when none is pending.
+func (c *coordinator) grantLocked(worker string, now time.Time) *shardRange {
+	for _, r := range c.ranges {
+		if r.state != rangePending {
+			continue
+		}
+		c.leaseSeq++
+		r.state = rangeLeased
+		r.lease = fmt.Sprintf("lease-%d", c.leaseSeq)
+		r.worker = worker
+		r.deadline = now.Add(c.ttl)
+		if r.assigned > 0 {
+			c.met.rangesReassigned.Inc()
+		}
+		r.assigned++
+		c.leases[r.lease] = r
+		c.met.rangesDispatched.Inc()
+		return r
+	}
+	return nil
+}
+
+// completeLocked marks the leased range done; every shard in it must
+// already be staged.
+func (c *coordinator) completeLocked(r *shardRange) error {
+	for i := r.lo; i < r.hi; i++ {
+		if !c.staged[i] {
+			return fmt.Errorf("distgen: range [%d,%d) completed but shard %d was never staged", r.lo, r.hi, i)
+		}
+	}
+	delete(c.leases, r.lease)
+	r.state = rangeDone
+	r.lease = ""
+	c.doneCount++
+	if c.doneCount == len(c.ranges) && !c.closed {
+		close(c.doneCh)
+		c.closed = true
+	}
+	return nil
+}
+
+// remainingLocked counts ranges not yet done.
+func (c *coordinator) remainingLocked() int {
+	return len(c.ranges) - c.doneCount
+}
+
+// merge renames staged shards into the corpus directory, re-validates
+// the whole corpus with OpenCorpus (shard indices, contiguous scenario
+// tiling, cross-shard metadata agreement) and against the live factory,
+// and assembles the result.
+func (c *coordinator) merge(f *dataset.Factory) (*dataset.CorpusResult, error) {
+	start := time.Now()
+	res := &dataset.CorpusResult{
+		Dir:           c.dir,
+		Shards:        c.plan.ShardCount,
+		Scenarios:     c.plan.Count,
+		ShardsResumed: c.preseeded,
+	}
+	for i := range c.staged {
+		src := filepath.Join(c.staging, dataset.ShardFileName(i))
+		dst := filepath.Join(c.dir, dataset.ShardFileName(i))
+		if err := os.Rename(src, dst); err != nil {
+			return res, fmt.Errorf("distgen: merge shard %d: %w", i, err)
+		}
+		if fi, err := os.Stat(dst); err == nil {
+			res.Bytes += fi.Size()
+		}
+		res.ShardsWritten++
+	}
+	os.RemoveAll(c.staging)
+
+	r, err := dataset.OpenCorpus(c.dir)
+	if err != nil {
+		return res, fmt.Errorf("distgen: merged corpus failed validation: %w", err)
+	}
+	if err := r.Match(f); err != nil {
+		return res, err
+	}
+	res.Samples = r.SampleCount()
+	res.SkippedScenarios = r.ScenarioCount() - r.SampleCount()
+	c.met.mergeSeconds.ObserveDuration(time.Since(start))
+	if res.Samples == 0 {
+		return res, fmt.Errorf("distgen: corpus holds no samples over %d scenarios", c.plan.Count)
+	}
+	return res, nil
+}
+
+// Coordinate runs a full distributed generation: plan, serve the worker
+// protocol, lease shard ranges to opt.Workers workers (in-process by
+// default, subprocesses or remote machines via opt.StartWorker), verify
+// and stage every uploaded shard, reassign ranges whose leases expire,
+// and merge + validate the result into dir.
+//
+// The merged directory is byte-identical to a single-process
+// GenerateCorpus(ctx, count, seed, dir, ...) at the same seed and shard
+// size, no matter how many workers ran or how many leases were
+// reassigned mid-range.
+func Coordinate(ctx context.Context, f *dataset.Factory, count int, seed int64, dir string, opt Options) (*dataset.CorpusResult, error) {
+	plan, err := f.PlanCorpus(count, seed, dataset.CorpusOptions{ShardSamples: opt.ShardSamples})
+	if err != nil {
+		return nil, err
+	}
+	c, err := newCoordinator(f, plan, dir, opt)
+	if err != nil {
+		return nil, err
+	}
+	if len(c.ranges) == 0 {
+		// Everything already on disk — nothing to serve.
+		return c.merge(f)
+	}
+
+	addr := opt.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("distgen: listen: %w", err)
+	}
+	srv := &http.Server{Handler: c.mux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(sctx)
+		<-serveErr
+	}()
+	url := "http://" + ln.Addr().String()
+
+	nworkers := opt.Workers
+	if nworkers == 0 {
+		nworkers = 1
+	}
+	start := opt.StartWorker
+	if start == nil {
+		start = func(ctx context.Context, url string, id int) error {
+			return RunWorker(ctx, url, WorkerOptions{
+				Factory:    f,
+				ID:         fmt.Sprintf("inproc-%d", id),
+				GenWorkers: opt.GenWorkers,
+			})
+		}
+	}
+	wctx, cancelWorkers := context.WithCancel(ctx)
+	defer cancelWorkers()
+	var (
+		wg          sync.WaitGroup
+		workersDone = make(chan struct{})
+		errMu       sync.Mutex
+		workerErrs  []error
+	)
+	if nworkers > 0 {
+		for i := 0; i < nworkers; i++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				if err := start(wctx, url, id); err != nil && wctx.Err() == nil {
+					errMu.Lock()
+					workerErrs = append(workerErrs, fmt.Errorf("worker %d: %w", id, err))
+					errMu.Unlock()
+				}
+			}(i)
+		}
+		go func() { wg.Wait(); close(workersDone) }()
+	}
+
+	select {
+	case <-c.doneCh:
+	case <-ctx.Done():
+		cancelWorkers()
+		wg.Wait()
+		return nil, ctx.Err()
+	case <-workersDone:
+		c.mu.Lock()
+		remaining := c.remainingLocked()
+		c.mu.Unlock()
+		if remaining > 0 {
+			errMu.Lock()
+			defer errMu.Unlock()
+			return nil, fmt.Errorf("distgen: all %d worker(s) exited with %d range(s) unfinished: %w",
+				nworkers, remaining, errors.Join(workerErrs...))
+		}
+	}
+	cancelWorkers()
+	wg.Wait()
+	return c.merge(f)
+}

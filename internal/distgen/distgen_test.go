@@ -1,0 +1,361 @@
+package distgen
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+	"github.com/aquascale/aquascale/internal/leak"
+	"github.com/aquascale/aquascale/internal/network"
+	"github.com/aquascale/aquascale/internal/sensor"
+)
+
+func testNetFactory(t *testing.T) *dataset.Factory {
+	t.Helper()
+	net := network.BuildTestNet()
+	j, ok := net.NodeIndex("J2")
+	if !ok {
+		t.Fatal("test network lost node J2")
+	}
+	f, err := dataset.NewFactory(net, []sensor.Sensor{{Kind: sensor.Pressure, Index: j}}, dataset.Config{
+		Noise: sensor.DefaultNoise,
+		Leaks: leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+	return f
+}
+
+// dirShardBytes reads every shard file in dir into a name → content map.
+func dirShardBytes(t *testing.T, dir string) map[string][]byte {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(dir, "shard-*.aqsc"))
+	if err != nil {
+		t.Fatalf("glob: %v", err)
+	}
+	out := make(map[string][]byte, len(paths))
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		out[filepath.Base(p)] = b
+	}
+	return out
+}
+
+// sameShardSet asserts two corpus directories hold byte-identical shard
+// sets — the distributed acceptance criterion.
+func sameShardSet(t *testing.T, gotDir, wantDir string) {
+	t.Helper()
+	got, want := dirShardBytes(t, gotDir), dirShardBytes(t, wantDir)
+	if len(got) != len(want) {
+		t.Fatalf("shard count %d, want %d", len(got), len(want))
+	}
+	names := make([]string, 0, len(want))
+	for name := range want {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		g, ok := got[name]
+		if !ok {
+			t.Fatalf("shard %s missing", name)
+		}
+		if string(g) != string(want[name]) {
+			t.Fatalf("shard %s bytes diverge (%d vs %d bytes)", name, len(g), len(want[name]))
+		}
+	}
+}
+
+// TestCoordinateMatchesSingleProcess is the tentpole equivalence: three
+// workers over real loopback HTTP produce a corpus byte-identical to
+// single-process GenerateCorpus at the same seed.
+func TestCoordinateMatchesSingleProcess(t *testing.T) {
+	f := testNetFactory(t)
+	const count, seed = 40, 9
+
+	wantDir := t.TempDir()
+	wantRes, err := f.GenerateCorpus(context.Background(), count, seed, wantDir,
+		dataset.CorpusOptions{ShardSamples: 4})
+	if err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+
+	gotDir := t.TempDir()
+	res, err := Coordinate(context.Background(), f, count, seed, gotDir, Options{
+		ShardSamples: 4,
+		Workers:      3,
+		RangeShards:  2,
+	})
+	if err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	sameShardSet(t, gotDir, wantDir)
+
+	if res.Shards != 10 || res.ShardsWritten != 10 || res.ShardsResumed != 0 {
+		t.Fatalf("result shards = %d written %d resumed %d, want 10/10/0",
+			res.Shards, res.ShardsWritten, res.ShardsResumed)
+	}
+	if res.Samples != wantRes.Samples || res.Scenarios != wantRes.Scenarios ||
+		res.SkippedScenarios != wantRes.SkippedScenarios {
+		t.Fatalf("result accounting %+v diverges from single-process %+v", res, wantRes)
+	}
+	if _, err := os.Stat(filepath.Join(gotDir, stagingDirName)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("staging directory survived the merge: %v", err)
+	}
+	r, err := dataset.OpenCorpus(gotDir)
+	if err != nil {
+		t.Fatalf("OpenCorpus on merged dir: %v", err)
+	}
+	if err := r.Match(f); err != nil {
+		t.Fatalf("merged corpus does not match factory: %v", err)
+	}
+}
+
+// killAfterFirstUpload is a RoundTripper that cancels its worker's
+// context as soon as one shard upload succeeds — simulating a worker
+// dying mid-range (range width is 2, so one shard is staged and the
+// range is never completed).
+type killAfterFirstUpload struct {
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (k *killAfterFirstUpload) RoundTrip(req *http.Request) (*http.Response, error) {
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	if err == nil && req.Method == http.MethodPut && resp.StatusCode/100 == 2 {
+		k.once.Do(k.cancel)
+	}
+	return resp, err
+}
+
+// TestWorkerKilledMidRangeIsReassigned pins lease recovery: a worker
+// dies after uploading the first shard of a two-shard range, its lease
+// expires, the range is re-leased, and the merged corpus is still
+// byte-identical to the single-process run.
+func TestWorkerKilledMidRangeIsReassigned(t *testing.T) {
+	f := testNetFactory(t)
+	const count, seed = 40, 9
+
+	wantDir := t.TempDir()
+	if _, err := f.GenerateCorpus(context.Background(), count, seed, wantDir,
+		dataset.CorpusOptions{ShardSamples: 4}); err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+
+	var (
+		killedMu  sync.Mutex
+		killedErr error
+	)
+	gotDir := t.TempDir()
+	res, err := Coordinate(context.Background(), f, count, seed, gotDir, Options{
+		ShardSamples: 4,
+		Workers:      3,
+		RangeShards:  2,
+		LeaseTTL:     400 * time.Millisecond,
+		StartWorker: func(ctx context.Context, url string, id int) error {
+			opt := WorkerOptions{Factory: f, ID: fmt.Sprintf("w%d", id)}
+			if id != 0 {
+				return RunWorker(ctx, url, opt)
+			}
+			kctx, cancel := context.WithCancel(ctx)
+			defer cancel()
+			opt.Client = &http.Client{Transport: &killAfterFirstUpload{cancel: cancel}}
+			err := RunWorker(kctx, url, opt)
+			killedMu.Lock()
+			killedErr = err
+			killedMu.Unlock()
+			// Swallow the kill so Coordinate sees a cleanly exited
+			// worker — the lease must still be reclaimed by TTL.
+			return nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("Coordinate: %v", err)
+	}
+	killedMu.Lock()
+	ke := killedErr
+	killedMu.Unlock()
+	if !errors.Is(ke, context.Canceled) {
+		t.Fatalf("killed worker returned %v, want context.Canceled", ke)
+	}
+	if res.ShardsWritten != 10 {
+		t.Fatalf("ShardsWritten = %d, want 10", res.ShardsWritten)
+	}
+	sameShardSet(t, gotDir, wantDir)
+}
+
+// TestCoordinateResume pins the Resume semantics: valid shards already
+// in the directory are adopted, missing ones are generated, and a
+// non-empty directory without Resume fails fast.
+func TestCoordinateResume(t *testing.T) {
+	f := testNetFactory(t)
+	const count, seed = 40, 9
+
+	wantDir := t.TempDir()
+	if _, err := f.GenerateCorpus(context.Background(), count, seed, wantDir,
+		dataset.CorpusOptions{ShardSamples: 4}); err != nil {
+		t.Fatalf("GenerateCorpus: %v", err)
+	}
+
+	gotDir := t.TempDir()
+	for _, name := range []string{dataset.ShardFileName(0), dataset.ShardFileName(7)} {
+		b, err := os.ReadFile(filepath.Join(wantDir, name))
+		if err != nil {
+			t.Fatalf("ReadFile: %v", err)
+		}
+		if err := os.WriteFile(filepath.Join(gotDir, name), b, 0o644); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+	}
+
+	if _, err := Coordinate(context.Background(), f, count, seed, gotDir, Options{
+		ShardSamples: 4, Workers: 2,
+	}); err == nil || !strings.Contains(err.Error(), "resume or use an empty directory") {
+		t.Fatalf("non-empty dir without Resume: err = %v", err)
+	}
+
+	res, err := Coordinate(context.Background(), f, count, seed, gotDir, Options{
+		ShardSamples: 4, Workers: 2, Resume: true,
+	})
+	if err != nil {
+		t.Fatalf("Coordinate resume: %v", err)
+	}
+	if res.ShardsResumed != 2 || res.ShardsWritten != 8 {
+		t.Fatalf("resumed %d written %d, want 2/8", res.ShardsResumed, res.ShardsWritten)
+	}
+	sameShardSet(t, gotDir, wantDir)
+}
+
+// TestWorkerRejectsForeignCoordinator pins the handshake: a worker whose
+// deployment differs from the plan refuses before generating anything.
+func TestWorkerRejectsForeignCoordinator(t *testing.T) {
+	f := testNetFactory(t)
+	net := network.BuildTestNet()
+	j3, ok := net.NodeIndex("J3")
+	if !ok {
+		t.Fatal("test network lost node J3")
+	}
+	other, err := dataset.NewFactory(net, []sensor.Sensor{{Kind: sensor.Pressure, Index: j3}}, dataset.Config{
+		Noise: sensor.DefaultNoise,
+		Leaks: leak.GeneratorConfig{MinEvents: 1, MaxEvents: 2},
+	})
+	if err != nil {
+		t.Fatalf("NewFactory: %v", err)
+	}
+
+	_, err = Coordinate(context.Background(), f, 8, 3, t.TempDir(), Options{
+		ShardSamples: 4,
+		Workers:      1,
+		LeaseTTL:     time.Second,
+		StartWorker: func(ctx context.Context, url string, id int) error {
+			return RunWorker(ctx, url, WorkerOptions{Factory: other, ID: "foreign"})
+		},
+	})
+	if !errors.Is(err, dataset.ErrCorpusMismatch) {
+		t.Fatalf("err = %v, want ErrCorpusMismatch", err)
+	}
+}
+
+// TestErrorEnvelope pins the wire contract: every non-2xx protocol
+// response carries the uniform {"code", "error"} envelope.
+func TestErrorEnvelope(t *testing.T) {
+	f := testNetFactory(t)
+	plan, err := f.PlanCorpus(8, 3, dataset.CorpusOptions{ShardSamples: 4})
+	if err != nil {
+		t.Fatalf("PlanCorpus: %v", err)
+	}
+	c, err := newCoordinator(f, plan, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("newCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(c.mux())
+	defer srv.Close()
+
+	cases := []struct {
+		name       string
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantCode   string
+	}{
+		{"bad json", http.MethodPost, "/distgen/v1/lease", "{", http.StatusBadRequest, "bad_request"},
+		{"unknown lease", http.MethodPost, "/distgen/v1/heartbeat", `{"lease":"lease-99"}`, http.StatusGone, "gone"},
+		{"shard without lease", http.MethodPut, "/distgen/v1/shards/0", "junk", http.StatusGone, "gone"},
+		{"shard index out of range", http.MethodPut, "/distgen/v1/shards/99", "junk", http.StatusBadRequest, "bad_request"},
+		{"join mismatch", http.MethodPost, "/distgen/v1/join", `{"worker":"x","deployment":1,"configDigest":2}`, http.StatusConflict, "conflict"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, srv.URL+tc.path, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("NewRequest: %v", err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("Do: %v", err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.wantStatus)
+			}
+			var env struct {
+				Code  string `json:"code"`
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("non-2xx body is not the JSON envelope: %v", err)
+			}
+			if env.Code != tc.wantCode || env.Error == "" {
+				t.Fatalf("envelope = %+v, want code %q and a message", env, tc.wantCode)
+			}
+		})
+	}
+}
+
+// TestPlanRoundTrip pins exact int64/uint64 JSON round-tripping of the
+// plan advertisement (fingerprints use all 64 bits).
+func TestPlanRoundTrip(t *testing.T) {
+	f := testNetFactory(t)
+	plan, err := f.PlanCorpus(8, 3, dataset.CorpusOptions{ShardSamples: 4})
+	if err != nil {
+		t.Fatalf("PlanCorpus: %v", err)
+	}
+	c, err := newCoordinator(f, plan, t.TempDir(), Options{})
+	if err != nil {
+		t.Fatalf("newCoordinator: %v", err)
+	}
+	srv := httptest.NewServer(c.mux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/distgen/v1/plan")
+	if err != nil {
+		t.Fatalf("GET plan: %v", err)
+	}
+	defer resp.Body.Close()
+	var p planResponse
+	if err := json.NewDecoder(resp.Body).Decode(&p); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if p.Proto != ProtoVersion || p.Count != 8 || p.Seed != 3 || p.ShardCount != 2 {
+		t.Fatalf("plan = %+v", p)
+	}
+	if p.Deployment != plan.Deployment() || p.ConfigDigest != plan.ConfigDigest() {
+		t.Fatalf("fingerprints did not round-trip: %+v vs %016x/%016x",
+			p, plan.Deployment(), plan.ConfigDigest())
+	}
+}

@@ -1,0 +1,293 @@
+package distgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+)
+
+// ProtoVersion is the worker protocol version. Workers refuse to talk
+// to a coordinator speaking a different version; bump it on any wire
+// change.
+const ProtoVersion = 1
+
+// The wire types below are JSON over HTTP under /distgen/v1/. int64
+// and uint64 fields round-trip exactly through encoding/json because
+// both ends decode into typed struct fields, never through float64.
+
+// planResponse describes the corpus a worker must regenerate shards
+// for. Workers re-derive the identical CorpusPlan locally and refuse
+// to serve a coordinator whose deployment or config digest differs.
+type planResponse struct {
+	Proto        int    `json:"proto"`
+	Count        int    `json:"count"`
+	Seed         int64  `json:"seed"`
+	ShardSamples int    `json:"shardSamples"`
+	ShardCount   int    `json:"shardCount"`
+	Deployment   uint64 `json:"deployment"`
+	ConfigDigest uint64 `json:"configDigest"`
+	LeaseTTLMs   int64  `json:"leaseTTLMs"`
+}
+
+// joinRequest announces a worker and proves it rebuilt the same
+// deployment (network + sensors + generation config) the coordinator
+// planned against.
+type joinRequest struct {
+	Worker       string `json:"worker"`
+	Deployment   uint64 `json:"deployment"`
+	ConfigDigest uint64 `json:"configDigest"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// leaseResponse grants shards [Lo, Hi), reports overall completion, or
+// asks the worker to poll again after RetryMs (all ranges leased but
+// not yet done).
+type leaseResponse struct {
+	Lease   string `json:"lease,omitempty"`
+	Lo      int    `json:"lo,omitempty"`
+	Hi      int    `json:"hi,omitempty"`
+	Done    bool   `json:"done,omitempty"`
+	RetryMs int64  `json:"retryMs,omitempty"`
+}
+
+type heartbeatRequest struct {
+	Lease string `json:"lease"`
+}
+
+type completeRequest struct {
+	Lease string `json:"lease"`
+}
+
+// errorEnvelope is the uniform non-2xx body: the same
+// {"code": ..., "error": ...} shape every aquad/fleet endpoint speaks.
+type errorEnvelope struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
+}
+
+// writeError writes the uniform error envelope.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(errorEnvelope{Code: code, Error: err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("decode request: %w", err))
+		return false
+	}
+	return true
+}
+
+// mux routes the versioned worker protocol.
+func (c *coordinator) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /distgen/v1/plan", c.handlePlan)
+	mux.HandleFunc("POST /distgen/v1/join", c.handleJoin)
+	mux.HandleFunc("POST /distgen/v1/lease", c.handleLease)
+	mux.HandleFunc("POST /distgen/v1/heartbeat", c.handleHeartbeat)
+	mux.HandleFunc("PUT /distgen/v1/shards/{index}", c.handleShard)
+	mux.HandleFunc("POST /distgen/v1/complete", c.handleComplete)
+	return mux
+}
+
+func (c *coordinator) handlePlan(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, planResponse{
+		Proto:        ProtoVersion,
+		Count:        c.plan.Count,
+		Seed:         c.plan.Seed,
+		ShardSamples: c.plan.ShardSamples,
+		ShardCount:   c.plan.ShardCount,
+		Deployment:   c.plan.Deployment(),
+		ConfigDigest: c.plan.ConfigDigest(),
+		LeaseTTLMs:   c.ttl.Milliseconds(),
+	})
+}
+
+func (c *coordinator) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	if req.Deployment != c.plan.Deployment() {
+		writeError(w, http.StatusConflict, "conflict",
+			fmt.Errorf("worker %s deployment fingerprint %016x does not match coordinator %016x (different network, sensor set, or placement)",
+				req.Worker, req.Deployment, c.plan.Deployment()))
+		return
+	}
+	if req.ConfigDigest != c.plan.ConfigDigest() {
+		writeError(w, http.StatusConflict, "conflict",
+			fmt.Errorf("worker %s config digest %016x does not match coordinator %016x (generation Config differs)",
+				req.Worker, req.ConfigDigest, c.plan.ConfigDigest()))
+		return
+	}
+	c.met.workersJoined.Inc()
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	if c.remainingLocked() == 0 {
+		writeJSON(w, leaseResponse{Done: true})
+		return
+	}
+	if rg := c.grantLocked(req.Worker, now); rg != nil {
+		writeJSON(w, leaseResponse{Lease: rg.lease, Lo: rg.lo, Hi: rg.hi})
+		return
+	}
+	// All remaining ranges are leased to live workers: poll again well
+	// inside the TTL so an expiry is picked up promptly.
+	retry := c.ttl / 4
+	if retry < 50*time.Millisecond {
+		retry = 50 * time.Millisecond
+	}
+	if retry > 2*time.Second {
+		retry = 2 * time.Second
+	}
+	writeJSON(w, leaseResponse{RetryMs: retry.Milliseconds()})
+}
+
+func (c *coordinator) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	rg, ok := c.leases[req.Lease]
+	if !ok {
+		writeError(w, http.StatusGone, "gone",
+			fmt.Errorf("lease %s expired or was never granted; its range may be reassigned", req.Lease))
+		return
+	}
+	rg.deadline = now.Add(c.ttl)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleShard accepts a generated shard, verifies it against the plan
+// before it can ever reach the corpus, and stages it. Re-uploads of an
+// already-staged shard are accepted and discarded — that idempotency is
+// what makes lease reassignment safe.
+func (c *coordinator) handleShard(w http.ResponseWriter, r *http.Request) {
+	idx, err := strconv.Atoi(r.PathValue("index"))
+	if err != nil || idx < 0 || idx >= c.plan.ShardCount {
+		writeError(w, http.StatusBadRequest, "bad_request",
+			fmt.Errorf("shard index %q outside plan of %d shards", r.PathValue("index"), c.plan.ShardCount))
+		return
+	}
+	lease := r.URL.Query().Get("lease")
+	now := time.Now()
+	c.mu.Lock()
+	c.sweepLocked(now)
+	rg, ok := c.leases[lease]
+	if ok {
+		rg.deadline = now.Add(c.ttl) // an upload is proof of life
+	}
+	alreadyStaged := c.staged[idx]
+	c.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusGone, "gone",
+			fmt.Errorf("lease %s expired or was never granted; its range may be reassigned", lease))
+		return
+	}
+	if idx < rg.lo || idx >= rg.hi {
+		writeError(w, http.StatusConflict, "conflict",
+			fmt.Errorf("shard %d outside leased range [%d,%d)", idx, rg.lo, rg.hi))
+		return
+	}
+	if alreadyStaged {
+		io.Copy(io.Discard, r.Body)
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+
+	// Unique temp name per upload: after a reassignment the old and new
+	// owner can race on the same shard, and the payloads are identical
+	// by construction — last rename wins harmlessly.
+	final := filepath.Join(c.staging, dataset.ShardFileName(idx))
+	fh, err := os.CreateTemp(c.staging, "upload-*.tmp")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	tmp := fh.Name()
+	if _, err := io.Copy(fh, r.Body); err != nil {
+		fh.Close()
+		os.Remove(tmp)
+		writeError(w, http.StatusBadRequest, "bad_request", fmt.Errorf("read shard body: %w", err))
+		return
+	}
+	if err := fh.Close(); err != nil {
+		os.Remove(tmp)
+		writeError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	// Full acceptance check — structure, CRCs, every header field —
+	// before the shard can enter the corpus.
+	if _, err := c.plan.VerifyShardFile(tmp, idx); err != nil {
+		os.Remove(tmp)
+		writeError(w, http.StatusUnprocessableEntity, "shard_invalid",
+			fmt.Errorf("shard %d rejected: %w", idx, err))
+		return
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		writeError(w, http.StatusInternalServerError, "internal", err)
+		return
+	}
+	c.mu.Lock()
+	first := !c.staged[idx]
+	c.staged[idx] = true
+	c.mu.Unlock()
+	if first {
+		c.met.shardsStaged.Inc()
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (c *coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	var req completeRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sweepLocked(now)
+	rg, ok := c.leases[req.Lease]
+	if !ok {
+		writeError(w, http.StatusGone, "gone",
+			fmt.Errorf("lease %s expired or was never granted; its range may be reassigned", req.Lease))
+		return
+	}
+	if err := c.completeLocked(rg); err != nil {
+		writeError(w, http.StatusConflict, "conflict", err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}

@@ -1,0 +1,358 @@
+package distgen
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/aquascale/aquascale/internal/dataset"
+)
+
+// WorkerOptions configures one generation worker.
+type WorkerOptions struct {
+	// Factory is the worker's deployment. It must rebuild the exact
+	// network, sensor set, and generation config the coordinator
+	// planned against — the join handshake and every shard upload
+	// verify this, so a misconfigured worker fails fast instead of
+	// producing wrong bytes.
+	Factory *dataset.Factory
+
+	// ID names the worker in leases and error messages ("" derives one
+	// from the pid).
+	ID string
+
+	// Dir is the worker's local staging directory for generated shards
+	// ("" means a temp directory removed when the worker exits).
+	Dir string
+
+	// GenWorkers bounds the sample-building pool per leased shard
+	// (0 means runtime.NumCPU()).
+	GenWorkers int
+
+	// Client is the HTTP client for coordinator calls (nil means a
+	// default client; no global timeout — uploads of large shards are
+	// bounded by the request context).
+	Client *http.Client
+}
+
+// ProtocolError is a non-2xx coordinator response, carrying the uniform
+// {"code", "error"} envelope the protocol speaks.
+type ProtocolError struct {
+	Status  int
+	Code    string
+	Message string
+}
+
+func (e *ProtocolError) Error() string {
+	return fmt.Sprintf("distgen: coordinator returned %d (%s): %s", e.Status, e.Code, e.Message)
+}
+
+// errLeaseLost marks a 410 from the coordinator: the lease expired and
+// the range may already belong to someone else. The worker abandons the
+// range and asks for new work — never an error, just lost the race.
+var errLeaseLost = errors.New("distgen: lease lost")
+
+// RunWorker runs one generation worker against the coordinator at url
+// until the corpus is complete (returns nil), the context is cancelled,
+// or the coordinator becomes unreachable. It loops: lease a shard
+// range, regenerate each shard locally with GenerateShardRange
+// (byte-identical to the coordinator's own GenerateCorpus would be),
+// upload it, heartbeat throughout, and report completion. A lost lease
+// (410) abandons the range and re-polls — safe because whoever owns the
+// range now regenerates the identical bytes.
+func RunWorker(ctx context.Context, url string, opt WorkerOptions) error {
+	if opt.Factory == nil {
+		return errors.New("distgen: RunWorker needs a Factory")
+	}
+	id := opt.ID
+	if id == "" {
+		id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+	client := opt.Client
+	if client == nil {
+		client = &http.Client{}
+	}
+	w := &worker{id: id, url: url, client: client, factory: opt.Factory, genWorkers: opt.GenWorkers}
+
+	var p planResponse
+	if err := w.call(ctx, http.MethodGet, "/distgen/v1/plan", nil, &p); err != nil {
+		return fmt.Errorf("distgen: fetch plan: %w", err)
+	}
+	if p.Proto != ProtoVersion {
+		return fmt.Errorf("distgen: coordinator speaks protocol v%d, this worker v%d", p.Proto, ProtoVersion)
+	}
+	plan, err := opt.Factory.PlanCorpus(p.Count, p.Seed, dataset.CorpusOptions{ShardSamples: p.ShardSamples})
+	if err != nil {
+		return err
+	}
+	if plan.Deployment() != p.Deployment || plan.ConfigDigest() != p.ConfigDigest {
+		return fmt.Errorf("%w: worker deployment %016x/config %016x does not match coordinator %016x/%016x",
+			dataset.ErrCorpusMismatch, plan.Deployment(), plan.ConfigDigest(), p.Deployment, p.ConfigDigest)
+	}
+	w.plan = plan
+	w.ttl = time.Duration(p.LeaseTTLMs) * time.Millisecond
+	if err := w.call(ctx, http.MethodPost, "/distgen/v1/join",
+		joinRequest{Worker: id, Deployment: plan.Deployment(), ConfigDigest: plan.ConfigDigest()}, nil); err != nil {
+		return fmt.Errorf("distgen: join: %w", err)
+	}
+
+	w.dir = opt.Dir
+	if w.dir == "" {
+		tmp, err := os.MkdirTemp("", "distgen-worker-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		w.dir = tmp
+	} else if err := os.MkdirAll(w.dir, 0o755); err != nil {
+		return err
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var lease leaseResponse
+		if err := w.call(ctx, http.MethodPost, "/distgen/v1/lease", leaseRequest{Worker: id}, &lease); err != nil {
+			return fmt.Errorf("distgen: lease: %w", err)
+		}
+		if lease.Done {
+			return nil
+		}
+		if lease.Lease == "" {
+			if err := sleepCtx(ctx, time.Duration(lease.RetryMs)*time.Millisecond); err != nil {
+				return err
+			}
+			continue
+		}
+		err := w.runLease(ctx, lease)
+		switch {
+		case errors.Is(err, errLeaseLost):
+			continue
+		case err != nil:
+			return err
+		}
+	}
+}
+
+// worker is the per-run client state.
+type worker struct {
+	id         string
+	url        string
+	dir        string
+	client     *http.Client
+	factory    *dataset.Factory
+	plan       dataset.CorpusPlan
+	genWorkers int
+	ttl        time.Duration
+}
+
+// runLease generates and uploads every shard of one leased range,
+// heartbeating in the background, then reports completion.
+func (w *worker) runLease(ctx context.Context, lease leaseResponse) error {
+	hbCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	lost := make(chan struct{})
+	go w.heartbeatLoop(hbCtx, lease.Lease, lost)
+
+	for si := lease.Lo; si < lease.Hi; si++ {
+		select {
+		case <-lost:
+			return errLeaseLost
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		// Width-1 range: resume-aware (a shard left from an earlier
+		// lease of ours verifies and is skipped), cancellable via the
+		// heartbeat context so a lost lease stops the solves too.
+		if _, err := w.factory.GenerateShardRange(hbCtx, w.plan, si, si+1, w.dir, w.genWorkers); err != nil {
+			select {
+			case <-lost:
+				return errLeaseLost
+			default:
+			}
+			return err
+		}
+		if err := w.uploadShard(ctx, lease.Lease, si); err != nil {
+			var pe *ProtocolError
+			if errors.As(err, &pe) && pe.Status == http.StatusGone {
+				return errLeaseLost
+			}
+			return err
+		}
+	}
+	err := w.call(ctx, http.MethodPost, "/distgen/v1/complete", completeRequest{Lease: lease.Lease}, nil)
+	var pe *ProtocolError
+	if errors.As(err, &pe) && pe.Status == http.StatusGone {
+		return errLeaseLost
+	}
+	return err
+}
+
+// heartbeatLoop extends the lease every ttl/3 and closes lost when the
+// coordinator says the lease is gone or stops answering entirely.
+func (w *worker) heartbeatLoop(ctx context.Context, lease string, lost chan<- struct{}) {
+	every := w.ttl / 3
+	if every <= 0 {
+		every = time.Second
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	failures := 0
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		err := w.call(ctx, http.MethodPost, "/distgen/v1/heartbeat", heartbeatRequest{Lease: lease}, nil)
+		switch {
+		case err == nil:
+			failures = 0
+			continue
+		case ctx.Err() != nil:
+			return
+		}
+		var pe *ProtocolError
+		if errors.As(err, &pe) && pe.Status == http.StatusGone {
+			close(lost)
+			return
+		}
+		// Transport trouble: tolerate a few misses (the lease outlives
+		// ttl/3 by design), then assume the lease is forfeit.
+		if failures++; failures >= 3 {
+			close(lost)
+			return
+		}
+	}
+}
+
+// uploadShard PUTs the staged shard file to the coordinator.
+func (w *worker) uploadShard(ctx context.Context, lease string, idx int) error {
+	path := filepath.Join(w.dir, dataset.ShardFileName(idx))
+	body, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	url := fmt.Sprintf("%s/distgen/v1/shards/%d?lease=%s", w.url, idx, lease)
+	return retryTransport(ctx, func() error {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPut, url, bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Content-Type", "application/octet-stream")
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return err
+		}
+		return drainResponse(resp)
+	})
+}
+
+// call does one JSON round trip with transient-transport retry. in may
+// be nil (no body); out may be nil (response body discarded).
+func (w *worker) call(ctx context.Context, method, path string, in, out any) error {
+	var payload []byte
+	if in != nil {
+		var err error
+		if payload, err = json.Marshal(in); err != nil {
+			return err
+		}
+	}
+	return retryTransport(ctx, func() error {
+		var body io.Reader
+		if payload != nil {
+			body = bytes.NewReader(payload)
+		}
+		req, err := http.NewRequestWithContext(ctx, method, w.url+path, body)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := w.client.Do(req)
+		if err != nil {
+			return err
+		}
+		if out == nil {
+			return drainResponse(resp)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode/100 != 2 {
+			return protocolError(resp)
+		}
+		return json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(out)
+	})
+}
+
+// drainResponse consumes and closes the body, converting non-2xx into a
+// ProtocolError.
+func drainResponse(resp *http.Response) error {
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return protocolError(resp)
+	}
+	io.Copy(io.Discard, resp.Body)
+	return nil
+}
+
+// protocolError decodes the {"code", "error"} envelope.
+func protocolError(resp *http.Response) error {
+	var env errorEnvelope
+	json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&env)
+	if env.Code == "" {
+		env.Code = "internal"
+	}
+	return &ProtocolError{Status: resp.StatusCode, Code: env.Code, Message: env.Error}
+}
+
+// retryTransport retries fn on transport-level failures (connection
+// refused, reset, ...) with capped exponential backoff. Protocol errors
+// — the coordinator answered — are returned immediately.
+func retryTransport(ctx context.Context, fn func() error) error {
+	delay := 50 * time.Millisecond
+	var err error
+	for attempt := 0; attempt < 5; attempt++ {
+		if err = fn(); err == nil {
+			return nil
+		}
+		var pe *ProtocolError
+		if errors.As(err, &pe) {
+			return err
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		if serr := sleepCtx(ctx, delay); serr != nil {
+			return serr
+		}
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+	return err
+}
+
+// sleepCtx sleeps d or returns early with the context's error.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		d = 50 * time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,6 +1,7 @@
 package flood
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -112,8 +113,15 @@ func (r *Result) MaxDepthAt(dem *DEM, x, y float64) float64 {
 // Simulate runs the local-inertial shallow-water scheme over the DEM with
 // the given point sources. Boundaries are closed walls; mass is conserved
 // (inflow volume equals stored volume within numerical tolerance), which
-// the tests assert.
+// the tests assert. It is shorthand for SimulateContext with
+// context.Background().
 func Simulate(dem *DEM, sources []Source, cfg SimConfig) (*Result, error) {
+	return SimulateContext(context.Background(), dem, sources, cfg)
+}
+
+// SimulateContext is Simulate with cancellation: ctx is checked between
+// adaptive time steps and the error is ctx.Err().
+func SimulateContext(ctx context.Context, dem *DEM, sources []Source, cfg SimConfig) (*Result, error) {
 	cfg = cfg.withDefaults()
 	w, h := dem.Width, dem.Height
 	n := w * h
@@ -148,6 +156,9 @@ func Simulate(dem *DEM, sources []Source, cfg SimConfig) (*Result, error) {
 	const minDepth = 1e-4
 
 	for elapsed < total {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Adaptive step from the gravity-wave CFL condition.
 		hMax := minDepth
 		for _, hv := range depth {

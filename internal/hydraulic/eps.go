@@ -1,6 +1,7 @@
 package hydraulic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -106,8 +107,16 @@ func (ts *TimeSeries) TotalLeakVolume(step time.Duration) float64 {
 // RunEPS performs an extended-period simulation: a steady solve per step
 // with demand patterns advanced in time, emitters activated at their start
 // times, and tank levels integrated forward between steps (EPANET's
-// Euler scheme; levels clamp at tank min/max).
+// Euler scheme; levels clamp at tank min/max). It is shorthand for
+// RunEPSContext with context.Background().
 func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) (*TimeSeries, error) {
+	return RunEPSContext(context.Background(), net, opts, emitters)
+}
+
+// RunEPSContext is RunEPS with cancellation: ctx is checked between
+// hydraulic steps, so the in-flight steady solve finishes and the error
+// is ctx.Err().
+func RunEPSContext(ctx context.Context, net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) (*TimeSeries, error) {
 	opts = opts.withDefaults()
 	solver, err := NewSolver(net, opts.Solver)
 	if err != nil {
@@ -138,6 +147,9 @@ func RunEPS(net *network.Network, opts EPSOptions, emitters []ScheduledEmitter) 
 
 	mSteps := telemetry.Default().Counter("hydraulic_eps_steps_total")
 	for k := 0; k < steps; k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		mSteps.Inc()
 		t := time.Duration(k) * opts.Step
 		active := activeEmitters(emitters, t)

@@ -1,6 +1,7 @@
 package hydraulic
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -92,8 +93,15 @@ type pipeSegment struct {
 // RunQuality advects a constituent through the network along the flows of
 // a completed hydraulic simulation. Pipes carry plug-flow segment queues
 // (travel time emerges from pipe volume over flow); junctions mix their
-// inflows instantaneously; tanks are completely mixed storage.
+// inflows instantaneously; tanks are completely mixed storage. It is
+// shorthand for RunQualityContext with context.Background().
 func RunQuality(net *network.Network, ts *TimeSeries, injections []Injection, opts QualityOptions) (*QualityResult, error) {
+	return RunQualityContext(context.Background(), net, ts, injections, opts)
+}
+
+// RunQualityContext is RunQuality with cancellation: ctx is checked
+// between hydraulic snapshots, and the error is ctx.Err().
+func RunQualityContext(ctx context.Context, net *network.Network, ts *TimeSeries, injections []Injection, opts QualityOptions) (*QualityResult, error) {
 	opts = opts.withDefaults()
 	if ts.Steps() < 2 {
 		return nil, fmt.Errorf("hydraulic: quality needs at least two hydraulic snapshots")
@@ -138,6 +146,9 @@ func RunQuality(net *network.Network, ts *TimeSeries, injections []Injection, op
 	inflowVol := make([]float64, len(net.Nodes))
 
 	for k := 0; k < ts.Steps(); k++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		flows := ts.Flow[k]
 		t := ts.Times[k]
 		for s := 0; s < sub; s++ {

@@ -1,6 +1,7 @@
 package mlearn
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -23,8 +24,16 @@ func NewMultiOutput(factory Factory, seed int64) *MultiOutput {
 }
 
 // Fit trains one classifier per output column. Y is indexed
-// [sample][output] with binary entries.
+// [sample][output] with binary entries. It is shorthand for FitContext
+// with context.Background().
 func (m *MultiOutput) Fit(x [][]float64, y [][]int) error {
+	return m.FitContext(context.Background(), x, y)
+}
+
+// FitContext is Fit with cancellation: ctx is checked between column
+// dispatches, so in-flight per-node fits finish, the bank is left
+// unfitted, and the error is ctx.Err().
+func (m *MultiOutput) FitContext(ctx context.Context, x [][]float64, y [][]int) error {
 	if len(x) == 0 {
 		return fmt.Errorf("mlearn: empty training set")
 	}
@@ -67,11 +76,20 @@ func (m *MultiOutput) Fit(x [][]float64, y [][]int) error {
 			}
 		}()
 	}
+	cancelled := false
 	for v := 0; v < outputs; v++ {
+		if ctx.Err() != nil {
+			cancelled = true
+			break
+		}
 		work <- v
 	}
 	close(work)
 	wg.Wait()
+	if cancelled {
+		m.models = nil
+		return ctx.Err()
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestErrorEnvelopeUniform pins the documented contract: every non-2xx
+// answer from the single-district and fleet handlers decodes as
+// {"code": "<machine-readable>", "error": "<message>"}, with the code
+// derived from the status unless a handler overrides it.
+func TestErrorEnvelopeUniform(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 1, QueueSize: 4})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+	f := newTestFleet(t, Config{Workers: 2, QueueSize: 4})
+	fs := httptest.NewServer(f.Handler())
+	defer fs.Close()
+
+	cases := []struct {
+		name   string
+		url    string
+		method string
+		body   string
+		status int
+		code   string
+	}{
+		{"bad observe body", srv.URL + "/v1/observe", "POST", "{not json", http.StatusBadRequest, "bad_request"},
+		{"unknown feature count", srv.URL + "/v1/observe", "POST", `{"features":[1]}`, http.StatusBadRequest, "bad_request"},
+		{"unknown job", srv.URL + "/v1/localize/j-nope", "GET", "", http.StatusNotFound, "not_found"},
+		{"unknown trace", srv.URL + "/v1/trace/j-nope", "GET", "", http.StatusNotFound, "not_found"},
+		{"bad profile body", srv.URL + "/v1/profile", "POST", "garbage", http.StatusBadRequest, "bad_request"},
+		{"unknown district observe", fs.URL + "/v1/districts/nowhere/observe", "POST", `{"features":[]}`, http.StatusNotFound, "not_found"},
+		{"unknown district status", fs.URL + "/v1/districts/nowhere/status", "GET", "", http.StatusNotFound, "not_found"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			req, err := http.NewRequest(tc.method, tc.url, strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatalf("%s %s: %v", tc.method, tc.url, err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			var env struct {
+				Code  string `json:"code"`
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				t.Fatalf("non-envelope body: %v", err)
+			}
+			if env.Code != tc.code || env.Error == "" {
+				t.Fatalf("envelope = %+v, want code %q and a message", env, tc.code)
+			}
+		})
+	}
+}

@@ -155,12 +155,16 @@ func (s *Server) buildObservation(req ObserveRequest) (core.Observation, []float
 	return obs, readings, hour, nil
 }
 
-// jobResponse is the wire shape for job submission and polling.
+// jobResponse is the wire shape for job submission and polling. On a
+// non-2xx answer Code carries the same machine-readable class the bare
+// error envelope would, so every error body decodes uniformly as
+// {"code": ..., "error": ...} whether or not job fields ride along.
 type jobResponse struct {
 	Job    string   `json:"job"`
 	State  JobState `json:"state"`
 	Result *Result  `json:"result,omitempty"`
 	Error  string   `json:"error,omitempty"`
+	Code   string   `json:"code,omitempty"`
 }
 
 // Handler returns the service's HTTP mux:
@@ -368,6 +372,7 @@ func (s *Server) writeJob(w http.ResponseWriter, j *Job) {
 		default:
 			code = http.StatusInternalServerError
 		}
+		resp.Code = errorCodeFor(code)
 	}
 	writeJSON(w, code, resp)
 }
@@ -404,13 +409,46 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-func writeError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// errorEnvelope is the uniform non-2xx body shape: every error answer
+// from the single-district and fleet handlers decodes as
+// {"code": "<machine-readable class>", "error": "<human message>"}. The
+// distributed-generation coordinator speaks the same envelope.
+type errorEnvelope struct {
+	Code  string `json:"code"`
+	Error string `json:"error"`
 }
 
-// writeErrorCode is writeError with a machine-readable "code" field so
-// clients can distinguish error classes sharing a status (e.g. an
-// evicted job vs. any other gone resource).
+// errorCodeFor maps a status onto the envelope's default machine-readable
+// code. Handlers that need to distinguish classes sharing a status (e.g.
+// an evicted job vs. any other gone resource) pass an explicit code via
+// writeErrorCode instead.
+func errorCodeFor(status int) string {
+	switch status {
+	case http.StatusBadRequest:
+		return "bad_request"
+	case http.StatusNotFound:
+		return "not_found"
+	case http.StatusConflict:
+		return "conflict"
+	case http.StatusGone:
+		return "gone"
+	case http.StatusTooManyRequests:
+		return "queue_full"
+	case http.StatusServiceUnavailable:
+		return "draining"
+	case http.StatusGatewayTimeout:
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeErrorCode(w, code, errorCodeFor(code), err)
+}
+
+// writeErrorCode is writeError with an explicit "code" field overriding
+// the status-derived default.
 func writeErrorCode(w http.ResponseWriter, code int, errCode string, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error(), "code": errCode})
+	writeJSON(w, code, errorEnvelope{Code: errCode, Error: err.Error()})
 }
